@@ -1,0 +1,47 @@
+//! §4 compile-time share — "register allocation accounts for an average
+//! of 7% of overall compile time."
+
+use lesgs_compiler::{compile_timed, CompilerConfig};
+use lesgs_suite::all_benchmarks;
+use lesgs_suite::programs::Scale;
+use lesgs_suite::tables::{frac_pct, Table};
+
+fn main() {
+    let cfg = CompilerConfig::default();
+    let reps = 25;
+    let mut t = Table::new(vec![
+        "benchmark".into(),
+        "frontend µs".into(),
+        "allocation µs".into(),
+        "codegen µs".into(),
+        "alloc share".into(),
+    ]);
+    let mut shares = Vec::new();
+    for b in all_benchmarks() {
+        // Take the best of several repetitions to damp noise.
+        let mut best: Option<lesgs_compiler::PhaseTimes> = None;
+        for _ in 0..reps {
+            let (_, times) = compile_timed(b.source(Scale::Standard), &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            if best.is_none_or(|b| times.total() < b.total()) {
+                best = Some(times);
+            }
+        }
+        let times = best.expect("at least one rep");
+        shares.push(times.allocation_fraction());
+        t.row(vec![
+            b.name.to_owned(),
+            times.frontend.as_micros().to_string(),
+            times.allocation.as_micros().to_string(),
+            times.codegen.as_micros().to_string(),
+            frac_pct(times.allocation_fraction()),
+        ]);
+    }
+    let avg = shares.iter().sum::<f64>() / shares.len() as f64;
+    println!("§4: register allocation share of compile time (best of {reps} reps)");
+    println!("{t}");
+    println!(
+        "Average allocation share: {} (paper: ~7% of overall compile time).",
+        frac_pct(avg)
+    );
+}

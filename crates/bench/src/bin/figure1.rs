@@ -1,0 +1,48 @@
+//! Figure 1 — the derived `S_t`/`S_f` equations for `not`, `and`, and
+//! `or`, demonstrated on concrete expressions and cross-checked against
+//! their `if`-expansions (the full machine-checked proof is the
+//! property suite in `lesgs-core::toy`).
+
+use lesgs_core::toy::{figure1, s_revised, save_set, Toy};
+use lesgs_ir::machine::arg_reg;
+use lesgs_ir::RegSet;
+
+fn show(name: &str, derived: (RegSet, RegSet), expanded: &Toy) {
+    let direct = s_revised(expanded);
+    println!(
+        "{name:<22} S_t = {:<12} S_f = {:<12} (if-expansion: S_t = {}, S_f = {})",
+        derived.0.to_string(),
+        derived.1.to_string(),
+        direct.0,
+        direct.1
+    );
+    assert_eq!(derived, direct, "Figure 1 equation must match the expansion");
+}
+
+fn main() {
+    let live: RegSet = [arg_reg(0), arg_reg(1)].into_iter().collect();
+    let x = Toy::Var(arg_reg(0));
+    let call = Toy::call(live.iter());
+
+    println!("Figure 1: derived save-placement equations (checked against if-expansions)\n");
+
+    let e = Toy::seq(call.clone(), x.clone());
+    show("(not E)", figure1::s_not(&e), &Toy::not(e.clone()));
+
+    let a = Toy::if_(x.clone(), call.clone(), Toy::False);
+    let b = call.clone();
+    show("(and E1 E2)", figure1::s_and(&a, &b), &Toy::and(a.clone(), b.clone()));
+
+    let c = Toy::if_(x.clone(), Toy::True, call.clone());
+    show("(or E1 E2)", figure1::s_or(&c, &x), &Toy::or(c.clone(), x.clone()));
+
+    println!("\nThe paper's §2.1.2 worked example:");
+    let inner = Toy::if_(x.clone(), call.clone(), Toy::False);
+    let outer = Toy::if_(inner.clone(), Toy::Var(arg_reg(1)), call.clone());
+    println!("  A = (if (if x call false) y call)");
+    println!("  inner save set = {} (nothing saved around the inner if)", save_set(&inner));
+    println!("  outer save set = {} (all live registers, as required)", save_set(&outer));
+    assert_eq!(save_set(&inner), RegSet::EMPTY);
+    assert_eq!(save_set(&outer), live);
+    println!("\nAll Figure 1 equations verified.");
+}

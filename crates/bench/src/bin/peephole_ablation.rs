@@ -1,0 +1,48 @@
+//! Backend ablation — the peephole optimizer's contribution.
+//!
+//! Not a paper experiment; quantifies how much of the measured cycle
+//! counts come from the peephole rewrites (mostly store-load
+//! forwarding of the code generator's temporaries) so the table
+//! harnesses' numbers can be interpreted.
+
+use lesgs_bench::{mean, scale_from_args};
+use lesgs_compiler::{run_source, CompilerConfig};
+use lesgs_suite::all_benchmarks;
+use lesgs_suite::tables::Table;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut t = Table::new(vec![
+        "benchmark".into(),
+        "cycles off".into(),
+        "cycles on".into(),
+        "stack refs off".into(),
+        "stack refs on".into(),
+        "improvement".into(),
+    ]);
+    let mut improvements = Vec::new();
+    for b in all_benchmarks() {
+        let src = b.source(scale);
+        let off = run_source(
+            src,
+            &CompilerConfig { no_peephole: true, ..CompilerConfig::default() },
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let on = run_source(src, &CompilerConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(off.value, on.value, "{}", b.name);
+        let imp = 100.0 * (off.stats.cycles as f64 / on.stats.cycles as f64 - 1.0);
+        improvements.push(imp);
+        t.row(vec![
+            b.name.to_owned(),
+            off.stats.cycles.to_string(),
+            on.stats.cycles.to_string(),
+            off.stats.stack_refs().to_string(),
+            on.stats.stack_refs().to_string(),
+            format!("{imp:+.1}%"),
+        ]);
+    }
+    println!("Backend ablation: peephole optimizer ({scale:?} scale)");
+    println!("{t}");
+    println!("Mean improvement: {:+.1}%.", mean(&improvements));
+}

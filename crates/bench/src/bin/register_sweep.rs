@@ -1,0 +1,64 @@
+//! §4 register sweep — performance from zero through six argument
+//! registers, with and without greedy shuffling.
+//!
+//! The paper: "Performance increases monotonically from zero through
+//! six registers, although the difference between five and six
+//! registers is minimal. Our greedy shuffling algorithm becomes
+//! important as the number of argument registers increases. Before we
+//! installed this algorithm, the performance actually decreased after
+//! two argument registers."
+
+use lesgs_bench::{geometric_mean, run_benchmark, scale_from_args};
+use lesgs_core::config::ShuffleStrategy;
+use lesgs_core::AllocConfig;
+use lesgs_ir::MachineConfig;
+use lesgs_suite::all_benchmarks;
+use lesgs_suite::tables::Table;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut headers = vec!["shuffle".into()];
+    for c in 0..=6 {
+        headers.push(format!("c={c}"));
+    }
+    let mut t = Table::new(headers);
+
+    for (label, shuffle) in [
+        ("greedy", ShuffleStrategy::Greedy),
+        ("fixed-order", ShuffleStrategy::FixedOrder),
+    ] {
+        let mut cells = vec![label.to_owned()];
+        let mut base: Vec<f64> = Vec::new();
+        for c in 0..=6 {
+            let cfg = AllocConfig {
+                machine: MachineConfig::with_arg_regs(c),
+                shuffle,
+                ..AllocConfig::paper_default()
+            };
+            let mut ratios = Vec::new();
+            for (i, b) in all_benchmarks().into_iter().enumerate() {
+                let run = run_benchmark(&b, scale, &cfg);
+                let cycles = run.stats.cycles as f64;
+                if c == 0 {
+                    base.push(cycles);
+                    ratios.push(1.0);
+                } else {
+                    ratios.push(base[i] / cycles);
+                }
+            }
+            cells.push(format!("{:.3}", geometric_mean(&ratios)));
+        }
+        t.row(cells);
+    }
+
+    println!(
+        "§4 register sweep: geometric-mean speedup over the zero-register \
+         baseline ({scale:?} scale)"
+    );
+    println!("{t}");
+    println!(
+        "Expected shape: monotonic increase 0→6 with a small 5→6 step;\n\
+         fixed-order evaluation flattens (or reverses) beyond ~2 registers\n\
+         because argument shuffling starts forcing temporaries."
+    );
+}

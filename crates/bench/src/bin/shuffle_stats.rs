@@ -1,0 +1,82 @@
+//! §3.1 statistics — shuffle cycles and greedy-vs-optimal temporaries.
+//!
+//! The paper: "only 7% of the call sites had cycles. Furthermore, the
+//! greedy algorithm was optimal for all of the call sites in all of the
+//! benchmarks excluding our compiler, where it was optimal in all but
+//! six of the 20,245 call sites, and in these six it required only one
+//! extra temporary location."
+
+use lesgs_compiler::{compile, CompilerConfig};
+use lesgs_suite::all_benchmarks;
+use lesgs_suite::programs::Scale;
+use lesgs_suite::tables::{frac_pct, Table};
+
+fn main() {
+    let cfg = CompilerConfig::default();
+    let mut t = Table::new(vec![
+        "benchmark".into(),
+        "call sites".into(),
+        "with cycles".into(),
+        "greedy temps".into(),
+        "optimal temps".into(),
+        "greedy=optimal".into(),
+    ]);
+    let mut total_sites = 0usize;
+    let mut total_cycles = 0usize;
+    let mut total_greedy = 0usize;
+    let mut total_optimal = 0usize;
+    let mut total_match = 0usize;
+    let mut no_takr_sites = 0usize;
+    let mut no_takr_cycles = 0usize;
+    for b in all_benchmarks() {
+        let compiled = compile(b.source(Scale::Standard), &cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let s = compiled.shuffle_stats();
+        total_sites += s.call_sites;
+        total_cycles += s.sites_with_cycles;
+        total_greedy += s.greedy_temps;
+        total_optimal += s.optimal_temps;
+        total_match += s.sites_greedy_optimal;
+        if b.name != "takr" {
+            no_takr_sites += s.call_sites;
+            no_takr_cycles += s.sites_with_cycles;
+        }
+        t.row(vec![
+            b.name.to_owned(),
+            s.call_sites.to_string(),
+            s.sites_with_cycles.to_string(),
+            s.greedy_temps.to_string(),
+            s.optimal_temps.to_string(),
+            frac_pct(s.optimal_fraction()),
+        ]);
+    }
+    t.row(vec![
+        "Total".into(),
+        total_sites.to_string(),
+        total_cycles.to_string(),
+        total_greedy.to_string(),
+        total_optimal.to_string(),
+        frac_pct(total_match as f64 / total_sites as f64),
+    ]);
+    println!("§3.1: greedy shuffling statistics (static, standard sources)");
+    println!("{t}");
+    println!(
+        "Excluding takr (100 textual copies of tak's rotating call \
+         pattern,\nwhich dominates a small static corpus): {} of {} sites \
+         with cycles ({}).",
+        no_takr_cycles,
+        no_takr_sites,
+        frac_pct(no_takr_cycles as f64 / no_takr_sites as f64),
+    );
+    println!(
+        "Cycle-bearing call sites: {} ({}). Paper: 7% of call sites.\n\
+         Greedy matched the exhaustive optimum at {} of {} sites, using\n\
+         {} temporaries where the optimum is {}.",
+        total_cycles,
+        frac_pct(total_cycles as f64 / total_sites as f64),
+        total_match,
+        total_sites,
+        total_greedy,
+        total_optimal,
+    );
+}

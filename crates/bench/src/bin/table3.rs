@@ -1,0 +1,60 @@
+//! Table 3 — stack-reference reduction and speedup for the three save
+//! strategies with six argument registers, relative to the no-register
+//! baseline.
+//!
+//! The paper's averages: lazy 72%/43%, early 58%/32%, late 65%/36%.
+//! The shape to reproduce: lazy wins both columns; early saves too
+//! often on call-free paths; late saves redundantly on multi-call
+//! paths.
+
+use lesgs_bench::{mean, run_benchmark, save_strategies, scale_from_args};
+use lesgs_core::AllocConfig;
+use lesgs_suite::measure::Measurement;
+use lesgs_suite::tables::{pct, Table};
+use lesgs_suite::all_benchmarks;
+
+fn main() {
+    let scale = scale_from_args();
+    let baseline_cfg = AllocConfig::baseline();
+
+    let mut headers = vec!["benchmark".into()];
+    for (name, _) in save_strategies() {
+        headers.push(format!("{name} stack-ref"));
+        headers.push(format!("{name} speedup"));
+    }
+    let mut table = Table::new(headers);
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); 6];
+
+    for b in all_benchmarks() {
+        let base = run_benchmark(&b, scale, &baseline_cfg);
+        let mut cells = vec![b.name.to_owned()];
+        for (i, (_, save)) in save_strategies().into_iter().enumerate() {
+            let cfg = AllocConfig { save, ..AllocConfig::paper_default() };
+            let opt = run_benchmark(&b, scale, &cfg);
+            assert_eq!(
+                base.value, opt.value,
+                "{}: strategies must agree on the answer",
+                b.name
+            );
+            let m = Measurement::compare(&base, &opt);
+            cells.push(pct(m.stack_ref_reduction()));
+            cells.push(pct(m.speedup_percent()));
+            sums[2 * i].push(m.stack_ref_reduction());
+            sums[2 * i + 1].push(m.speedup_percent());
+        }
+        table.row(cells);
+    }
+    let mut avg = vec!["Average".to_owned()];
+    avg.extend(sums.iter().map(|xs| pct(mean(xs))));
+    table.row(avg);
+
+    println!(
+        "Table 3: stack-reference reduction and speedup vs no-register \
+         baseline ({scale:?} scale, six argument registers)"
+    );
+    println!("{table}");
+    println!(
+        "Paper averages: lazy 72%/43%, early 58%/32%, late 65%/36%.\n\
+         Expected shape: lazy >= late >= early on stack refs; lazy best on speedup."
+    );
+}

@@ -1,0 +1,220 @@
+//! `lesgsc` — command-line driver for the lesgs mini-Scheme compiler.
+//!
+//! ```text
+//! lesgsc run      [options] <file.scm|->   compile and execute
+//! lesgsc stats    [options] <file.scm|->   execute and dump instrumentation
+//! lesgsc dis      [options] <file.scm|->   disassemble generated VM code
+//! lesgsc ir       [options] <file.scm|->   dump the allocated IR
+//! lesgsc interp   <file.scm|->             run the reference interpreter
+//! lesgsc check    [options] <file.scm|->   differential-check vs the interpreter
+//!
+//! options:
+//!   --save lazy|early|late      save strategy        (default lazy)
+//!   --restore eager|lazy        restore strategy     (default eager)
+//!   --shuffle greedy|fixed      argument shuffling   (default greedy)
+//!   --callee-save               use the §2.4 callee-save discipline
+//!   --regs <0..6>               argument registers   (default 6)
+//!   --branch-prediction         enable §6 static branch prediction
+//!   --lift                      enable selective lambda lifting (§6)
+//!   --fuel <n>                  VM instruction budget
+//!   -e <expr>                   use <expr> as the program text
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use lesgs_compiler::{compile, config_matrix, differential_check, CompilerConfig};
+use lesgs_core::config::{Discipline, RestoreStrategy, SaveStrategy, ShuffleStrategy};
+use lesgs_core::AllocConfig;
+use lesgs_ir::MachineConfig;
+
+struct Options {
+    command: String,
+    source: String,
+    config: CompilerConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lesgsc <run|stats|dis|ir|interp|check> [options] <file.scm|->\n\
+         options: --save lazy|early|late  --restore eager|lazy\n\
+         \x20        --shuffle greedy|fixed  --callee-save  --regs <0..6>\n\
+         \x20        --branch-prediction  --lift  --fuel <n>  -e <expr>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| usage());
+    if !["run", "stats", "dis", "ir", "interp", "check"].contains(&command.as_str()) {
+        usage();
+    }
+    let mut alloc = AllocConfig::paper_default();
+    let mut fuel = 0u64;
+    let mut lambda_lift = false;
+    let mut source: Option<String> = None;
+    while let Some(a) = args.next() {
+        let mut value = |what: &str| {
+            args.next().ok_or_else(|| format!("{what} requires a value"))
+        };
+        match a.as_str() {
+            "--save" => {
+                alloc.save = match value("--save")?.as_str() {
+                    "lazy" => SaveStrategy::Lazy,
+                    "early" => SaveStrategy::Early,
+                    "late" => SaveStrategy::Late,
+                    other => return Err(format!("unknown save strategy `{other}`")),
+                }
+            }
+            "--restore" => {
+                alloc.restore = match value("--restore")?.as_str() {
+                    "eager" => RestoreStrategy::Eager,
+                    "lazy" => RestoreStrategy::Lazy,
+                    other => return Err(format!("unknown restore strategy `{other}`")),
+                }
+            }
+            "--shuffle" => {
+                alloc.shuffle = match value("--shuffle")?.as_str() {
+                    "greedy" => ShuffleStrategy::Greedy,
+                    "fixed" => ShuffleStrategy::FixedOrder,
+                    other => return Err(format!("unknown shuffle strategy `{other}`")),
+                }
+            }
+            "--callee-save" => alloc.discipline = Discipline::CalleeSave,
+            "--branch-prediction" => alloc.branch_prediction = true,
+            "--lift" => lambda_lift = true,
+            "--regs" => {
+                let n: usize = value("--regs")?
+                    .parse()
+                    .map_err(|_| "--regs requires a number".to_owned())?;
+                if n > 6 {
+                    return Err("--regs accepts 0..6".to_owned());
+                }
+                alloc.machine = MachineConfig::with_arg_regs(n);
+            }
+            "--fuel" => {
+                fuel = value("--fuel")?
+                    .parse()
+                    .map_err(|_| "--fuel requires a number".to_owned())?;
+            }
+            "-e" => source = Some(value("-e")?),
+            "-" => {
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| e.to_string())?;
+                source = Some(buf);
+            }
+            path if !path.starts_with('-') => {
+                source = Some(
+                    std::fs::read_to_string(path)
+                        .map_err(|e| format!("{path}: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let source = source.ok_or_else(|| "no program given".to_owned())?;
+    Ok(Options {
+        command,
+        source,
+        config: CompilerConfig { alloc, fuel, lambda_lift, ..CompilerConfig::default() },
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("lesgsc: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let fail = |e: String| -> ExitCode {
+        eprintln!("lesgsc: {e}");
+        ExitCode::FAILURE
+    };
+
+    match opts.command.as_str() {
+        "interp" => {
+            let fuel = if opts.config.fuel == 0 { u64::MAX } else { opts.config.fuel };
+            match lesgs_interp::run_source(&opts.source, fuel) {
+                Ok(out) => {
+                    print!("{}", out.output);
+                    println!("{}", out.value);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e.to_string()),
+            }
+        }
+        "check" => {
+            let fuel = if opts.config.fuel == 0 { 200_000_000 } else { opts.config.fuel };
+            match differential_check(&opts.source, &config_matrix(), fuel) {
+                Ok(()) => {
+                    println!(
+                        "ok: interpreter and all {} configurations agree",
+                        config_matrix().len()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        cmd => {
+            let compiled = match compile(&opts.source, &opts.config) {
+                Ok(c) => c,
+                Err(e) => return fail(e.to_string()),
+            };
+            match cmd {
+                "dis" => {
+                    print!("{}", compiled.vm.disassemble());
+                    ExitCode::SUCCESS
+                }
+                "ir" => {
+                    for f in &compiled.allocated.funcs {
+                        println!(
+                            "{} ({}) leaf={} inevitable={}",
+                            f.id, f.name, f.syntactic_leaf, f.call_inevitable
+                        );
+                        println!("  {}", f.body);
+                    }
+                    ExitCode::SUCCESS
+                }
+                "run" | "stats" => match compiled.run(&opts.config) {
+                    Ok(out) => {
+                        print!("{}", out.output);
+                        println!("{}", out.value);
+                        if cmd == "stats" {
+                            let s = &out.stats;
+                            eprintln!("instructions:  {}", s.instructions);
+                            eprintln!("cycles:        {}", s.cycles);
+                            eprintln!("stalls:        {}", s.stall_cycles);
+                            eprintln!("stack refs:    {}", s.stack_refs());
+                            eprintln!("saves:         {}", s.saves());
+                            eprintln!("restores:      {}", s.restores());
+                            eprintln!("calls:         {}", s.calls);
+                            eprintln!("tail calls:    {}", s.tail_calls);
+                            eprintln!(
+                                "effective leaf activations: {:.1}%",
+                                100.0 * s.effective_leaf_fraction()
+                            );
+                            let st = compiled.shuffle_stats();
+                            eprintln!(
+                                "shuffle: {} sites, {} with cycles, greedy {} temps (optimal {})",
+                                st.call_sites,
+                                st.sites_with_cycles,
+                                st.greedy_temps,
+                                st.optimal_temps
+                            );
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(e.to_string()),
+                },
+                _ => unreachable!("command validated"),
+            }
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! The end-to-end lesgs compiler driver.
+//!
+//! Ties the pipeline together — reader → frontend → closure conversion
+//! → IR → register allocation → code generation → VM — under a single
+//! [`CompilerConfig`], and provides the differential-testing entry
+//! points used throughout the test suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use lesgs_compiler::{compile, run_source, CompilerConfig};
+//!
+//! let cfg = CompilerConfig::default();
+//! let out = run_source("(define (sq x) (* x x)) (sq 7)", &cfg).unwrap();
+//! assert_eq!(out.value, "49");
+//!
+//! let compiled = compile("(+ 1 2)", &cfg).unwrap();
+//! assert!(compiled.vm.code_size() > 0);
+//! ```
+
+use std::time::{Duration, Instant};
+
+use lesgs_core::{allocate_program, AllocConfig, AllocatedProgram};
+use lesgs_frontend::pipeline;
+use lesgs_ir::{lower_program, Program};
+use lesgs_vm::{CostModel, Machine, VmOutcome, VmProgram};
+
+/// Complete compiler + execution configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompilerConfig {
+    /// Register allocator configuration.
+    pub alloc: AllocConfig,
+    /// VM cost model.
+    pub cost: CostModel,
+    /// VM instruction budget (0 = default).
+    pub fuel: u64,
+    /// Poison callee frames (catches reads of never-written slots).
+    pub poison: bool,
+    /// Apply selective lambda lifting before closure conversion (§6).
+    pub lambda_lift: bool,
+    /// Disable the backend peephole optimizer (on by default; the flag
+    /// exists for the ablation harness).
+    pub no_peephole: bool,
+    /// Disable IR constant folding (on by default).
+    pub no_fold: bool,
+}
+
+impl CompilerConfig {
+    /// The paper's configuration with a given allocator setup.
+    pub fn with_alloc(alloc: AllocConfig) -> CompilerConfig {
+        CompilerConfig { alloc, ..CompilerConfig::default() }
+    }
+}
+
+/// A compilation failure (frontend errors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The output of compilation: every intermediate stage is kept so
+/// experiments can inspect them.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The IR after closure conversion and lowering.
+    pub ir: Program,
+    /// The allocator's output.
+    pub allocated: AllocatedProgram,
+    /// Executable VM code.
+    pub vm: VmProgram,
+}
+
+impl Compiled {
+    /// Runs the compiled program.
+    ///
+    /// # Errors
+    ///
+    /// VM runtime errors or budget exhaustion.
+    pub fn run(&self, config: &CompilerConfig) -> Result<VmOutcome, lesgs_vm::VmError> {
+        let mut m = Machine::new(&self.vm, config.cost).with_poison(config.poison);
+        if config.fuel > 0 {
+            m = m.with_fuel(config.fuel);
+        }
+        m.run()
+    }
+
+    /// Static shuffle/save statistics (§3.1 numbers).
+    pub fn shuffle_stats(&self) -> lesgs_core::stats::ShuffleStats {
+        lesgs_core::stats::collect(&self.allocated)
+    }
+}
+
+/// Per-phase compile times, for the §4 compile-time measurement
+/// ("register allocation accounts for an average of 7% of overall
+/// compile time").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimes {
+    /// Reader + frontend passes + closure conversion + lowering.
+    pub frontend: Duration,
+    /// Register allocation (both passes).
+    pub allocation: Duration,
+    /// Code generation and linking.
+    pub codegen: Duration,
+}
+
+impl PhaseTimes {
+    /// Total compile time.
+    pub fn total(&self) -> Duration {
+        self.frontend + self.allocation + self.codegen
+    }
+
+    /// Fraction of compile time spent in register allocation.
+    pub fn allocation_fraction(&self) -> f64 {
+        let t = self.total().as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.allocation.as_secs_f64() / t
+        }
+    }
+}
+
+/// Compiles `src`, timing each phase.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on any frontend failure.
+pub fn compile_timed(
+    src: &str,
+    config: &CompilerConfig,
+) -> Result<(Compiled, PhaseTimes), CompileError> {
+    let mut times = PhaseTimes::default();
+
+    let t0 = Instant::now();
+    let closed = if config.lambda_lift {
+        pipeline::front_to_closed_lifted(
+            src,
+            lesgs_frontend::lift::LiftOptions {
+                max_params: config.alloc.machine.num_arg_regs.max(1),
+            },
+        )
+    } else {
+        pipeline::front_to_closed(src)
+    }
+    .map_err(|e| CompileError { message: e.to_string() })?;
+    let mut ir = lower_program(&closed);
+    if !config.no_fold {
+        lesgs_ir::fold::fold_program(&mut ir);
+    }
+    times.frontend = t0.elapsed();
+
+    let t1 = Instant::now();
+    let allocated = allocate_program(&ir, &config.alloc);
+    times.allocation = t1.elapsed();
+
+    let t2 = Instant::now();
+    let vm = lesgs_codegen::compile_program_opts(&allocated, !config.no_peephole);
+    times.codegen = t2.elapsed();
+
+    Ok((Compiled { ir, allocated, vm }, times))
+}
+
+/// Compiles `src` under `config`.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on any frontend failure.
+pub fn compile(src: &str, config: &CompilerConfig) -> Result<Compiled, CompileError> {
+    compile_timed(src, config).map(|(c, _)| c)
+}
+
+/// Compiles and runs `src`.
+///
+/// # Errors
+///
+/// Compile errors or VM runtime errors (both stringified).
+pub fn run_source(src: &str, config: &CompilerConfig) -> Result<VmOutcome, CompileError> {
+    let compiled = compile(src, config)?;
+    compiled
+        .run(config)
+        .map_err(|e| CompileError { message: e.to_string() })
+}
+
+/// Runs `src` through the reference interpreter and through the
+/// compiler under every given allocator configuration, checking that
+/// value and output agree everywhere.
+///
+/// # Errors
+///
+/// Returns a description of the first disagreement or failure.
+pub fn differential_check(
+    src: &str,
+    configs: &[AllocConfig],
+    fuel: u64,
+) -> Result<(), String> {
+    let oracle = lesgs_interp::run_source(src, fuel)
+        .map_err(|e| format!("oracle failed: {e}"))?;
+    for alloc in configs {
+        let config = CompilerConfig {
+            alloc: *alloc,
+            poison: true,
+            fuel,
+            ..CompilerConfig::default()
+        };
+        let out = run_source(src, &config)
+            .map_err(|e| format!("{alloc:?}: {e}"))?;
+        if out.value != oracle.value {
+            return Err(format!(
+                "{alloc:?}: value {} != oracle {}",
+                out.value, oracle.value
+            ));
+        }
+        if out.output != oracle.output {
+            return Err(format!(
+                "{alloc:?}: output {:?} != oracle {:?}",
+                out.output, oracle.output
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The full matrix of allocator configurations exercised by the
+/// differential tests: {lazy, early, late} × {eager, lazy} × register
+/// counts × shuffling strategies, plus the callee-save discipline.
+pub fn config_matrix() -> Vec<AllocConfig> {
+    use lesgs_core::config::{Discipline, RestoreStrategy, SaveStrategy, ShuffleStrategy};
+    let mut out = Vec::new();
+    for save in [SaveStrategy::Lazy, SaveStrategy::Early, SaveStrategy::Late] {
+        for restore in [RestoreStrategy::Eager, RestoreStrategy::Lazy] {
+            for c in [0, 2, 6] {
+                out.push(AllocConfig {
+                    save,
+                    restore,
+                    machine: lesgs_ir::MachineConfig::with_arg_regs(c),
+                    ..AllocConfig::default()
+                });
+            }
+        }
+    }
+    out.push(AllocConfig {
+        shuffle: ShuffleStrategy::FixedOrder,
+        ..AllocConfig::default()
+    });
+    for save in [SaveStrategy::Lazy, SaveStrategy::Early] {
+        out.push(AllocConfig {
+            discipline: Discipline::CalleeSave,
+            save,
+            ..AllocConfig::default()
+        });
+    }
+    out.push(AllocConfig { branch_prediction: true, ..AllocConfig::default() });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke() {
+        let out = run_source("(+ 40 2)", &CompilerConfig::default()).unwrap();
+        assert_eq!(out.value, "42");
+    }
+
+    #[test]
+    fn differential_small_programs() {
+        let programs = [
+            "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1))))) (fact 8)",
+            "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 10)",
+            "(map (lambda (x) (* x x)) '(1 2 3 4))",
+            "(let loop ((i 0) (acc '())) (if (= i 5) (reverse acc) (loop (+ i 1) (cons i acc))))",
+            "(define (tak x y z)
+               (if (not (< y x)) z
+                   (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))
+             (tak 8 4 2)",
+            "(define v (make-vector 5 0))
+             (let loop ((i 0)) (when (< i 5) (vector-set! v i (* i i)) (loop (+ i 1))))
+             (vector->list v)",
+            "(display \"hello\") (newline) (write '(a \"b\" #\\c)) 'done",
+            "(define counter (let ((n 0)) (lambda () (set! n (+ n 1)) n)))
+             (counter) (counter) (+ (counter) 10)",
+            "(filter odd? (iota 10))",
+            "(assq 'c '((a 1) (b 2) (c 3)))",
+        ];
+        for src in programs {
+            differential_check(src, &config_matrix(), 10_000_000)
+                .unwrap_or_else(|e| panic!("{e}\nsrc={src}"));
+        }
+    }
+
+    #[test]
+    fn compile_error_reported() {
+        assert!(compile("(unbound-fn 1)", &CompilerConfig::default()).is_err());
+        assert!(compile("(((", &CompilerConfig::default()).is_err());
+    }
+
+    #[test]
+    fn runtime_error_reported() {
+        let e = run_source("(car 5)", &CompilerConfig::default()).unwrap_err();
+        assert!(e.message.contains("pair"), "{e}");
+    }
+
+    #[test]
+    fn phase_times_recorded() {
+        let (_, times) =
+            compile_timed("(define (f x) (+ x 1)) (f 1)", &CompilerConfig::default())
+                .unwrap();
+        assert!(times.total() > Duration::ZERO);
+        assert!(times.allocation_fraction() >= 0.0);
+        assert!(times.allocation_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn lambda_lifting_preserves_semantics() {
+        let programs = [
+            "(define (f a) (let loop ((i 0)) (if (= i a) i (loop (+ i 1))))) (f 9)",
+            "(define (f a b)
+               (let loop ((i 0) (acc 0))
+                 (if (= i a) acc (loop (+ i 1) (+ acc (* b i))))))
+             (f 5 2)",
+            "(define (g x) (* x 3))
+             (define (f a)
+               (letrec ((even2? (lambda (n) (if (zero? n) (g a) (odd2? (- n 1)))))
+                        (odd2? (lambda (n) (even2? (- n 1)))))
+                 (even2? 6)))
+             (f 7)",
+            "(map (lambda (x) (let loop ((i x)) (if (zero? i) x (loop (- i 1)))))
+                  '(1 2 3))",
+        ];
+        for src in programs {
+            let oracle = lesgs_interp::run_source(src, 10_000_000).unwrap();
+            for alloc in config_matrix() {
+                let cfg = CompilerConfig {
+                    alloc,
+                    lambda_lift: true,
+                    poison: true,
+                    ..CompilerConfig::default()
+                };
+                let out = run_source(src, &cfg)
+                    .unwrap_or_else(|e| panic!("{alloc:?}: {e}\n{src}"));
+                assert_eq!(out.value, oracle.value, "{alloc:?}\n{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_lifting_removes_closures() {
+        let src =
+            "(define (f a) (let loop ((i 0)) (if (= i a) i (loop (+ i 1))))) (f 50)";
+        let plain = run_source(src, &CompilerConfig::default()).unwrap();
+        let lifted = run_source(
+            src,
+            &CompilerConfig { lambda_lift: true, ..CompilerConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(plain.value, lifted.value);
+        assert!(
+            lifted.stats.closures_allocated < plain.stats.closures_allocated,
+            "lifting must eliminate the loop closure: {} vs {}",
+            lifted.stats.closures_allocated,
+            plain.stats.closures_allocated
+        );
+    }
+
+    #[test]
+    fn verifier_passes_on_compiled_programs() {
+        let compiled = compile(
+            "(define (tak x y z)
+               (if (not (< y x)) z
+                   (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))
+             (tak 12 6 3)",
+            &CompilerConfig::default(),
+        )
+        .unwrap();
+        let errors = lesgs_core::verify::verify_program(&compiled.allocated);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+}

@@ -1,0 +1,108 @@
+//! End-to-end tests of the `lesgsc` command-line driver.
+
+use std::process::Command;
+
+fn lesgsc(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_lesgsc"))
+        .args(args)
+        .output()
+        .expect("lesgsc runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn run_evaluates_expressions() {
+    let (stdout, _, ok) = lesgsc(&["run", "-e", "(+ 40 2)"]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "42");
+}
+
+#[test]
+fn run_prints_program_output_before_value() {
+    let (stdout, _, ok) =
+        lesgsc(&["run", "-e", "(display \"hi\") (newline) 'done"]);
+    assert!(ok);
+    assert_eq!(stdout, "hi\ndone\n");
+}
+
+#[test]
+fn stats_reports_instrumentation() {
+    let (_, stderr, ok) = lesgsc(&[
+        "stats",
+        "-e",
+        "(define (f n) (if (zero? n) 0 (+ 1 (f (- n 1))))) (f 5)",
+    ]);
+    assert!(ok);
+    for field in ["cycles:", "saves:", "restores:", "stack refs:", "shuffle:"] {
+        assert!(stderr.contains(field), "missing {field} in {stderr}");
+    }
+}
+
+#[test]
+fn dis_produces_a_listing() {
+    let (stdout, _, ok) = lesgsc(&["dis", "-e", "(+ 1 2)"]);
+    assert!(ok);
+    assert!(stdout.contains("halt"), "{stdout}");
+    assert!(stdout.contains("main"), "{stdout}");
+}
+
+#[test]
+fn strategy_flags_are_honored() {
+    // Early saves produce more save-slot stores than lazy on factorial.
+    let saves = |flags: &[&str]| {
+        let mut args = vec!["stats"];
+        args.extend_from_slice(flags);
+        args.extend_from_slice(&[
+            "-e",
+            "(define (f n) (if (zero? n) 1 (* n (f (- n 1))))) (f 10)",
+        ]);
+        let (_, stderr, ok) = lesgsc(&args);
+        assert!(ok, "{stderr}");
+        stderr
+            .lines()
+            .find(|l| l.starts_with("saves:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|n| n.parse::<u64>().ok())
+            .expect("saves line")
+    };
+    let lazy = saves(&["--save", "lazy"]);
+    let early = saves(&["--save", "early"]);
+    assert!(lazy < early, "lazy {lazy} < early {early}");
+}
+
+#[test]
+fn interp_subcommand_matches_run() {
+    let src = "(length (map (lambda (x) (* x x)) '(1 2 3)))";
+    let (a, _, ok1) = lesgsc(&["run", "-e", src]);
+    let (b, _, ok2) = lesgsc(&["interp", "-e", src]);
+    assert!(ok1 && ok2);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn check_accepts_good_programs() {
+    let (stdout, _, ok) = lesgsc(&["check", "-e", "(define (sq x) (* x x)) (sq 9)"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("agree"), "{stdout}");
+}
+
+#[test]
+fn errors_exit_nonzero() {
+    let (_, stderr, ok) = lesgsc(&["run", "-e", "(car 5)"]);
+    assert!(!ok);
+    assert!(stderr.contains("pair"), "{stderr}");
+    let (_, stderr, ok) = lesgsc(&["run", "-e", "(undefined-proc)"]);
+    assert!(!ok);
+    assert!(stderr.contains("unbound"), "{stderr}");
+}
+
+#[test]
+fn bad_flags_exit_with_usage_code() {
+    let (_, stderr, ok) = lesgsc(&["run", "--save", "bogus", "-e", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("save strategy"), "{stderr}");
+}

@@ -1,0 +1,119 @@
+//! Frame layout: resolving logical slots to frame offsets.
+//!
+//! A frame looks like (offsets grow upward from `fp`):
+//!
+//! ```text
+//! fp + 0 ..            incoming stack parameters (params c..)
+//!      + n_incoming .. save slots, one per register ever saved
+//!      + ..            spill slots for frame-homed locals
+//!      + ..            shuffle / expression temporaries
+//! fp + size            start of outgoing arguments / callee frame
+//! ```
+
+use lesgs_ir::RegSet;
+
+use crate::alloc::Slot;
+
+/// The resolved frame layout of one function.
+#[derive(Debug, Clone, Default)]
+pub struct FrameLayout {
+    /// Stack-passed incoming parameters.
+    pub n_incoming: u32,
+    /// Registers with dedicated save slots.
+    pub save_regs: RegSet,
+    /// Spilled locals.
+    pub n_spills: u32,
+    /// Shuffle/expression temporaries.
+    pub n_temps: u32,
+}
+
+impl FrameLayout {
+    /// The frame size in slots.
+    pub fn size(&self) -> u32 {
+        self.n_incoming + self.save_regs.len() as u32 + self.n_spills + self.n_temps
+    }
+
+    /// Resolves a logical slot to its offset from `fp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of range for this layout (a save slot
+    /// for a register that is never saved, a spill/temp index past the
+    /// declared counts).
+    pub fn offset(&self, slot: Slot) -> u32 {
+        match slot {
+            Slot::Param(i) => {
+                assert!(i < self.n_incoming, "param slot {i} out of range");
+                i
+            }
+            Slot::Save(r) => {
+                assert!(
+                    self.save_regs.contains(r),
+                    "register {r} has no save slot"
+                );
+                let rank = self
+                    .save_regs
+                    .iter()
+                    .position(|x| x == r)
+                    .expect("contains checked") as u32;
+                self.n_incoming + rank
+            }
+            Slot::Spill(i) => {
+                assert!(i < self.n_spills, "spill slot {i} out of range");
+                self.n_incoming + self.save_regs.len() as u32 + i
+            }
+            Slot::Temp(i) => {
+                assert!(i < self.n_temps, "temp slot {i} out of range");
+                self.n_incoming + self.save_regs.len() as u32 + self.n_spills + i
+            }
+        }
+    }
+
+    /// Offset of the `i`-th outgoing stack argument (just past the
+    /// frame; it becomes the callee's `Param(i)` slot).
+    pub fn out_offset(&self, i: u32) -> u32 {
+        self.size() + i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lesgs_ir::machine::{arg_reg, RET};
+
+    fn layout() -> FrameLayout {
+        FrameLayout {
+            n_incoming: 2,
+            save_regs: RegSet::single(RET).insert(arg_reg(0)),
+            n_spills: 3,
+            n_temps: 1,
+        }
+    }
+
+    #[test]
+    fn regions_are_contiguous() {
+        let l = layout();
+        assert_eq!(l.size(), 2 + 2 + 3 + 1);
+        assert_eq!(l.offset(Slot::Param(0)), 0);
+        assert_eq!(l.offset(Slot::Param(1)), 1);
+        assert_eq!(l.offset(Slot::Save(RET)), 2);
+        assert_eq!(l.offset(Slot::Save(arg_reg(0))), 3);
+        assert_eq!(l.offset(Slot::Spill(0)), 4);
+        assert_eq!(l.offset(Slot::Temp(0)), 7);
+        assert_eq!(l.out_offset(0), 8);
+        assert_eq!(l.out_offset(2), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "no save slot")]
+    fn missing_save_slot_panics() {
+        let _ = layout().offset(Slot::Save(arg_reg(5)));
+    }
+
+    #[test]
+    fn empty_frame() {
+        let l = FrameLayout::default();
+        assert_eq!(l.size(), 0);
+        assert_eq!(l.out_offset(0), 0);
+    }
+}

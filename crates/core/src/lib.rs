@@ -1,0 +1,37 @@
+//! The paper's register allocator: **lazy saves, eager restores, and
+//! greedy shuffling** (Burger, Waddell, Dybvig — PLDI '95).
+//!
+//! The allocator optimizes register usage across procedure calls in two
+//! linear passes (§3):
+//!
+//! 1. [`savep`] — bottom-up liveness + the revised `S_t`/`S_f` save
+//!    placement, with [`shuffle`] run at every call site to order
+//!    argument evaluation.
+//! 2. [`pass2`] — redundant-save elimination and eager restore
+//!    placement.
+//!
+//! [`toy`] contains the paper's simplified expression language (§2) and
+//! the textbook versions of the algorithms, used for the Figure 1
+//! equations and the paper's worked examples. The production passes in
+//! this crate apply the same mathematics to the full IR.
+//!
+//! Strategy knobs live in [`config::AllocConfig`]: lazy/early/late
+//! saves, eager/lazy restores, greedy/fixed-order shuffling, and the
+//! caller-/callee-save disciplines of §2.4.
+
+pub mod alloc;
+pub mod calleesave;
+pub mod config;
+pub mod driver;
+pub mod frame;
+pub mod homes;
+pub mod pass2;
+pub mod savep;
+pub mod shuffle;
+pub mod stats;
+pub mod toy;
+pub mod verify;
+
+pub use alloc::{ACallee, AExpr, AllocatedFunc, AllocatedProgram, CallNode, Dest, Home};
+pub use config::{AllocConfig, Discipline, RestoreStrategy, SaveStrategy, ShuffleStrategy};
+pub use driver::allocate_program;

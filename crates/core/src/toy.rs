@@ -1,0 +1,384 @@
+//! The paper's simplified expression language (§2) and the textbook
+//! save-placement algorithms.
+//!
+//! ```text
+//! E ::= x | true | false | call | (seq E1 E2) | (if E1 E2 E3)
+//! ```
+//!
+//! This module exists to state the algorithms exactly as the paper
+//! does — [`s_simple`] is §2.1.1, [`s_revised`] is §2.1.3 — and to
+//! machine-check the Figure 1 equations and the paper's worked
+//! examples. The production allocator in [`savep`](crate::savep)
+//! applies the same mathematics to the full IR.
+
+use std::fmt;
+
+use lesgs_ir::{Reg, RegSet};
+
+/// An expression of the simplified language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Toy {
+    /// A variable reference `x` (tagged with the register holding it).
+    Var(Reg),
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// A call; `live_after` is "the set of registers live after the
+    /// call".
+    Call {
+        /// Registers live after the call.
+        live_after: RegSet,
+    },
+    /// `(seq E1 E2)`.
+    Seq(Box<Toy>, Box<Toy>),
+    /// `(if E1 E2 E3)`.
+    If(Box<Toy>, Box<Toy>, Box<Toy>),
+}
+
+impl Toy {
+    /// `(seq a b)` helper.
+    pub fn seq(a: Toy, b: Toy) -> Toy {
+        Toy::Seq(Box::new(a), Box::new(b))
+    }
+
+    /// `(if c t e)` helper.
+    pub fn if_(c: Toy, t: Toy, e: Toy) -> Toy {
+        Toy::If(Box::new(c), Box::new(t), Box::new(e))
+    }
+
+    /// A call with the given live-after registers.
+    pub fn call<I: IntoIterator<Item = Reg>>(live: I) -> Toy {
+        Toy::Call { live_after: live.into_iter().collect() }
+    }
+
+    /// `(not E)` modeled as `(if E false true)` (Figure 1).
+    #[allow(clippy::should_implement_trait)] // the paper's operator name
+    pub fn not(e: Toy) -> Toy {
+        Toy::if_(e, Toy::False, Toy::True)
+    }
+
+    /// `(and E1 E2)` modeled as `(if E1 E2 false)` (Figure 1).
+    pub fn and(a: Toy, b: Toy) -> Toy {
+        Toy::if_(a, b, Toy::False)
+    }
+
+    /// `(or E1 E2)` modeled as `(if E1 true E2)` (Figure 1).
+    pub fn or(a: Toy, b: Toy) -> Toy {
+        Toy::if_(a, Toy::True, b)
+    }
+}
+
+impl fmt::Display for Toy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Toy::Var(r) => write!(f, "{r}"),
+            Toy::True => write!(f, "true"),
+            Toy::False => write!(f, "false"),
+            Toy::Call { live_after } => write!(f, "call{live_after}"),
+            Toy::Seq(a, b) => write!(f, "(seq {a} {b})"),
+            Toy::If(c, t, e) => write!(f, "(if {c} {t} {e})"),
+        }
+    }
+}
+
+/// The simple save-placement function `S[E]` of §2.1.1:
+///
+/// ```text
+/// S[x] = S[true] = S[false] = ∅
+/// S[call] = {r | r live after the call}
+/// S[(seq E1 E2)] = S[E1] ∪ S[E2]
+/// S[(if E1 E2 E3)] = S[E1] ∪ (S[E2] ∩ S[E3])
+/// ```
+pub fn s_simple(e: &Toy) -> RegSet {
+    match e {
+        Toy::Var(_) | Toy::True | Toy::False => RegSet::EMPTY,
+        Toy::Call { live_after } => *live_after,
+        Toy::Seq(a, b) => s_simple(a) | s_simple(b),
+        Toy::If(c, t, el) => s_simple(c) | (s_simple(t) & s_simple(el)),
+    }
+}
+
+/// The revised algorithm of §2.1.3: `(S_t[E], S_f[E])`, the registers
+/// to save around `E` if `E` evaluates to true (resp. false).
+/// Impossible outcomes yield `R` (the universe), "the identity for
+/// intersection, \[so\] impossible paths will not unnecessarily restrict
+/// the result".
+pub fn s_revised(e: &Toy) -> (RegSet, RegSet) {
+    match e {
+        Toy::Var(_) => (RegSet::EMPTY, RegSet::EMPTY),
+        Toy::True => (RegSet::EMPTY, RegSet::ALL),
+        Toy::False => (RegSet::ALL, RegSet::EMPTY),
+        Toy::Call { live_after } => (*live_after, *live_after),
+        Toy::Seq(a, b) => {
+            let (at, af) = s_revised(a);
+            let (bt, bf) = s_revised(b);
+            let a_either = at & af;
+            (a_either | bt, a_either | bf)
+        }
+        Toy::If(c, t, el) => {
+            let (ct, cf) = s_revised(c);
+            let (tt, tf) = s_revised(t);
+            let (et, ef) = s_revised(el);
+            ((ct | tt) & (cf | et), (ct | tf) & (cf | ef))
+        }
+    }
+}
+
+/// The registers actually saved around `E`: `S_t[E] ∩ S_f[E]`.
+pub fn save_set(e: &Toy) -> RegSet {
+    let (t, f) = s_revised(e);
+    t & f
+}
+
+/// Whether a call-free path exists along which `E` evaluates to true
+/// (`.0`) or false (`.1`). Used to verify the "never too eager"
+/// property: a call-free path implies an empty save set.
+pub fn call_free_paths(e: &Toy) -> (bool, bool) {
+    match e {
+        Toy::Var(_) => (true, true),
+        Toy::True => (true, false),
+        Toy::False => (false, true),
+        Toy::Call { .. } => (false, false),
+        Toy::Seq(a, b) => {
+            let (at, af) = call_free_paths(a);
+            let (bt, bf) = call_free_paths(b);
+            let a_any = at || af;
+            (a_any && bt, a_any && bf)
+        }
+        Toy::If(c, t, el) => {
+            let (ct, cf) = call_free_paths(c);
+            let (tt, tf) = call_free_paths(t);
+            let (et, ef) = call_free_paths(el);
+            ((ct && tt) || (cf && et), (ct && tf) || (cf && ef))
+        }
+    }
+}
+
+/// Figure 1's direct equations, for cross-checking against the
+/// `if`-expansions.
+pub mod figure1 {
+    use super::*;
+
+    /// `S_t[(not E)] = S_f[E]`, `S_f[(not E)] = S_t[E]`.
+    pub fn s_not(e: &Toy) -> (RegSet, RegSet) {
+        let (t, f) = s_revised(e);
+        (f, t)
+    }
+
+    /// `S_t[(and E1 E2)] = S_t[E1] ∪ S_t[E2]`;
+    /// `S_f[(and E1 E2)] = (S_t[E1] ∪ S_f[E2]) ∩ S_f[E1]`.
+    pub fn s_and(a: &Toy, b: &Toy) -> (RegSet, RegSet) {
+        let (at, af) = s_revised(a);
+        let (bt, bf) = s_revised(b);
+        (at | bt, (at | bf) & af)
+    }
+
+    /// `S_t[(or E1 E2)] = S_t[E1] ∩ (S_f[E1] ∪ S_t[E2])`;
+    /// `S_f[(or E1 E2)] = S_f[E1] ∪ S_f[E2]`.
+    pub fn s_or(a: &Toy, b: &Toy) -> (RegSet, RegSet) {
+        let (at, af) = s_revised(a);
+        let (bt, bf) = s_revised(b);
+        (at & (af | bt), af | bf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lesgs_ir::machine::arg_reg;
+
+    fn r(i: usize) -> Reg {
+        arg_reg(i)
+    }
+
+    fn rs<const N: usize>(regs: [Reg; N]) -> RegSet {
+        regs.into_iter().collect()
+    }
+
+    /// The paper's §2.1.2 deficiency example:
+    /// `(if (and x call) y call)` = `(if (if x call false) y call)`.
+    fn paper_example() -> Toy {
+        let live = rs([r(0), r(1)]); // {x y} stand-ins, live after calls
+        Toy::if_(
+            Toy::if_(Toy::Var(r(0)), Toy::call(live.iter()), Toy::False),
+            Toy::Var(r(1)),
+            Toy::call(live.iter()),
+        )
+    }
+
+    #[test]
+    fn simple_algorithm_is_too_lazy_on_nested_ifs() {
+        // §2.1.2: "the above algorithm is too lazy and would save none
+        // of the registers".
+        assert_eq!(s_simple(&paper_example()), RegSet::EMPTY);
+    }
+
+    #[test]
+    fn revised_algorithm_fixes_the_example() {
+        // §2.1.3 works the example: S_t[A] = S_f[A] = L.
+        let live = rs([r(0), r(1)]);
+        let (t, f) = s_revised(&paper_example());
+        assert_eq!(t, live);
+        assert_eq!(f, live);
+        assert_eq!(save_set(&paper_example()), live);
+    }
+
+    #[test]
+    fn inner_if_saves_nothing() {
+        // "no registers would be saved around the inner if expression
+        // (since S_t[B] ∩ S_f[B] = ∅)".
+        let live = rs([r(0), r(1)]);
+        let b = Toy::if_(Toy::Var(r(0)), Toy::call(live.iter()), Toy::False);
+        let (bt, bf) = s_revised(&b);
+        assert_eq!(bt, live, "S_t[B] = {{y}} ∪ L = L here");
+        assert_eq!(bf, RegSet::EMPTY);
+        assert_eq!(save_set(&b), RegSet::EMPTY);
+    }
+
+    #[test]
+    fn base_cases() {
+        assert_eq!(s_revised(&Toy::True), (RegSet::EMPTY, RegSet::ALL));
+        assert_eq!(s_revised(&Toy::False), (RegSet::ALL, RegSet::EMPTY));
+        assert_eq!(s_revised(&Toy::Var(r(0))), (RegSet::EMPTY, RegSet::EMPTY));
+        let c = Toy::call([r(2)]);
+        assert_eq!(s_revised(&c), (rs([r(2)]), rs([r(2)])));
+    }
+
+    #[test]
+    fn seq_unions_inevitable_saves() {
+        // Two calls in sequence: union of live sets, saved once.
+        let e = Toy::seq(Toy::call([r(0)]), Toy::call([r(1)]));
+        assert_eq!(save_set(&e), rs([r(0), r(1)]));
+    }
+
+    #[test]
+    fn if_intersects_branches() {
+        let e = Toy::if_(Toy::Var(r(2)), Toy::call([r(0)]), Toy::call([r(0), r(1)]));
+        // Only r0 is saved in both branches.
+        assert_eq!(s_simple(&e), rs([r(0)]));
+        assert_eq!(save_set(&e), rs([r(0)]));
+    }
+
+    #[test]
+    fn figure1_not_equation() {
+        let e = Toy::seq(Toy::call([r(0)]), Toy::Var(r(1)));
+        assert_eq!(figure1::s_not(&e), s_revised(&Toy::not(e.clone())));
+    }
+
+    #[test]
+    fn figure1_and_equation() {
+        let a = Toy::if_(Toy::Var(r(0)), Toy::call([r(1)]), Toy::False);
+        let b = Toy::call([r(2)]);
+        assert_eq!(figure1::s_and(&a, &b), s_revised(&Toy::and(a.clone(), b.clone())));
+    }
+
+    #[test]
+    fn figure1_or_equation() {
+        let a = Toy::if_(Toy::Var(r(0)), Toy::True, Toy::call([r(1)]));
+        let b = Toy::Var(r(2));
+        assert_eq!(figure1::s_or(&a, &b), s_revised(&Toy::or(a.clone(), b.clone())));
+    }
+
+    #[test]
+    fn display_smoke() {
+        let e = Toy::if_(Toy::Var(r(0)), Toy::True, Toy::call([r(1)]));
+        assert_eq!(e.to_string(), "(if a0 true call{a1})");
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use lesgs_ir::machine::arg_reg;
+    use proptest::prelude::*;
+
+    fn arb_regset() -> impl Strategy<Value = RegSet> {
+        (0u8..64).prop_map(|bits| {
+            (0..6)
+                .filter(|i| bits & (1 << i) != 0)
+                .map(arg_reg)
+                .collect()
+        })
+    }
+
+    fn arb_toy() -> impl Strategy<Value = Toy> {
+        let leaf = prop_oneof![
+            (0usize..6).prop_map(|i| Toy::Var(arg_reg(i))),
+            Just(Toy::True),
+            Just(Toy::False),
+            arb_regset().prop_map(|live_after| Toy::Call { live_after }),
+        ];
+        leaf.prop_recursive(5, 64, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Toy::seq(a, b)),
+                (inner.clone(), inner.clone(), inner)
+                    .prop_map(|(a, b, c)| Toy::if_(a, b, c)),
+            ]
+        })
+    }
+
+    proptest! {
+        /// "It is straightforward to show that the revised algorithm is
+        /// not as lazy as the previous algorithm, i.e., that
+        /// S[E] ⊆ S_t[E] ∩ S_f[E] for all expressions E."
+        #[test]
+        fn revised_at_least_as_eager_as_simple(e in arb_toy()) {
+            prop_assert!(s_simple(&e).is_subset(save_set(&e)));
+        }
+
+        /// "It can also be shown that the revised algorithm is never
+        /// too eager; i.e., if there is a path through any expression E
+        /// without calls, then S_t[E] ∩ S_f[E] = ∅."
+        #[test]
+        fn revised_never_too_eager(e in arb_toy()) {
+            let (pt, pf) = call_free_paths(&e);
+            if pt || pf {
+                prop_assert_eq!(save_set(&e), RegSet::EMPTY);
+            }
+        }
+
+        /// Same property for the simple algorithm (§2.1.1: "this
+        /// placement is never too eager").
+        #[test]
+        fn simple_never_too_eager(e in arb_toy()) {
+            let (pt, pf) = call_free_paths(&e);
+            if pt || pf {
+                prop_assert_eq!(s_simple(&e), RegSet::EMPTY);
+            }
+        }
+
+        /// Figure 1 equations agree with the if-expansions for all
+        /// subexpressions.
+        #[test]
+        fn figure1_equations_hold(a in arb_toy(), b in arb_toy()) {
+            prop_assert_eq!(figure1::s_not(&a), s_revised(&Toy::not(a.clone())));
+            prop_assert_eq!(
+                figure1::s_and(&a, &b),
+                s_revised(&Toy::and(a.clone(), b.clone()))
+            );
+            prop_assert_eq!(
+                figure1::s_or(&a, &b),
+                s_revised(&Toy::or(a.clone(), b.clone()))
+            );
+        }
+
+        /// A save set never mentions registers that are not live after
+        /// some call in the expression.
+        #[test]
+        fn save_set_bounded_by_call_liveness(e in arb_toy()) {
+            fn all_call_live(e: &Toy) -> RegSet {
+                match e {
+                    Toy::Call { live_after } => *live_after,
+                    Toy::Seq(a, b) => all_call_live(a) | all_call_live(b),
+                    Toy::If(a, b, c) => {
+                        all_call_live(a) | all_call_live(b) | all_call_live(c)
+                    }
+                    _ => RegSet::EMPTY,
+                }
+            }
+            prop_assert!(save_set(&e).is_subset(all_call_live(&e)));
+        }
+    }
+}

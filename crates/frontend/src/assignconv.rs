@@ -1,0 +1,263 @@
+//! Assignment conversion.
+//!
+//! The paper assumes "assignment conversion has already been done, so
+//! there are no assignment expressions" (§2) — this pass establishes
+//! that invariant. Every variable that is the target of a `set!` is
+//! rebound to a heap cell; references become `unbox` and assignments
+//! become `set-box!`. Afterwards a variable's value never changes, so
+//! "variables need to be saved only once" holds for the allocator.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{Expr, Lambda};
+use crate::names::{Interner, VarId};
+use crate::prim::Prim;
+
+/// Collects all `set!` targets in `e`.
+pub fn mutated_vars(e: &Expr<VarId>) -> HashSet<VarId> {
+    fn walk(e: &Expr<VarId>, out: &mut HashSet<VarId>) {
+        match e {
+            Expr::Const(_) | Expr::Var(_) | Expr::Global(_) => {}
+            Expr::Set(v, rhs) => {
+                out.insert(*v);
+                walk(rhs, out);
+            }
+            Expr::GlobalSet(_, rhs) => walk(rhs, out),
+            Expr::If(c, t, el) => {
+                walk(c, out);
+                walk(t, out);
+                walk(el, out);
+            }
+            Expr::Seq(es) => es.iter().for_each(|e| walk(e, out)),
+            Expr::Lambda(l) => walk(&l.body, out),
+            Expr::Let(bs, b) => {
+                bs.iter().for_each(|(_, e)| walk(e, out));
+                walk(b, out);
+            }
+            Expr::Letrec(bs, b) => {
+                bs.iter().for_each(|(_, l)| walk(&l.body, out));
+                walk(b, out);
+            }
+            Expr::App(f, args) => {
+                walk(f, out);
+                args.iter().for_each(|a| walk(a, out));
+            }
+            Expr::PrimApp(_, args) => args.iter().for_each(|a| walk(a, out)),
+        }
+    }
+    let mut out = HashSet::new();
+    walk(e, &mut out);
+    out
+}
+
+struct Converter<'a> {
+    interner: &'a mut Interner,
+    mutated: HashSet<VarId>,
+    /// Maps a mutated variable to the variable holding its cell.
+    cells: HashMap<VarId, VarId>,
+}
+
+impl Converter<'_> {
+    fn cell_for(&mut self, v: VarId) -> VarId {
+        if let Some(&c) = self.cells.get(&v) {
+            return c;
+        }
+        let name = format!("{}%cell", self.interner.name(v));
+        let c = self.interner.fresh(name);
+        self.cells.insert(v, c);
+        c
+    }
+
+    fn convert_lambda(&mut self, l: &Lambda<VarId>) -> Lambda<VarId> {
+        let body = self.convert(&l.body);
+        // Mutated parameters: keep the parameter, bind a cell around
+        // the body: (lambda (x) body) => (lambda (x) (let ((xc (box x))) body)).
+        let mut wrapped = body;
+        for p in l.params.iter().rev() {
+            if self.mutated.contains(p) {
+                let cell = self.cell_for(*p);
+                wrapped = Expr::Let(
+                    vec![(cell, Expr::PrimApp(Prim::MakeCell, vec![Expr::Var(*p)]))],
+                    Box::new(wrapped),
+                );
+            }
+        }
+        Lambda {
+            params: l.params.clone(),
+            body: Box::new(wrapped),
+            name: l.name.clone(),
+        }
+    }
+
+    fn convert(&mut self, e: &Expr<VarId>) -> Expr<VarId> {
+        match e {
+            Expr::Const(c) => Expr::Const(c.clone()),
+            Expr::Var(v) => {
+                if self.mutated.contains(v) {
+                    let cell = self.cell_for(*v);
+                    Expr::PrimApp(Prim::CellRef, vec![Expr::Var(cell)])
+                } else {
+                    Expr::Var(*v)
+                }
+            }
+            Expr::Global(g) => Expr::Global(*g),
+            Expr::Set(v, rhs) => {
+                let rhs = self.convert(rhs);
+                let cell = self.cell_for(*v);
+                Expr::PrimApp(Prim::CellSet, vec![Expr::Var(cell), rhs])
+            }
+            Expr::GlobalSet(g, rhs) => {
+                // Globals live in dedicated locations; no boxing needed.
+                Expr::GlobalSet(*g, Box::new(self.convert(rhs)))
+            }
+            Expr::If(c, t, el) => Expr::If(
+                Box::new(self.convert(c)),
+                Box::new(self.convert(t)),
+                Box::new(self.convert(el)),
+            ),
+            Expr::Seq(es) => {
+                Expr::Seq(es.iter().map(|e| self.convert(e)).collect())
+            }
+            Expr::Lambda(l) => Expr::Lambda(self.convert_lambda(l)),
+            Expr::Let(bs, b) => {
+                // Mutated let-bound variables bind the cell directly:
+                // (let ((x e)) body) => (let ((xc (box e))) body).
+                let bindings = bs
+                    .iter()
+                    .map(|(v, rhs)| {
+                        let rhs = self.convert(rhs);
+                        if self.mutated.contains(v) {
+                            let cell = self.cell_for(*v);
+                            (cell, Expr::PrimApp(Prim::MakeCell, vec![rhs]))
+                        } else {
+                            (*v, rhs)
+                        }
+                    })
+                    .collect();
+                Expr::Let(bindings, Box::new(self.convert(b)))
+            }
+            Expr::Letrec(bs, b) => {
+                // Desugaring guarantees letrec-bound names are never
+                // assigned (assigned defines are demoted to values).
+                for (v, _) in bs {
+                    assert!(
+                        !self.mutated.contains(v),
+                        "letrec-bound variable cannot be assigned"
+                    );
+                }
+                Expr::Letrec(
+                    bs.iter()
+                        .map(|(v, l)| (*v, self.convert_lambda(l)))
+                        .collect(),
+                    Box::new(self.convert(b)),
+                )
+            }
+            Expr::App(f, args) => Expr::App(
+                Box::new(self.convert(f)),
+                args.iter().map(|a| self.convert(a)).collect(),
+            ),
+            Expr::PrimApp(p, args) => Expr::PrimApp(
+                *p,
+                args.iter().map(|a| self.convert(a)).collect(),
+            ),
+        }
+    }
+}
+
+/// Eliminates every `set!` in `e` by boxing mutated variables.
+///
+/// After this pass the expression contains no [`Expr::Set`] nodes.
+///
+/// # Examples
+///
+/// ```
+/// use lesgs_frontend::{assignconv, desugar, rename::Renamer};
+/// use lesgs_sexpr::parse_one;
+///
+/// let surface = desugar::expr(&parse_one(
+///     "(let ((x 1)) (begin (set! x 2) x))").unwrap()).unwrap();
+/// let mut r = Renamer::new();
+/// let renamed = r.rename(&surface).unwrap();
+/// let converted = assignconv::convert(&renamed, &mut r.interner);
+/// let s = converted.to_string();
+/// assert!(s.contains("%box"));
+/// assert!(s.contains("%set-box!"));
+/// assert!(s.contains("%unbox"));
+/// ```
+pub fn convert(e: &Expr<VarId>, interner: &mut Interner) -> Expr<VarId> {
+    let mutated = mutated_vars(e);
+    if mutated.is_empty() {
+        return e.clone();
+    }
+    let mut c = Converter { interner, mutated, cells: HashMap::new() };
+    c.convert(e)
+}
+
+/// Returns true if the expression contains no assignments (the
+/// invariant this pass establishes).
+pub fn is_assignment_free(e: &Expr<VarId>) -> bool {
+    mutated_vars(e).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desugar;
+    use crate::rename::Renamer;
+    use lesgs_sexpr::parse_one;
+
+    fn conv(src: &str) -> (Expr<VarId>, String) {
+        let surface = desugar::expr(&parse_one(src).unwrap()).unwrap();
+        let mut r = Renamer::new();
+        let renamed = r.rename(&surface).unwrap();
+        let converted = convert(&renamed, &mut r.interner);
+        let s = converted.to_string();
+        (converted, s)
+    }
+
+    #[test]
+    fn unmutated_is_untouched() {
+        let (_, s) = conv("(let ((x 1)) x)");
+        assert!(!s.contains("box"), "{s}");
+    }
+
+    #[test]
+    fn let_bound_mutation_boxes() {
+        let (e, s) = conv("(let ((x 1)) (begin (set! x 2) x))");
+        assert!(is_assignment_free(&e));
+        assert!(s.contains("(%box 1)"), "{s}");
+        assert!(s.contains("%set-box!"), "{s}");
+        assert!(s.contains("%unbox"), "{s}");
+    }
+
+    #[test]
+    fn parameter_mutation_wraps_body() {
+        let (e, s) = conv("(lambda (x) (begin (set! x 2) x))");
+        assert!(is_assignment_free(&e));
+        // Body must start with a let binding the cell over the raw param.
+        assert!(s.contains("(%box v0)"), "{s}");
+    }
+
+    #[test]
+    fn unmutated_siblings_stay_plain() {
+        let (e, s) = conv("(let ((x 1) (y 2)) (begin (set! x y) x))");
+        assert!(is_assignment_free(&e));
+        // Only `x` is boxed; `y` stays a plain binding.
+        assert_eq!(s.matches("%box").count(), 1, "{s}");
+        assert_eq!(s.matches("%unbox").count(), 1, "{s}");
+    }
+
+    #[test]
+    fn general_letrec_via_desugar_is_convertible() {
+        // (letrec ((x 1)) x) desugars to let + set!, which this pass boxes.
+        let (e, s) = conv("(letrec ((x 1) (f (lambda () x))) x)");
+        assert!(is_assignment_free(&e));
+        assert!(s.contains("%box"), "{s}");
+    }
+
+    #[test]
+    fn set_result_is_cellset_value() {
+        let (e, _) = conv("(let ((x 1)) (set! x 2))");
+        assert!(is_assignment_free(&e));
+    }
+}

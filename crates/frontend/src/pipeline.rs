@@ -1,0 +1,109 @@
+//! Convenience drivers running the full frontend.
+
+use crate::assignconv;
+use crate::ast::Expr;
+use crate::closure::{self, ClosedProgram};
+use crate::names::{Interner, VarId};
+use crate::program::SurfaceProgram;
+use crate::rename::Renamer;
+use crate::FrontError;
+
+/// Runs the frontend through renaming and assignment conversion,
+/// returning the assembled core expression and the interner.
+///
+/// # Errors
+///
+/// Returns [`FrontError`] on parse, desugar, or scoping failures.
+///
+/// # Examples
+///
+/// ```
+/// use lesgs_frontend::pipeline::front_to_core;
+/// let (expr, _names) = front_to_core("(+ 1 2)").unwrap();
+/// assert_eq!(expr.to_string(), "(%+ 1 2)");
+/// ```
+pub fn front_to_core(src: &str) -> Result<(Expr<VarId>, Interner), FrontError> {
+    let (e, i, _) = front_to_core_full(src)?;
+    Ok((e, i))
+}
+
+/// Like [`front_to_core`], also returning the number of global
+/// locations the program uses.
+///
+/// # Errors
+///
+/// Returns [`FrontError`] on parse, desugar, or scoping failures.
+pub fn front_to_core_full(
+    src: &str,
+) -> Result<(Expr<VarId>, Interner, u32), FrontError> {
+    let program = SurfaceProgram::from_source(src)?;
+    let (assembled, globals) = program.assemble();
+    let mut renamer = Renamer::new();
+    renamer.set_globals(&globals);
+    let renamed = renamer.rename(&assembled)?;
+    let converted = assignconv::convert(&renamed, &mut renamer.interner);
+    debug_assert!(assignconv::is_assignment_free(&converted));
+    Ok((converted, renamer.interner, globals.len() as u32))
+}
+
+/// Runs the full frontend, producing a closure-converted program.
+///
+/// # Errors
+///
+/// Returns [`FrontError`] on parse, desugar, or scoping failures.
+pub fn front_to_closed(src: &str) -> Result<ClosedProgram, FrontError> {
+    let (core, interner, n_globals) = front_to_core_full(src)?;
+    Ok(closure::close_program(&core, interner, n_globals))
+}
+
+/// Like [`front_to_closed`], with selective lambda lifting (§6)
+/// applied before closure conversion.
+///
+/// # Errors
+///
+/// Returns [`FrontError`] on parse, desugar, or scoping failures.
+pub fn front_to_closed_lifted(
+    src: &str,
+    options: crate::lift::LiftOptions,
+) -> Result<ClosedProgram, FrontError> {
+    let (mut core, mut interner, n_globals) = front_to_core_full(src)?;
+    crate::lift::lift(&mut core, &mut interner, options);
+    Ok(closure::close_program(&core, interner, n_globals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_smoke() {
+        let p = front_to_closed(
+            "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+             (fib 10)",
+        )
+        .unwrap();
+        assert!(p.funcs.iter().any(|f| f.name == "fib"));
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        assert!(matches!(
+            front_to_core("(unclosed"),
+            Err(FrontError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn unbound_error_propagates() {
+        assert!(matches!(
+            front_to_core("(frobnicate 1)"),
+            Err(FrontError::Rename(_))
+        ));
+    }
+
+    #[test]
+    fn prelude_functions_available() {
+        let p = front_to_closed("(length (list 1 2 3))").unwrap();
+        assert!(p.funcs.iter().any(|f| f.name == "length"));
+    }
+}

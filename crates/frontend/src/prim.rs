@@ -1,0 +1,380 @@
+//! The primitive operations of the mini-Scheme dialect.
+//!
+//! Primitives are recognized by the renamer when their name is not
+//! shadowed by a binding; variadic surface primitives (`+`, `list`,
+//! `vector`, …) are expanded into fixed-arity applications of these
+//! operations during renaming.
+
+use std::fmt;
+
+/// A fixed-arity primitive operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Prim {
+    // Arithmetic
+    /// `(+ a b)`
+    Add,
+    /// `(- a b)`
+    Sub,
+    /// `(* a b)`
+    Mul,
+    /// `(quotient a b)` — truncating division.
+    Quotient,
+    /// `(remainder a b)`
+    Remainder,
+    /// `(modulo a b)`
+    Modulo,
+    /// `(abs a)`
+    Abs,
+    /// `(min a b)`
+    Min,
+    /// `(max a b)`
+    Max,
+    /// `(add1 a)` — also `1+`.
+    Add1,
+    /// `(sub1 a)` — also `1-` / `-1+`.
+    Sub1,
+    // Numeric predicates
+    /// `(zero? a)`
+    IsZero,
+    /// `(positive? a)`
+    IsPositive,
+    /// `(negative? a)`
+    IsNegative,
+    /// `(even? a)`
+    IsEven,
+    /// `(odd? a)`
+    IsOdd,
+    // Comparison
+    /// `(= a b)`
+    NumEq,
+    /// `(< a b)`
+    Lt,
+    /// `(<= a b)`
+    Le,
+    /// `(> a b)`
+    Gt,
+    /// `(>= a b)`
+    Ge,
+    // Equality and type predicates
+    /// `(eq? a b)` — pointer/immediate identity.
+    IsEq,
+    /// `(eqv? a b)`
+    IsEqv,
+    /// `(equal? a b)` — structural equality.
+    IsEqual,
+    /// `(not a)`
+    Not,
+    /// `(pair? a)`
+    IsPair,
+    /// `(null? a)`
+    IsNull,
+    /// `(symbol? a)`
+    IsSymbol,
+    /// `(number? a)`
+    IsNumber,
+    /// `(boolean? a)`
+    IsBoolean,
+    /// `(procedure? a)`
+    IsProcedure,
+    /// `(vector? a)`
+    IsVector,
+    /// `(string? a)`
+    IsString,
+    /// `(char? a)`
+    IsChar,
+    // Pairs
+    /// `(cons a d)`
+    Cons,
+    /// `(car p)`
+    Car,
+    /// `(cdr p)`
+    Cdr,
+    /// `(set-car! p v)`
+    SetCar,
+    /// `(set-cdr! p v)`
+    SetCdr,
+    // Vectors
+    /// `(make-vector n)` — filled with `0`.
+    MakeVector,
+    /// `(make-vector n fill)`
+    MakeVectorFill,
+    /// `(vector-ref v i)`
+    VectorRef,
+    /// `(vector-set! v i x)`
+    VectorSet,
+    /// `(vector-length v)`
+    VectorLength,
+    // Strings and chars
+    /// `(string-length s)`
+    StringLength,
+    /// `(char->integer c)`
+    CharToInteger,
+    // Output
+    /// `(display x)` — writes to the program's output buffer.
+    Display,
+    /// `(write x)`
+    Write,
+    /// `(newline)`
+    Newline,
+    // Control / misc
+    /// `(error msg)` — aborts execution with a message.
+    Error,
+    /// `(void)`
+    Void,
+    // Cells introduced by assignment conversion (also available as
+    // `box` / `unbox` / `set-box!`).
+    /// `(box v)`
+    MakeCell,
+    /// `(unbox c)`
+    CellRef,
+    /// `(set-box! c v)`
+    CellSet,
+}
+
+/// How a surface name maps onto [`Prim`] applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimArity {
+    /// Exactly `n` arguments.
+    Fixed(u8),
+    /// `+` / `*`: any number of arguments, folded left with an identity.
+    FoldLeft { identity: i64 },
+    /// `-`: one argument negates, more fold left.
+    SubLike,
+    /// Comparisons: two or more arguments, chained pairwise.
+    Chain,
+}
+
+impl Prim {
+    /// The number of arguments the fixed-arity operation takes.
+    pub fn arity(self) -> usize {
+        use Prim::*;
+        match self {
+            Void | Newline => 0,
+            Abs | Add1 | Sub1 | IsZero | IsPositive | IsNegative | IsEven | IsOdd
+            | Not | IsPair | IsNull | IsSymbol | IsNumber | IsBoolean | IsProcedure
+            | IsVector | IsString | IsChar | Car | Cdr | MakeVector | VectorLength
+            | StringLength | CharToInteger | Display | Write | Error | MakeCell
+            | CellRef => 1,
+            Add | Sub | Mul | Quotient | Remainder | Modulo | Min | Max | NumEq
+            | Lt | Le | Gt | Ge | IsEq | IsEqv | IsEqual | Cons | SetCar | SetCdr
+            | MakeVectorFill | VectorRef | CellSet => 2,
+            VectorSet => 3,
+        }
+    }
+
+    /// True if evaluating the primitive can observably affect the store
+    /// or the output (so it must not be dropped or reordered).
+    pub fn has_side_effects(self) -> bool {
+        use Prim::*;
+        matches!(
+            self,
+            SetCar | SetCdr | VectorSet | Display | Write | Newline | Error | CellSet
+        )
+    }
+
+    /// True if the primitive reads or writes heap memory (used by the
+    /// VM cost model).
+    pub fn touches_memory(self) -> bool {
+        use Prim::*;
+        matches!(
+            self,
+            Cons | Car | Cdr | SetCar | SetCdr | MakeVector | MakeVectorFill
+                | VectorRef | VectorSet | VectorLength | StringLength | IsEqual
+                | MakeCell | CellRef | CellSet
+        )
+    }
+
+    /// The canonical Scheme-level name.
+    pub fn name(self) -> &'static str {
+        use Prim::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Quotient => "quotient",
+            Remainder => "remainder",
+            Modulo => "modulo",
+            Abs => "abs",
+            Min => "min",
+            Max => "max",
+            Add1 => "add1",
+            Sub1 => "sub1",
+            IsZero => "zero?",
+            IsPositive => "positive?",
+            IsNegative => "negative?",
+            IsEven => "even?",
+            IsOdd => "odd?",
+            NumEq => "=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            IsEq => "eq?",
+            IsEqv => "eqv?",
+            IsEqual => "equal?",
+            Not => "not",
+            IsPair => "pair?",
+            IsNull => "null?",
+            IsSymbol => "symbol?",
+            IsNumber => "number?",
+            IsBoolean => "boolean?",
+            IsProcedure => "procedure?",
+            IsVector => "vector?",
+            IsString => "string?",
+            IsChar => "char?",
+            Cons => "cons",
+            Car => "car",
+            Cdr => "cdr",
+            SetCar => "set-car!",
+            SetCdr => "set-cdr!",
+            MakeVector => "make-vector",
+            MakeVectorFill => "make-vector-fill",
+            VectorRef => "vector-ref",
+            VectorSet => "vector-set!",
+            VectorLength => "vector-length",
+            StringLength => "string-length",
+            CharToInteger => "char->integer",
+            Display => "display",
+            Write => "write",
+            Newline => "newline",
+            Error => "error",
+            Void => "void",
+            MakeCell => "box",
+            CellRef => "unbox",
+            CellSet => "set-box!",
+        }
+    }
+
+    /// Looks up a surface name, returning the primitive and its surface
+    /// calling convention, or `None` for non-primitive names.
+    ///
+    /// ```
+    /// use lesgs_frontend::{Prim, PrimArity};
+    /// assert_eq!(Prim::lookup("car"), Some((Prim::Car, PrimArity::Fixed(1))));
+    /// assert_eq!(Prim::lookup("+"), Some((Prim::Add, PrimArity::FoldLeft { identity: 0 })));
+    /// assert_eq!(Prim::lookup("frob"), None);
+    /// ```
+    pub fn lookup(name: &str) -> Option<(Prim, PrimArity)> {
+        use Prim::*;
+        let fixed = |p: Prim| Some((p, PrimArity::Fixed(p.arity() as u8)));
+        match name {
+            "+" => Some((Add, PrimArity::FoldLeft { identity: 0 })),
+            "*" => Some((Mul, PrimArity::FoldLeft { identity: 1 })),
+            "-" => Some((Sub, PrimArity::SubLike)),
+            "=" => Some((NumEq, PrimArity::Chain)),
+            "<" => Some((Lt, PrimArity::Chain)),
+            "<=" => Some((Le, PrimArity::Chain)),
+            ">" => Some((Gt, PrimArity::Chain)),
+            ">=" => Some((Ge, PrimArity::Chain)),
+            "quotient" => fixed(Quotient),
+            "remainder" => fixed(Remainder),
+            "modulo" => fixed(Modulo),
+            "abs" => fixed(Abs),
+            "min" => fixed(Min),
+            "max" => fixed(Max),
+            "add1" | "1+" => fixed(Add1),
+            "sub1" | "1-" | "-1+" => fixed(Sub1),
+            "zero?" => fixed(IsZero),
+            "positive?" => fixed(IsPositive),
+            "negative?" => fixed(IsNegative),
+            "even?" => fixed(IsEven),
+            "odd?" => fixed(IsOdd),
+            "eq?" => fixed(IsEq),
+            "eqv?" => fixed(IsEqv),
+            "equal?" => fixed(IsEqual),
+            "not" => fixed(Not),
+            "pair?" => fixed(IsPair),
+            "null?" => fixed(IsNull),
+            "symbol?" => fixed(IsSymbol),
+            "number?" | "integer?" | "fixnum?" => fixed(IsNumber),
+            "boolean?" => fixed(IsBoolean),
+            "procedure?" => fixed(IsProcedure),
+            "vector?" => fixed(IsVector),
+            "string?" => fixed(IsString),
+            "char?" => fixed(IsChar),
+            "cons" => fixed(Cons),
+            "car" => fixed(Car),
+            "cdr" => fixed(Cdr),
+            "set-car!" => fixed(SetCar),
+            "set-cdr!" => fixed(SetCdr),
+            "vector-ref" => fixed(VectorRef),
+            "vector-set!" => fixed(VectorSet),
+            "vector-length" => fixed(VectorLength),
+            "string-length" => fixed(StringLength),
+            "char->integer" => fixed(CharToInteger),
+            "display" => fixed(Display),
+            "write" => fixed(Write),
+            "newline" => fixed(Newline),
+            "error" => fixed(Error),
+            "void" => fixed(Void),
+            "box" => fixed(MakeCell),
+            "unbox" => fixed(CellRef),
+            "set-box!" => fixed(CellSet),
+            // `make-vector` is 1-or-2 argument; the renamer picks the
+            // right fixed primitive, so report the 1-argument one here.
+            "make-vector" => fixed(MakeVector),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Prim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_lookup() {
+        for name in ["car", "cons", "vector-set!", "newline", "abs"] {
+            let (p, ar) = Prim::lookup(name).unwrap();
+            match ar {
+                PrimArity::Fixed(n) => assert_eq!(n as usize, p.arity(), "{name}"),
+                other => panic!("{name} unexpectedly variadic: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for p in [
+            Prim::Add,
+            Prim::Car,
+            Prim::VectorSet,
+            Prim::IsNull,
+            Prim::MakeCell,
+        ] {
+            let (q, _) = Prim::lookup(p.name()).unwrap();
+            assert_eq!(p, q);
+        }
+    }
+
+    #[test]
+    fn variadic_classification() {
+        assert_eq!(
+            Prim::lookup("+").unwrap().1,
+            PrimArity::FoldLeft { identity: 0 }
+        );
+        assert_eq!(Prim::lookup("-").unwrap().1, PrimArity::SubLike);
+        assert_eq!(Prim::lookup("<").unwrap().1, PrimArity::Chain);
+    }
+
+    #[test]
+    fn effects_and_memory() {
+        assert!(Prim::SetCar.has_side_effects());
+        assert!(!Prim::Car.has_side_effects());
+        assert!(Prim::Car.touches_memory());
+        assert!(!Prim::Add.touches_memory());
+    }
+
+    #[test]
+    fn aliases() {
+        assert_eq!(Prim::lookup("1+").unwrap().0, Prim::Add1);
+        assert_eq!(Prim::lookup("-1+").unwrap().0, Prim::Sub1);
+        assert_eq!(Prim::lookup("integer?").unwrap().0, Prim::IsNumber);
+    }
+}

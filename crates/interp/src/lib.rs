@@ -1,0 +1,61 @@
+//! Reference tree-walking interpreter for the lesgs mini-Scheme.
+//!
+//! The interpreter evaluates the *renamed* core AST directly (with
+//! first-class `set!`, before assignment and closure conversion), so it
+//! shares as little machinery as possible with the compiler pipeline.
+//! Differential tests compare its answer and output against the
+//! compiled VM under every allocator configuration.
+//!
+//! # Examples
+//!
+//! ```
+//! use lesgs_interp::run_source;
+//!
+//! let outcome = run_source("(display (+ 40 2)) (* 6 7)", 1_000_000).unwrap();
+//! assert_eq!(outcome.value, "42");
+//! assert_eq!(outcome.output, "42");
+//! ```
+
+mod env;
+mod eval;
+mod value;
+
+pub use env::Env;
+pub use eval::{Interp, InterpError, Outcome};
+pub use value::Value;
+
+use lesgs_frontend::pipeline;
+
+/// Parses, desugars, renames, and interprets `src` with the given step
+/// budget.
+///
+/// # Errors
+///
+/// Returns an [`InterpError`] for frontend failures, runtime type
+/// errors, calls to `error`, or fuel exhaustion.
+pub fn run_source(src: &str, fuel: u64) -> Result<Outcome, InterpError> {
+    let program = lesgs_frontend::program::SurfaceProgram::from_source(src)
+        .map_err(|e| InterpError::new(e.to_string()))?;
+    let (assembled, globals) = program.assemble();
+    let mut renamer = lesgs_frontend::rename::Renamer::new();
+    renamer.set_globals(&globals);
+    let renamed = renamer
+        .rename(&assembled)
+        .map_err(|e| InterpError::new(e.to_string()))?;
+    let mut interp = Interp::new(fuel).with_globals(globals.len() as u32);
+    interp.run(&renamed)
+}
+
+/// Like [`run_source`] but reuses the full frontend driver, exercising
+/// assignment conversion as well (the interpreter handles `unbox` and
+/// friends natively).
+///
+/// # Errors
+///
+/// Same as [`run_source`].
+pub fn run_source_converted(src: &str, fuel: u64) -> Result<Outcome, InterpError> {
+    let (core, _names, n_globals) = pipeline::front_to_core_full(src)
+        .map_err(|e| InterpError::new(e.to_string()))?;
+    let mut interp = Interp::new(fuel).with_globals(n_globals);
+    interp.run(&core)
+}

@@ -1,0 +1,249 @@
+//! Runtime values of the reference interpreter.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use lesgs_frontend::VarId;
+
+use crate::env::Env;
+use crate::eval::IExpr;
+
+/// A closure value: code plus captured environment.
+#[derive(Debug)]
+pub struct ClosureV {
+    /// Formal parameters.
+    pub params: Vec<VarId>,
+    /// The body expression.
+    pub body: IExpr,
+    /// The defining environment.
+    pub env: Env,
+    /// Diagnostic name.
+    pub name: Option<String>,
+}
+
+/// A Scheme value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// An integer.
+    Fixnum(i64),
+    /// `#t` / `#f`.
+    Bool(bool),
+    /// A character.
+    Char(char),
+    /// An immutable string.
+    Str(Rc<String>),
+    /// A symbol (compared by name).
+    Symbol(Rc<String>),
+    /// The empty list.
+    Nil,
+    /// The unspecified value.
+    Void,
+    /// A mutable pair.
+    Pair(Rc<RefCell<(Value, Value)>>),
+    /// A mutable vector.
+    Vector(Rc<RefCell<Vec<Value>>>),
+    /// A procedure.
+    Closure(Rc<ClosureV>),
+    /// A mutable cell (`box`).
+    Cell(Rc<RefCell<Value>>),
+}
+
+impl Value {
+    /// Builds a pair.
+    pub fn cons(car: Value, cdr: Value) -> Value {
+        Value::Pair(Rc::new(RefCell::new((car, cdr))))
+    }
+
+    /// Scheme truthiness: everything but `#f` is true.
+    pub fn is_truthy(&self) -> bool {
+        !matches!(self, Value::Bool(false))
+    }
+
+    /// `eq?` — identity for heap values, value equality for immediates.
+    pub fn eq_ptr(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Fixnum(a), Value::Fixnum(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Char(a), Value::Char(b)) => a == b,
+            (Value::Nil, Value::Nil) => true,
+            (Value::Void, Value::Void) => true,
+            (Value::Symbol(a), Value::Symbol(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => Rc::ptr_eq(a, b),
+            (Value::Pair(a), Value::Pair(b)) => Rc::ptr_eq(a, b),
+            (Value::Vector(a), Value::Vector(b)) => Rc::ptr_eq(a, b),
+            (Value::Closure(a), Value::Closure(b)) => Rc::ptr_eq(a, b),
+            (Value::Cell(a), Value::Cell(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// `equal?` — structural equality.
+    pub fn eq_structural(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Pair(a), Value::Pair(b)) => {
+                if Rc::ptr_eq(a, b) {
+                    return true;
+                }
+                let (a_car, a_cdr) = &*a.borrow();
+                let (b_car, b_cdr) = &*b.borrow();
+                a_car.eq_structural(b_car) && a_cdr.eq_structural(b_cdr)
+            }
+            (Value::Vector(a), Value::Vector(b)) => {
+                if Rc::ptr_eq(a, b) {
+                    return true;
+                }
+                let a = a.borrow();
+                let b = b.borrow();
+                a.len() == b.len()
+                    && a.iter().zip(b.iter()).all(|(x, y)| x.eq_structural(y))
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => self.eq_ptr(other),
+        }
+    }
+
+    /// Renders the value in `display` style (strings and chars raw).
+    pub fn display_string(&self) -> String {
+        let mut s = String::new();
+        self.render(&mut s, false);
+        s
+    }
+
+    /// Renders the value in `write` style (strings quoted, chars with
+    /// `#\` syntax).
+    pub fn write_string(&self) -> String {
+        let mut s = String::new();
+        self.render(&mut s, true);
+        s
+    }
+
+    fn render(&self, out: &mut String, write: bool) {
+        match self {
+            Value::Fixnum(n) => out.push_str(&n.to_string()),
+            Value::Bool(true) => out.push_str("#t"),
+            Value::Bool(false) => out.push_str("#f"),
+            Value::Char(c) => {
+                if write {
+                    match c {
+                        ' ' => out.push_str("#\\space"),
+                        '\n' => out.push_str("#\\newline"),
+                        '\t' => out.push_str("#\\tab"),
+                        c => {
+                            out.push_str("#\\");
+                            out.push(*c);
+                        }
+                    }
+                } else {
+                    out.push(*c);
+                }
+            }
+            Value::Str(s) => {
+                if write {
+                    out.push('"');
+                    for c in s.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            '\n' => out.push_str("\\n"),
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                } else {
+                    out.push_str(s);
+                }
+            }
+            Value::Symbol(s) => out.push_str(s),
+            Value::Nil => out.push_str("()"),
+            Value::Void => out.push_str("#<void>"),
+            Value::Pair(_) => {
+                out.push('(');
+                let mut current = self.clone();
+                let mut first = true;
+                loop {
+                    match current {
+                        Value::Pair(p) => {
+                            if !first {
+                                out.push(' ');
+                            }
+                            first = false;
+                            let (car, cdr) = &*p.borrow();
+                            car.render(out, write);
+                            current = cdr.clone();
+                        }
+                        Value::Nil => break,
+                        other => {
+                            out.push_str(" . ");
+                            other.render(out, write);
+                            break;
+                        }
+                    }
+                }
+                out.push(')');
+            }
+            Value::Vector(v) => {
+                out.push_str("#(");
+                for (i, x) in v.borrow().iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    x.render(out, write);
+                }
+                out.push(')');
+            }
+            Value::Closure(c) => {
+                out.push_str("#<procedure");
+                if let Some(n) = &c.name {
+                    out.push(' ');
+                    out.push_str(n);
+                }
+                out.push('>');
+            }
+            Value::Cell(_) => out.push_str("#<box>"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Fixnum(0).is_truthy());
+        assert!(Value::Nil.is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+    }
+
+    #[test]
+    fn eq_semantics() {
+        let a = Value::cons(Value::Fixnum(1), Value::Nil);
+        let b = Value::cons(Value::Fixnum(1), Value::Nil);
+        assert!(!a.eq_ptr(&b));
+        assert!(a.eq_ptr(&a.clone()));
+        assert!(a.eq_structural(&b));
+        assert!(Value::Fixnum(3).eq_ptr(&Value::Fixnum(3)));
+        assert!(!Value::Fixnum(3).eq_ptr(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn rendering() {
+        let l = Value::cons(
+            Value::Fixnum(1),
+            Value::cons(Value::Str(Rc::new("hi".into())), Value::Nil),
+        );
+        assert_eq!(l.display_string(), "(1 hi)");
+        assert_eq!(l.write_string(), "(1 \"hi\")");
+        let dotted = Value::cons(Value::Fixnum(1), Value::Fixnum(2));
+        assert_eq!(dotted.display_string(), "(1 . 2)");
+        assert_eq!(Value::Char('a').write_string(), "#\\a");
+        assert_eq!(Value::Char('a').display_string(), "a");
+    }
+}

@@ -1,0 +1,28 @@
+//! Compiler IR for the lesgs register allocator.
+//!
+//! This crate defines:
+//!
+//! * [`machine`] — the abstract register machine the allocator targets:
+//!   a return-address register, a closure-pointer register, a return
+//!   value register, scratch registers for local (code-generator)
+//!   allocation, and up to six argument registers, mirroring §3 of the
+//!   paper ("two of these are used for the return address and closure
+//!   pointer; the first `c` actual parameters are passed via these
+//!   registers").
+//! * [`regset`] — register sets as n-bit integers ("Liveness
+//!   information is collected using a bit vector for the registers,
+//!   implemented as an n-bit integer", §3).
+//! * [`expr`] — the first-order expression language the allocator
+//!   runs on, lowered from the frontend's closure-converted form by
+//!   [`lower`].
+
+pub mod expr;
+pub mod fold;
+pub mod lower;
+pub mod machine;
+pub mod regset;
+
+pub use expr::{Callee, Expr, Func, LocalId, Program};
+pub use lower::lower_program;
+pub use machine::{MachineConfig, Reg};
+pub use regset::RegSet;

@@ -1,0 +1,172 @@
+//! Lowering from the frontend's closure-converted program to the IR.
+//!
+//! The only real work is renaming each function's variables to dense
+//! [`LocalId`]s so downstream passes can use vector-indexed side
+//! tables.
+
+use std::collections::HashMap;
+
+use lesgs_frontend::{CExpr, ClosedFunc, ClosedProgram, VarId};
+use lesgs_frontend::Callee as FCallee;
+
+use crate::expr::{Callee, Expr, Func, LocalId, Program};
+
+struct FnLower<'a> {
+    map: HashMap<VarId, LocalId>,
+    names: Vec<String>,
+    interner: &'a lesgs_frontend::Interner,
+}
+
+impl FnLower<'_> {
+    fn local(&mut self, v: VarId) -> LocalId {
+        if let Some(&l) = self.map.get(&v) {
+            return l;
+        }
+        let l = LocalId(self.names.len() as u32);
+        self.map.insert(v, l);
+        self.names.push(self.interner.pretty(v));
+        l
+    }
+
+    fn expr(&mut self, e: &CExpr) -> Expr {
+        match e {
+            CExpr::Const(c) => Expr::Const(c.clone()),
+            CExpr::Local(v) => Expr::Var(self.local(*v)),
+            CExpr::FreeRef(i) => Expr::FreeRef(*i),
+            CExpr::Global(g) => Expr::Global(*g),
+            CExpr::GlobalSet(g, rhs) => {
+                Expr::GlobalSet(*g, Box::new(self.expr(rhs)))
+            }
+            CExpr::If(c, t, el) => Expr::If(
+                Box::new(self.expr(c)),
+                Box::new(self.expr(t)),
+                Box::new(self.expr(el)),
+            ),
+            CExpr::Seq(es) => Expr::Seq(es.iter().map(|e| self.expr(e)).collect()),
+            CExpr::Let(v, rhs, body) => {
+                let rhs = self.expr(rhs);
+                let var = self.local(*v);
+                Expr::Let {
+                    var,
+                    rhs: Box::new(rhs),
+                    body: Box::new(self.expr(body)),
+                }
+            }
+            CExpr::PrimApp(p, args) => {
+                Expr::PrimApp(*p, args.iter().map(|a| self.expr(a)).collect())
+            }
+            CExpr::Call { callee, args, tail } => Expr::Call {
+                callee: match callee {
+                    FCallee::Direct(f) => Callee::Direct(*f),
+                    FCallee::KnownClosure(f, e) => {
+                        Callee::KnownClosure(*f, Box::new(self.expr(e)))
+                    }
+                    FCallee::Computed(e) => Callee::Computed(Box::new(self.expr(e))),
+                },
+                args: args.iter().map(|a| self.expr(a)).collect(),
+                tail: *tail,
+            },
+            CExpr::MakeClosure { func, free } => Expr::MakeClosure {
+                func: *func,
+                free: free.iter().map(|e| self.expr(e)).collect(),
+            },
+            CExpr::ClosureSet { clo, index, value } => Expr::ClosureSet {
+                clo: Box::new(self.expr(clo)),
+                index: *index,
+                value: Box::new(self.expr(value)),
+            },
+        }
+    }
+}
+
+fn lower_func(f: &ClosedFunc, interner: &lesgs_frontend::Interner) -> Func {
+    let mut lower = FnLower {
+        map: HashMap::new(),
+        names: Vec::new(),
+        interner,
+    };
+    for p in &f.params {
+        lower.local(*p);
+    }
+    let body = lower.expr(&f.body);
+    Func {
+        id: f.id,
+        name: f.name.clone(),
+        n_params: f.params.len(),
+        n_locals: lower.names.len(),
+        n_free: f.free.len(),
+        local_names: lower.names,
+        body,
+    }
+}
+
+/// Lowers a closure-converted program into the allocator IR.
+///
+/// # Examples
+///
+/// ```
+/// use lesgs_frontend::pipeline;
+/// use lesgs_ir::lower_program;
+///
+/// let closed = pipeline::front_to_closed("(define (f x) (+ x 1)) (f 1)").unwrap();
+/// let program = lower_program(&closed);
+/// let f = program.funcs.iter().find(|f| f.name == "f").unwrap();
+/// assert_eq!(f.n_params, 1);
+/// ```
+pub fn lower_program(p: &ClosedProgram) -> Program {
+    Program {
+        funcs: p.funcs.iter().map(|f| lower_func(f, &p.interner)).collect(),
+        main: p.main,
+        n_globals: p.n_globals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lesgs_frontend::pipeline;
+
+    fn lower(src: &str) -> Program {
+        lower_program(&pipeline::front_to_closed(src).unwrap())
+    }
+
+    #[test]
+    fn params_get_low_indices() {
+        let p = lower("(define (f a b) (+ a b)) (f 1 2)");
+        let f = p.funcs.iter().find(|f| f.name == "f").unwrap();
+        assert_eq!(f.n_params, 2);
+        assert_eq!(f.n_locals, 2);
+        assert_eq!(f.body.to_string(), "(%+ x0 x1)");
+    }
+
+    #[test]
+    fn let_vars_follow_params() {
+        let p = lower("(define (f a) (let ((t (+ a 1))) (* t t))) (f 1)");
+        let f = p.funcs.iter().find(|f| f.name == "f").unwrap();
+        assert_eq!(f.n_params, 1);
+        assert_eq!(f.n_locals, 2);
+    }
+
+    #[test]
+    fn syntactic_leaf_detection() {
+        let p = lower(
+            "(define (leaf x) (+ x 1))
+             (define (internal x) (+ (leaf x) 1))
+             (define (tail-only x) (leaf x))
+             (internal (tail-only 1))",
+        );
+        let find = |n: &str| p.funcs.iter().find(|f| f.name == n).unwrap();
+        assert!(find("leaf").is_syntactic_leaf());
+        assert!(!find("internal").is_syntactic_leaf());
+        // Tail calls are jumps, not calls.
+        assert!(find("tail-only").is_syntactic_leaf());
+    }
+
+    #[test]
+    fn free_refs_survive() {
+        let p = lower("(define (f a) (lambda (x) (+ x a))) ((f 1) 2)");
+        let lam = p.funcs.iter().find(|f| f.name.starts_with("lambda@")).unwrap();
+        assert_eq!(lam.n_free, 1);
+        assert!(lam.body.to_string().contains("(free 0)"));
+    }
+}

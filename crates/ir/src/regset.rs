@@ -1,0 +1,189 @@
+//! Register sets as n-bit integers.
+//!
+//! The paper (§3): "Liveness information is collected using a bit
+//! vector for the registers, implemented as an n-bit integer. Thus, the
+//! union operation is logical or, the intersection operation is logical
+//! and, and creating the singleton {r} is a logical shift left of 1 for
+//! r bits."
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Sub};
+
+use crate::machine::Reg;
+
+/// An immutable set of registers backed by a `u64` bit vector.
+///
+/// # Examples
+///
+/// ```
+/// use lesgs_ir::RegSet;
+/// use lesgs_ir::machine::{arg_reg, RET};
+///
+/// let s = RegSet::EMPTY.insert(RET).insert(arg_reg(0));
+/// assert!(s.contains(RET));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!((s & RegSet::single(RET)).len(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegSet(pub u64);
+
+impl RegSet {
+    /// The empty set — the identity for union.
+    pub const EMPTY: RegSet = RegSet(0);
+
+    /// The universe `R` of all registers — the identity for
+    /// intersection, used by the paper for impossible paths ("we define
+    /// these cases to be R so that any impossible path will have a save
+    /// set of R", §2.1.3).
+    pub const ALL: RegSet = RegSet(u64::MAX);
+
+    /// The singleton `{r}`.
+    pub fn single(r: Reg) -> RegSet {
+        RegSet(1u64 << r.index())
+    }
+
+    /// Set with `r` added.
+    #[must_use]
+    pub fn insert(self, r: Reg) -> RegSet {
+        RegSet(self.0 | (1u64 << r.index()))
+    }
+
+    /// Set with `r` removed.
+    #[must_use]
+    pub fn remove(self, r: Reg) -> RegSet {
+        RegSet(self.0 & !(1u64 << r.index()))
+    }
+
+    /// Membership test.
+    pub fn contains(self, r: Reg) -> bool {
+        self.0 & (1u64 << r.index()) != 0
+    }
+
+    /// True if no registers are present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of registers in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn is_subset(self, other: RegSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates registers in ascending index order.
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        (0..64u8).filter(move |i| self.0 & (1u64 << i) != 0).map(Reg)
+    }
+}
+
+impl BitOr for RegSet {
+    type Output = RegSet;
+    fn bitor(self, rhs: RegSet) -> RegSet {
+        RegSet(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for RegSet {
+    type Output = RegSet;
+    fn bitand(self, rhs: RegSet) -> RegSet {
+        RegSet(self.0 & rhs.0)
+    }
+}
+
+impl Sub for RegSet {
+    type Output = RegSet;
+    fn sub(self, rhs: RegSet) -> RegSet {
+        RegSet(self.0 & !rhs.0)
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> RegSet {
+        iter.into_iter().fold(RegSet::EMPTY, RegSet::insert)
+    }
+}
+
+impl fmt::Display for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == RegSet::ALL {
+            return write!(f, "{{R}}");
+        }
+        write!(f, "{{")?;
+        for (i, r) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{arg_reg, CP, RET};
+
+    #[test]
+    fn basic_ops() {
+        let a = RegSet::single(RET) | RegSet::single(CP);
+        let b = RegSet::single(CP) | RegSet::single(arg_reg(0));
+        assert_eq!((a & b), RegSet::single(CP));
+        assert_eq!((a | b).len(), 3);
+        assert_eq!((a - b), RegSet::single(RET));
+        assert!(a.contains(RET));
+        assert!(!a.contains(arg_reg(0)));
+        assert!(RegSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn identities() {
+        let a = RegSet::single(arg_reg(2));
+        assert_eq!(a | RegSet::EMPTY, a);
+        assert_eq!(a & RegSet::ALL, a);
+        assert_eq!(a.remove(arg_reg(2)), RegSet::EMPTY);
+    }
+
+    #[test]
+    fn subset_and_iter() {
+        let a = RegSet::single(RET).insert(arg_reg(1));
+        assert!(RegSet::single(RET).is_subset(a));
+        assert!(!a.is_subset(RegSet::single(RET)));
+        let regs: Vec<Reg> = a.iter().collect();
+        assert_eq!(regs, vec![RET, arg_reg(1)]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: RegSet = [RET, CP, arg_reg(0)].into_iter().collect();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn algebraic_laws() {
+        let a = RegSet::single(RET) | RegSet::single(arg_reg(1));
+        let b = RegSet::single(arg_reg(1)) | RegSet::single(arg_reg(3));
+        let c = RegSet::single(arg_reg(3)) | RegSet::single(CP);
+        // Distribution and De Morgan-ish difference laws used by the
+        // save placement algebra.
+        assert_eq!(a & (b | c), (a & b) | (a & c));
+        assert_eq!(a - (b | c), (a - b) & (a - c));
+        assert_eq!((a | b) - c, (a - c) | (b - c));
+        // Intersection with ALL is identity even on mixed sets.
+        assert_eq!((a | b | c) & RegSet::ALL, a | b | c);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RegSet::EMPTY.to_string(), "{}");
+        assert_eq!(RegSet::ALL.to_string(), "{R}");
+        assert_eq!(
+            (RegSet::single(RET) | RegSet::single(arg_reg(0))).to_string(),
+            "{ret a0}"
+        );
+    }
+}

@@ -1,0 +1,564 @@
+//! The benchmark programs, written in the mini-Scheme dialect.
+//!
+//! These are adaptations of the Gabriel-suite kernels the paper's
+//! evaluation reports per-row (tak, takl, takr, cpstak, deriv, dderiv,
+//! destruct, div-iter, div-rec) plus additional call-heavy workloads
+//! (ack, fib, queens, primes, msort) standing in for the large
+//! programs (compiler, DDD, Similix, SoftScheme) we cannot run.
+//! Substitutions are documented in DESIGN.md.
+
+/// Benchmark problem size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny inputs for differential tests against the interpreter.
+    Small,
+    /// The measurement size used by the experiment harnesses.
+    Standard,
+}
+
+/// One benchmark program.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Short name (matching the paper's rows where applicable).
+    pub name: &'static str,
+    /// What it exercises.
+    pub description: &'static str,
+    /// Source at standard scale.
+    pub standard: String,
+    /// Source at small scale.
+    pub small: String,
+    /// Expected final value at standard scale, when independently
+    /// known.
+    pub expected: Option<&'static str>,
+}
+
+impl Benchmark {
+    /// Source text at the given scale.
+    pub fn source(&self, scale: Scale) -> &str {
+        match scale {
+            Scale::Small => &self.small,
+            Scale::Standard => &self.standard,
+        }
+    }
+}
+
+const TAK_BODY: &str = "
+(define (tak x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+";
+
+fn tak(x: i64, y: i64, z: i64) -> String {
+    format!("{TAK_BODY}(tak {x} {y} {z})")
+}
+
+const TAKL_BODY: &str = "
+(define (listn n)
+  (if (zero? n) '() (cons n (listn (- n 1)))))
+(define (shorterp x y)
+  (and (not (null? y))
+       (or (null? x)
+           (shorterp (cdr x) (cdr y)))))
+(define (mas x y z)
+  (if (not (shorterp y x))
+      z
+      (mas (mas (cdr x) y z)
+           (mas (cdr y) z x)
+           (mas (cdr z) x y))))
+";
+
+fn takl(x: i64, y: i64, z: i64) -> String {
+    format!("{TAKL_BODY}(length (mas (listn {x}) (listn {y}) (listn {z})))")
+}
+
+/// `takr`: tak split across many textually distinct procedures, used by
+/// Gabriel to defeat instruction caches; here it diversifies the static
+/// call graph.
+fn takr(x: i64, y: i64, z: i64, n_funcs: usize) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for i in 0..n_funcs {
+        let f = |k: usize| format!("tak{}", (i * 4 + k) % n_funcs);
+        let _ = writeln!(
+            s,
+            "(define (tak{i} x y z)
+               (if (not (< y x)) z
+                   ({} ({} (- x 1) y z)
+                       ({} (- y 1) z x)
+                       ({} (- z 1) x y))))",
+            f(1),
+            f(2),
+            f(3),
+            f(4),
+        );
+    }
+    let _ = write!(s, "(tak0 {x} {y} {z})");
+    s
+}
+
+const CPSTAK_BODY: &str = "
+(define (cpstak x y z)
+  (define (tak x y z k)
+    (if (not (< y x))
+        (k z)
+        (tak (- x 1) y z
+             (lambda (v1)
+               (tak (- y 1) z x
+                    (lambda (v2)
+                      (tak (- z 1) x y
+                           (lambda (v3)
+                             (tak v1 v2 v3 k)))))))))
+  (tak x y z (lambda (a) a)))
+";
+
+fn cpstak(x: i64, y: i64, z: i64) -> String {
+    format!("{CPSTAK_BODY}(cpstak {x} {y} {z})")
+}
+
+const ACK_BODY: &str = "
+(define (ack m n)
+  (cond ((zero? m) (+ n 1))
+        ((zero? n) (ack (- m 1) 1))
+        (else (ack (- m 1) (ack m (- n 1))))))
+";
+
+fn ack(m: i64, n: i64) -> String {
+    format!("{ACK_BODY}(ack {m} {n})")
+}
+
+const FIB_BODY: &str = "
+(define (fib n)
+  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+";
+
+fn fib(n: i64) -> String {
+    format!("{FIB_BODY}(fib {n})")
+}
+
+const DERIV_BODY: &str = "
+(define (deriv-aux a) (list '/ (deriv a) a))
+(define (deriv a)
+  (cond ((not (pair? a)) (if (eq? a 'x) 1 0))
+        ((eq? (car a) '+) (cons '+ (map deriv (cdr a))))
+        ((eq? (car a) '-) (cons '- (map deriv (cdr a))))
+        ((eq? (car a) '*)
+         (list '* a (cons '+ (map deriv-aux (cdr a)))))
+        ((eq? (car a) '/)
+         (list '- (list '/ (deriv (cadr a)) (caddr a))
+                  (list '/ (cadr a)
+                        (list '* (caddr a) (caddr a) (deriv (caddr a))))))
+        (else (error \"no derivation method\"))))
+";
+
+fn deriv(iters: i64) -> String {
+    format!(
+        "{DERIV_BODY}
+(do ((i {iters} (- i 1)))
+    ((zero? i) 'done)
+  (deriv '(+ (* 3 x x) (* a x x) (* b x) 5)))"
+    )
+}
+
+const DDERIV_BODY: &str = "
+(define (dderiv-aux a) (list '/ (dderiv a) a))
+(define (+dderiv a) (cons '+ (map dderiv (cdr a))))
+(define (-dderiv a) (cons '- (map dderiv (cdr a))))
+(define (*dderiv a) (list '* a (cons '+ (map dderiv-aux (cdr a)))))
+(define (/dderiv a)
+  (list '- (list '/ (dderiv (cadr a)) (caddr a))
+           (list '/ (cadr a)
+                 (list '* (caddr a) (caddr a) (dderiv (caddr a))))))
+(define method-table
+  (list (cons '+ +dderiv) (cons '- -dderiv)
+        (cons '* *dderiv) (cons '/ /dderiv)))
+(define (dderiv a)
+  (if (not (pair? a))
+      (if (eq? a 'x) 1 0)
+      (let ((m (assq (car a) method-table)))
+        (if m ((cdr m) a) (error \"no method\")))))
+";
+
+fn dderiv(iters: i64) -> String {
+    format!(
+        "{DDERIV_BODY}
+(do ((i {iters} (- i 1)))
+    ((zero? i) 'done)
+  (dderiv '(+ (* 3 x x) (* a x x) (* b x) 5)))"
+    )
+}
+
+const DESTRUCT_BODY: &str = "
+(define (make-ring n)
+  (let ((head (cons 0 '())))
+    (let loop ((i 1) (tail head))
+      (if (= i n)
+          (begin (set-cdr! tail head) head)
+          (let ((cell (cons i '())))
+            (set-cdr! tail cell)
+            (loop (+ i 1) cell))))))
+(define (destruct n iters)
+  (let ((r (make-ring n)))
+    (let loop ((i 0) (p r) (acc 0))
+      (if (= i iters)
+          acc
+          (begin
+            (set-car! p (+ (car p) 1))
+            (loop (+ i 1) (cdr p) (+ acc (car p))))))))
+";
+
+fn destruct(n: i64, iters: i64) -> String {
+    format!("{DESTRUCT_BODY}(destruct {n} {iters})")
+}
+
+const DIV_BODY: &str = "
+(define (create-n n)
+  (do ((n n (- n 1)) (a '() (cons '() a)))
+      ((= n 0) a)))
+(define (iterative-div2 l)
+  (do ((l l (cddr l)) (a '() (cons (car l) a)))
+      ((null? l) a)))
+(define (recursive-div2 l)
+  (if (null? l)
+      '()
+      (cons (car l) (recursive-div2 (cddr l)))))
+";
+
+fn div_iter(size: i64, iters: i64) -> String {
+    format!(
+        "{DIV_BODY}
+(define big-list (create-n {size}))
+(do ((i {iters} (- i 1)) (r '() (iterative-div2 big-list)))
+    ((zero? i) (length r)))"
+    )
+}
+
+fn div_rec(size: i64, iters: i64) -> String {
+    format!(
+        "{DIV_BODY}
+(define big-list (create-n {size}))
+(do ((i {iters} (- i 1)) (r '() (recursive-div2 big-list)))
+    ((zero? i) (length r)))"
+    )
+}
+
+const QUEENS_BODY: &str = "
+(define (queens n)
+  (define (ok? row dist placed)
+    (if (null? placed)
+        #t
+        (and (not (= (car placed) (+ row dist)))
+             (not (= (car placed) (- row dist)))
+             (ok? row (+ dist 1) (cdr placed)))))
+(define (try x y z)
+    (if (null? x)
+        (if (null? y) 1 0)
+        (+ (if (ok? (car x) 1 z)
+               (try (append (cdr x) y) '() (cons (car x) z))
+               0)
+           (try (cdr x) (cons (car x) y) z))))
+  (try (iota n) '() '()))
+";
+
+fn queens(n: i64) -> String {
+    format!("{QUEENS_BODY}(queens {n})")
+}
+
+const PRIMES_BODY: &str = "
+(define (range a b)
+  (if (> a b) '() (cons a (range (+ a 1) b))))
+(define (sieve l)
+  (if (null? l)
+      '()
+      (cons (car l)
+            (sieve (filter (lambda (x)
+                             (not (zero? (remainder x (car l)))))
+                           (cdr l))))))
+";
+
+fn primes(n: i64) -> String {
+    format!("{PRIMES_BODY}(length (sieve (range 2 {n})))")
+}
+
+const MSORT_BODY: &str = "
+(define (merge a b)
+  (cond ((null? a) b)
+        ((null? b) a)
+        ((< (car a) (car b)) (cons (car a) (merge (cdr a) b)))
+        (else (cons (car b) (merge a (cdr b))))))
+(define (split l)
+  (if (or (null? l) (null? (cdr l)))
+      (cons l '())
+      (let ((rest (split (cddr l))))
+        (cons (cons (car l) (car rest))
+              (cons (cadr l) (cdr rest))))))
+(define (msort l)
+  (if (or (null? l) (null? (cdr l)))
+      l
+      (let ((halves (split l)))
+        (merge (msort (car halves)) (msort (cdr halves))))))
+(define (gen n seed)
+  (if (zero? n)
+      '()
+      (cons seed (gen (- n 1) (remainder (+ (* seed 25) 17) 101)))))
+";
+
+fn msort(n: i64) -> String {
+    format!("{MSORT_BODY}(car (msort (gen {n} 42)))")
+}
+
+const TRIANG_BODY: &str = "
+(define *board* (make-vector 16 1))
+(define *sequence* (make-vector 14 0))
+(define *a* (vector 1 2 4 3 5 6 1 3 6 2 5 4 11 12 13 7 8 4 4 7 11 8 12 13
+                    6 10 15 9 14 13 13 14 15 9 10 6 6))
+(define *b* (vector 2 4 7 5 8 9 3 6 10 5 9 8 12 13 14 8 9 5 2 4 7 5 8 9
+                    3 6 10 5 9 8 12 13 14 8 9 5 5))
+(define *c* (vector 4 7 11 8 12 13 6 10 15 9 14 13 13 14 15 9 10 6 1 2 4
+                    3 5 6 1 3 6 2 5 4 11 12 13 7 8 4 4))
+(define *answer* 0)
+(define (try i depth)
+  (cond ((= depth 14)
+         (set! *answer* (+ *answer* 1))
+         #f)
+        ((and (= 1 (vector-ref *board* (vector-ref *a* i)))
+              (= 1 (vector-ref *board* (vector-ref *b* i)))
+              (= 0 (vector-ref *board* (vector-ref *c* i))))
+         (vector-set! *board* (vector-ref *a* i) 0)
+         (vector-set! *board* (vector-ref *b* i) 0)
+         (vector-set! *board* (vector-ref *c* i) 1)
+         (vector-set! *sequence* depth i)
+         (do ((j 0 (+ j 1)) (d (+ depth 1)))
+             ((or (= j 36) (try j d)) #f))
+         (vector-set! *board* (vector-ref *a* i) 1)
+         (vector-set! *board* (vector-ref *b* i) 1)
+         (vector-set! *board* (vector-ref *c* i) 0)
+         #f)
+        (else #f)))
+(define (gogogo i)
+  (vector-set! *board* 5 0)
+  (try i 1)
+  *answer*)
+";
+
+fn triang(start: i64, depth_limit: i64) -> String {
+    // depth_limit < 14 truncates the search for the small scale by
+    // pre-marking the sequence vector length check.
+    if depth_limit >= 14 {
+        format!("{TRIANG_BODY}(gogogo {start})")
+    } else {
+        // Shallow variant: replace the success depth.
+        format!(
+            "{}(gogogo {start})",
+            TRIANG_BODY.replace("(= depth 14)", &format!("(= depth {depth_limit})"))
+        )
+    }
+}
+
+const BOYER_BODY: &str = "
+(define (truep x lst)
+  (or (eq? x 'true) (member x lst)))
+(define (falsep x lst)
+  (or (eq? x 'false) (member x lst)))
+(define (tautologyp x true-lst false-lst)
+  (cond ((truep x true-lst) #t)
+        ((falsep x false-lst) #f)
+        ((not (pair? x)) #f)
+        ((eq? (car x) 'if)
+         (cond ((truep (cadr x) true-lst)
+                (tautologyp (caddr x) true-lst false-lst))
+               ((falsep (cadr x) false-lst)
+                (tautologyp (cadddr x) true-lst false-lst))
+               (else
+                (and (tautologyp (caddr x)
+                                 (cons (cadr x) true-lst) false-lst)
+                     (tautologyp (cadddr x)
+                                 true-lst (cons (cadr x) false-lst))))))
+        (else #f)))
+(define (var k) (list-ref '(p q r s t u v w) (remainder k 8)))
+(define (gen-term depth seed)
+  (if (zero? depth)
+      (if (even? seed) 'true (var seed))
+      (list 'if (var seed)
+            (gen-term (- depth 1) (remainder (+ (* seed 7) 3) 64))
+            (gen-term (- depth 1) (remainder (+ (* seed 5) 1) 64)))))
+(define (run-boyer depth reps)
+  (let loop ((i 0) (acc 0))
+    (if (= i reps)
+        acc
+        (loop (+ i 1)
+              (+ acc (if (tautologyp (gen-term depth i) '() '()) 1 0))))))
+";
+
+fn boyer(depth: i64, reps: i64) -> String {
+    format!("{BOYER_BODY}(run-boyer {depth} {reps})")
+}
+
+/// The benchmark registry.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "tak",
+            description: "deeply non-tail-recursive integer kernel (Table 4's benchmark)",
+            standard: tak(18, 12, 6),
+            small: tak(8, 4, 2),
+            expected: Some("7"),
+        },
+        Benchmark {
+            name: "takl",
+            description: "tak over unary-list numbers; heavy pointer chasing",
+            standard: tak_scale_takl(),
+            small: takl(8, 5, 2),
+            expected: Some("7"),
+        },
+        Benchmark {
+            name: "takr",
+            description: "tak split across 100 procedures (as in Gabriel); diverse static call graph",
+            standard: takr(18, 12, 6, 100),
+            small: takr(8, 4, 2, 20),
+            expected: Some("7"),
+        },
+        Benchmark {
+            name: "cpstak",
+            description: "tak in continuation-passing style; anonymous closures everywhere",
+            standard: cpstak(15, 9, 6),
+            small: cpstak(6, 3, 1),
+            expected: None,
+        },
+        Benchmark {
+            name: "ack",
+            description: "Ackermann; pathological non-tail recursion",
+            standard: ack(3, 5),
+            small: ack(2, 3),
+            expected: Some("253"),
+        },
+        Benchmark {
+            name: "fib",
+            description: "doubly recursive Fibonacci",
+            standard: fib(20),
+            small: fib(10),
+            expected: Some("6765"),
+        },
+        Benchmark {
+            name: "deriv",
+            description: "symbolic differentiation over s-expressions",
+            standard: deriv(1500),
+            small: deriv(10),
+            expected: Some("done"),
+        },
+        Benchmark {
+            name: "dderiv",
+            description: "table-driven symbolic differentiation (escaping procedures)",
+            standard: dderiv(1200),
+            small: dderiv(10),
+            expected: Some("done"),
+        },
+        Benchmark {
+            name: "destruct",
+            description: "destructive list operations on a ring",
+            standard: destruct(50, 60_000),
+            small: destruct(10, 200),
+            expected: None,
+        },
+        Benchmark {
+            name: "div-iter",
+            description: "iterative list halving (pure tail loops)",
+            standard: div_iter(200, 600),
+            small: div_iter(20, 5),
+            expected: Some("100"),
+        },
+        Benchmark {
+            name: "div-rec",
+            description: "recursive list halving (non-tail recursion)",
+            standard: div_rec(200, 600),
+            small: div_rec(20, 5),
+            expected: Some("100"),
+        },
+        Benchmark {
+            name: "queens",
+            description: "n-queens solution counting",
+            standard: queens(8),
+            small: queens(5),
+            expected: Some("92"),
+        },
+        Benchmark {
+            name: "primes",
+            description: "list-based sieve with closures passed to filter",
+            standard: primes(600),
+            small: primes(40),
+            expected: Some("109"),
+        },
+        Benchmark {
+            name: "triang",
+            description: "Gabriel triangle-puzzle tree search over global vectors",
+            standard: triang(22, 8),
+            small: triang(22, 5),
+            expected: None,
+        },
+        Benchmark {
+            name: "boyer",
+            description: "tautology checking over generated if-terms (boyer's kernel)",
+            standard: boyer(12, 12),
+            small: boyer(6, 3),
+            expected: None,
+        },
+        Benchmark {
+            name: "msort",
+            description: "merge sort over generated lists",
+            standard: msort(700),
+            small: msort(30),
+            expected: None,
+        },
+    ]
+}
+
+fn tak_scale_takl() -> String {
+    takl(18, 12, 6)
+}
+
+/// Looks up a benchmark by name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_expected_entries() {
+        let names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
+        for expected in ["tak", "takl", "takr", "cpstak", "div-iter", "div-rec"] {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+        assert!(names.len() >= 12);
+    }
+
+    #[test]
+    fn all_sources_parse() {
+        for b in all_benchmarks() {
+            for scale in [Scale::Small, Scale::Standard] {
+                lesgs_frontend::pipeline::front_to_closed(b.source(scale))
+                    .unwrap_or_else(|e| panic!("{} ({scale:?}): {e}", b.name));
+            }
+        }
+    }
+
+    #[test]
+    fn takr_generates_distinct_functions() {
+        let src = takr(8, 4, 2, 20);
+        assert!(src.contains("(define (tak0"));
+        assert!(src.contains("(define (tak19"));
+    }
+
+    #[test]
+    fn small_sources_run_in_interpreter() {
+        for b in all_benchmarks() {
+            let out = lesgs_interp::run_source(b.source(Scale::Small), 30_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(!out.value.is_empty(), "{}", b.name);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Plain-text table rendering for the experiment harnesses.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use lesgs_suite::tables::Table;
+///
+/// let mut t = Table::new(vec!["benchmark".into(), "value".into()]);
+/// t.row(vec!["tak".into(), "7".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("benchmark"));
+/// assert!(s.contains("tak"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Table {
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> =
+            self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                if i == 0 {
+                    write!(f, "{c:<width$}", width = widths[i])?;
+                } else {
+                    write!(f, "{c:>width$}", width = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a percentage with no decimals, like the paper's tables.
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x)
+}
+
+/// Formats a fraction of activations as a percentage.
+pub fn frac_pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["name".into(), "n".into()]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "100".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("---"));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_length_checked() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(43.2), "43%");
+        assert_eq!(frac_pct(0.666), "66.6%");
+    }
+}

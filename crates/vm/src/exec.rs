@@ -1,0 +1,940 @@
+//! The execution engine.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use lesgs_frontend::{Const, FuncId, Prim};
+use lesgs_ir::machine::{CP, NUM_REGS, RET, RV};
+use lesgs_ir::Reg;
+use lesgs_sexpr::Datum;
+
+use crate::cost::CostModel;
+use crate::instr::{CallTarget, Imm, Instr};
+use crate::program::VmProgram;
+use crate::stats::{ActivationClass, RunStats};
+use crate::value::{RetAddr, Value, VmClosure};
+
+/// A runtime failure (type error, fuel exhaustion, VM invariant
+/// violation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmError {
+    /// Human-readable description.
+    pub message: String,
+    /// Function and instruction where it happened.
+    pub at: Option<(String, u32)>,
+}
+
+impl VmError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>) -> VmError {
+        VmError { message: message.into(), at: None }
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.at {
+            Some((name, pc)) => {
+                write!(f, "vm error at {name}+{pc}: {}", self.message)
+            }
+            None => write!(f, "vm error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// The result of a successful run.
+#[derive(Debug, Clone)]
+pub struct VmOutcome {
+    /// Final value (in `rv`), rendered in `write` style.
+    pub value: String,
+    /// Program output (`display`/`write`/`newline`).
+    pub output: String,
+    /// Collected statistics.
+    pub stats: RunStats,
+}
+
+struct Activation {
+    func: FuncId,
+    made_call: bool,
+}
+
+/// The virtual machine.
+pub struct Machine<'a> {
+    program: &'a VmProgram,
+    cost: CostModel,
+    max_instructions: u64,
+    poison_frames: bool,
+    regs: Vec<Value>,
+    ready: Vec<u64>,
+    stack: Vec<Value>,
+    fp: u32,
+    func: FuncId,
+    pc: u32,
+    constants: Vec<Value>,
+    globals: Vec<Value>,
+    output: String,
+    stats: RunStats,
+    shadow: Vec<Activation>,
+}
+
+fn datum_to_value(d: &Datum) -> Value {
+    match d {
+        Datum::Fixnum(n) => Value::Fixnum(*n),
+        Datum::Bool(b) => Value::Bool(*b),
+        Datum::Char(c) => Value::Char(*c),
+        Datum::Str(s) => Value::Str(Rc::new(s.clone())),
+        Datum::Symbol(s) => Value::Symbol(Rc::new(s.clone())),
+        Datum::List(items) => items
+            .iter()
+            .rev()
+            .fold(Value::Nil, |acc, d| Value::cons(datum_to_value(d), acc)),
+        Datum::Improper(items, tail) => items
+            .iter()
+            .rev()
+            .fold(datum_to_value(tail), |acc, d| Value::cons(datum_to_value(d), acc)),
+        Datum::Vector(items) => Value::Vector(Rc::new(RefCell::new(
+            items.iter().map(datum_to_value).collect(),
+        ))),
+    }
+}
+
+fn const_to_value(c: &Const) -> Value {
+    match c {
+        Const::Fixnum(n) => Value::Fixnum(*n),
+        Const::Bool(b) => Value::Bool(*b),
+        Const::Char(c) => Value::Char(*c),
+        Const::Str(s) => Value::Str(Rc::new(s.clone())),
+        Const::Nil => Value::Nil,
+        Const::Void => Value::Void,
+        Const::Symbol(s) => Value::Symbol(Rc::new(s.clone())),
+        Const::Datum(d) => datum_to_value(d),
+    }
+}
+
+type Result<T> = std::result::Result<T, VmError>;
+
+impl<'a> Machine<'a> {
+    /// Creates a machine for `program` with the given cost model.
+    pub fn new(program: &'a VmProgram, cost: CostModel) -> Machine<'a> {
+        Machine {
+            program,
+            cost,
+            max_instructions: 2_000_000_000,
+            poison_frames: false,
+            // Registers start as benign garbage (hardware registers
+            // always hold *something*); uninitialized-read detection
+            // applies to poisoned stack slots only.
+            regs: vec![Value::Void; NUM_REGS],
+            ready: vec![0; NUM_REGS],
+            stack: Vec::new(),
+            fp: 0,
+            func: program.entry,
+            pc: 0,
+            constants: program.constants.iter().map(const_to_value).collect(),
+            globals: vec![Value::Void; program.n_globals as usize],
+            output: String::new(),
+            stats: RunStats::default(),
+            shadow: Vec::new(),
+        }
+    }
+
+    /// Sets the instruction budget.
+    #[must_use]
+    pub fn with_fuel(mut self, max_instructions: u64) -> Machine<'a> {
+        self.max_instructions = max_instructions;
+        self
+    }
+
+    /// Enables frame poisoning: every callee frame starts as `Uninit`
+    /// so reads of never-written slots fail loudly (used in tests).
+    #[must_use]
+    pub fn with_poison(mut self, poison: bool) -> Machine<'a> {
+        self.poison_frames = poison;
+        self
+    }
+
+    fn err(&self, message: impl Into<String>) -> VmError {
+        VmError {
+            message: message.into(),
+            at: Some((self.program.func(self.func).name.clone(), self.pc)),
+        }
+    }
+
+    fn read(&mut self, r: Reg) -> Value {
+        // Stall until the register's in-flight load completes.
+        if self.ready[r.index()] > self.stats.cycles {
+            self.stats.stall_cycles += self.ready[r.index()] - self.stats.cycles;
+            self.stats.cycles = self.ready[r.index()];
+        }
+        self.regs[r.index()].clone()
+    }
+
+    fn write(&mut self, r: Reg, v: Value) {
+        self.regs[r.index()] = v;
+        self.ready[r.index()] = self.stats.cycles;
+    }
+
+    fn write_loaded(&mut self, r: Reg, v: Value) {
+        self.regs[r.index()] = v;
+        self.ready[r.index()] = self.stats.cycles + self.cost.load_latency;
+    }
+
+    fn slot_index(&self, slot: u32) -> usize {
+        (self.fp + slot) as usize
+    }
+
+    fn stack_store(&mut self, slot: u32, v: Value) {
+        let idx = self.slot_index(slot);
+        if idx >= self.stack.len() {
+            self.stack.resize(idx + 1, Value::Uninit);
+        }
+        self.stack[idx] = v;
+    }
+
+    fn stack_load(&mut self, slot: u32) -> Result<Value> {
+        let idx = self.slot_index(slot);
+        match self.stack.get(idx) {
+            Some(Value::Uninit) | None => {
+                Err(self.err(format!("read of uninitialized stack slot {slot}")))
+            }
+            Some(v) => Ok(v.clone()),
+        }
+    }
+
+    fn enter_activation(&mut self, callee: FuncId) {
+        if let Some(top) = self.shadow.last_mut() {
+            top.made_call = true;
+        }
+        self.stats.calls += 1;
+        self.shadow.push(Activation { func: callee, made_call: false });
+    }
+
+    fn classify(&self, a: &Activation) -> ActivationClass {
+        let f = self.program.func(a.func);
+        match (a.made_call, f.syntactic_leaf, f.call_inevitable) {
+            (false, true, _) => ActivationClass::SyntacticLeaf,
+            (false, false, _) => ActivationClass::NonSyntacticLeaf,
+            (true, _, true) => ActivationClass::SyntacticInternal,
+            (true, _, false) => ActivationClass::NonSyntacticInternal,
+        }
+    }
+
+    fn leave_activation(&mut self) {
+        if let Some(a) = self.shadow.pop() {
+            let class = self.classify(&a);
+            *self.stats.activations.entry(class).or_insert(0) += 1;
+        }
+    }
+
+    fn call_target(&mut self, target: CallTarget) -> Result<FuncId> {
+        match target {
+            CallTarget::Func(f) => Ok(f),
+            CallTarget::ClosureCp => match self.read(CP) {
+                Value::Closure(c) => Ok(c.func),
+                other => Err(self.err(format!(
+                    "call of non-procedure `{}`",
+                    other.write_string()
+                ))),
+            },
+        }
+    }
+
+    fn poison(&mut self, func: FuncId) {
+        if !self.poison_frames {
+            return;
+        }
+        let f = self.program.func(func);
+        // Skip the incoming-parameter region: the caller wrote the
+        // stack-passed arguments there just before the call.
+        let lo = (self.fp + f.n_incoming) as usize;
+        let hi = (self.fp + f.frame_size) as usize;
+        if hi > self.stack.len() {
+            self.stack.resize(hi, Value::Uninit);
+        }
+        for v in &mut self.stack[lo..hi] {
+            *v = Value::Uninit;
+        }
+    }
+
+    /// Runs the program to completion.
+    ///
+    /// # Errors
+    ///
+    /// Type errors, arity/stack violations, `(error …)`, or exceeding
+    /// the instruction budget.
+    pub fn run(mut self) -> Result<VmOutcome> {
+        // Bootstrap: the entry function's frame starts at 0.
+        self.shadow.push(Activation { func: self.func, made_call: false });
+        self.poison(self.func);
+        loop {
+            if self.stats.instructions >= self.max_instructions {
+                return Err(self.err("instruction budget exhausted"));
+            }
+            self.stats.instructions += 1;
+            self.stats.cycles += self.cost.instr_cost;
+            let code = &self.program.func(self.func).code;
+            let Some(instr) = code.get(self.pc as usize) else {
+                return Err(self.err("program counter out of range"));
+            };
+            let instr = instr.clone();
+            self.pc += 1;
+            match instr {
+                Instr::LoadImm { dst, imm } => {
+                    let v = match imm {
+                        Imm::Fixnum(n) => Value::Fixnum(n),
+                        Imm::Bool(b) => Value::Bool(b),
+                        Imm::Char(c) => Value::Char(c),
+                        Imm::Nil => Value::Nil,
+                        Imm::Void => Value::Void,
+                    };
+                    self.write(dst, v);
+                }
+                Instr::LoadConst { dst, idx } => {
+                    let v = self.constants[idx as usize].clone();
+                    self.write(dst, v);
+                }
+                Instr::Mov { dst, src } => {
+                    let v = self.read(src);
+                    self.write(dst, v);
+                }
+                Instr::StackLoad { dst, slot, class } => {
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    *self.stats.stack_loads.entry(class).or_insert(0) += 1;
+                    let v = self.stack_load(slot)?;
+                    self.write_loaded(dst, v);
+                }
+                Instr::StackStore { slot, src, class } => {
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    *self.stats.stack_stores.entry(class).or_insert(0) += 1;
+                    let v = self.read(src);
+                    self.stack_store(slot, v);
+                }
+                Instr::Prim { op, dst, args } => {
+                    let vals: Vec<Value> =
+                        args.iter().map(|r| self.read(*r)).collect();
+                    let loaded = self.apply_prim(op, vals, dst)?;
+                    if op.touches_memory() {
+                        self.stats.heap_ops += 1;
+                        self.stats.cycles +=
+                            self.cost.mem_cost - self.cost.instr_cost;
+                    }
+                    let _ = loaded;
+                }
+                Instr::Jump { target } => self.pc = target,
+                Instr::BranchFalse { src, target, likely } => {
+                    self.stats.branches += 1;
+                    let v = self.read(src);
+                    let fallthrough = v.is_truthy();
+                    // Default static prediction: fallthrough.
+                    let predicted_fallthrough = likely.unwrap_or(true);
+                    if predicted_fallthrough != fallthrough {
+                        self.stats.mispredicts += 1;
+                        self.stats.cycles += self.cost.mispredict_penalty;
+                    }
+                    if !fallthrough {
+                        self.pc = target;
+                    }
+                }
+                Instr::BranchTrue { src, target, likely } => {
+                    self.stats.branches += 1;
+                    let v = self.read(src);
+                    let fallthrough = !v.is_truthy();
+                    let predicted_fallthrough = likely.unwrap_or(true);
+                    if predicted_fallthrough != fallthrough {
+                        self.stats.mispredicts += 1;
+                        self.stats.cycles += self.cost.mispredict_penalty;
+                    }
+                    if !fallthrough {
+                        self.pc = target;
+                    }
+                }
+                Instr::Call { target, frame_advance } => {
+                    let callee = self.call_target(target)?;
+                    let ra = RetAddr { func: self.func, pc: self.pc, fp: self.fp };
+                    self.write(RET, Value::RetAddr(ra));
+                    self.fp += frame_advance;
+                    self.func = callee;
+                    self.pc = 0;
+                    self.enter_activation(callee);
+                    self.poison(callee);
+                }
+                Instr::TailCall { target } => {
+                    let callee = self.call_target(target)?;
+                    self.stats.tail_calls += 1;
+                    self.func = callee;
+                    self.pc = 0;
+                    // A tail call is a jump: same activation, same fp.
+                }
+                Instr::Return => {
+                    match self.read(RET) {
+                        Value::RetAddr(ra) => {
+                            self.leave_activation();
+                            self.func = ra.func;
+                            self.pc = ra.pc;
+                            self.fp = ra.fp;
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "return through non-address `{}`",
+                                other.write_string()
+                            )))
+                        }
+                    }
+                }
+                Instr::AllocClosure { dst, func, n_free } => {
+                    self.stats.heap_ops += 1;
+                    self.stats.closures_allocated += 1;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    let clo = VmClosure {
+                        func,
+                        free: RefCell::new(vec![Value::Void; n_free as usize]),
+                    };
+                    self.write(dst, Value::Closure(Rc::new(clo)));
+                }
+                Instr::ClosureSlotSet { clo, index, src } => {
+                    self.stats.heap_ops += 1;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    let v = self.read(src);
+                    match self.read(clo) {
+                        Value::Closure(c) => {
+                            c.free.borrow_mut()[index as usize] = v;
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "closure-set! on `{}`",
+                                other.write_string()
+                            )))
+                        }
+                    }
+                }
+                Instr::LoadFree { dst, index } => {
+                    self.stats.heap_ops += 1;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    match self.read(CP) {
+                        Value::Closure(c) => {
+                            let v = c.free.borrow()[index as usize].clone();
+                            self.write_loaded(dst, v);
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "free-variable reference through `{}`",
+                                other.write_string()
+                            )))
+                        }
+                    }
+                }
+                Instr::LoadGlobal { dst, index } => {
+                    self.stats.heap_ops += 1;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    let v = self
+                        .globals
+                        .get(index as usize)
+                        .cloned()
+                        .ok_or_else(|| self.err("global index out of range"))?;
+                    self.write_loaded(dst, v);
+                }
+                Instr::StoreGlobal { index, src } => {
+                    self.stats.heap_ops += 1;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    let v = self.read(src);
+                    match self.globals.get_mut(index as usize) {
+                        Some(slot) => *slot = v,
+                        None => return Err(self.err("global index out of range")),
+                    }
+                }
+                Instr::Halt => {
+                    while !self.shadow.is_empty() {
+                        self.leave_activation();
+                    }
+                    let value = self.read(RV).write_string();
+                    return Ok(VmOutcome {
+                        value,
+                        output: self.output,
+                        stats: self.stats,
+                    });
+                }
+            }
+        }
+    }
+
+    fn apply_prim(&mut self, p: Prim, mut args: Vec<Value>, dst: Reg) -> Result<bool> {
+        use Prim::*;
+
+        macro_rules! fixnum {
+            ($v:expr) => {
+                match $v {
+                    Value::Fixnum(n) => *n,
+                    other => {
+                        return Err(self.err(format!(
+                            "{p}: expected number, got {}",
+                            other.write_string()
+                        )))
+                    }
+                }
+            };
+        }
+        macro_rules! pair {
+            ($v:expr) => {
+                match $v {
+                    Value::Pair(p) => p.clone(),
+                    other => {
+                        return Err(self.err(format!(
+                            "{p}: expected pair, got {}",
+                            other.write_string()
+                        )))
+                    }
+                }
+            };
+        }
+        macro_rules! vector {
+            ($v:expr) => {
+                match $v {
+                    Value::Vector(v) => v.clone(),
+                    other => {
+                        return Err(self.err(format!(
+                            "{p}: expected vector, got {}",
+                            other.write_string()
+                        )))
+                    }
+                }
+            };
+        }
+
+        let overflow = |m: &Machine<'_>| m.err(format!("{p}: fixnum overflow"));
+
+        // True when the result comes from memory (gets load latency).
+        let mut from_memory = false;
+        let result = match p {
+            Add | Sub | Mul | Quotient | Remainder | Modulo | Min | Max => {
+                let a = fixnum!(&args[0]);
+                let b = fixnum!(&args[1]);
+                let r = match p {
+                    Add => a.checked_add(b).ok_or_else(|| overflow(self))?,
+                    Sub => a.checked_sub(b).ok_or_else(|| overflow(self))?,
+                    Mul => a.checked_mul(b).ok_or_else(|| overflow(self))?,
+                    Min => a.min(b),
+                    Max => a.max(b),
+                    _ => {
+                        if b == 0 {
+                            return Err(self.err(format!("{p}: division by zero")));
+                        }
+                        match p {
+                            Quotient => {
+                                a.checked_div(b).ok_or_else(|| overflow(self))?
+                            }
+                            Remainder => {
+                                a.checked_rem(b).ok_or_else(|| overflow(self))?
+                            }
+                            _ => ((a % b) + b) % b,
+                        }
+                    }
+                };
+                Value::Fixnum(r)
+            }
+            Abs => Value::Fixnum(
+                fixnum!(&args[0]).checked_abs().ok_or_else(|| overflow(self))?,
+            ),
+            Add1 => Value::Fixnum(
+                fixnum!(&args[0]).checked_add(1).ok_or_else(|| overflow(self))?,
+            ),
+            Sub1 => Value::Fixnum(
+                fixnum!(&args[0]).checked_sub(1).ok_or_else(|| overflow(self))?,
+            ),
+            IsZero => Value::Bool(fixnum!(&args[0]) == 0),
+            IsPositive => Value::Bool(fixnum!(&args[0]) > 0),
+            IsNegative => Value::Bool(fixnum!(&args[0]) < 0),
+            IsEven => Value::Bool(fixnum!(&args[0]) % 2 == 0),
+            IsOdd => Value::Bool(fixnum!(&args[0]) % 2 != 0),
+            NumEq => Value::Bool(fixnum!(&args[0]) == fixnum!(&args[1])),
+            Lt => Value::Bool(fixnum!(&args[0]) < fixnum!(&args[1])),
+            Le => Value::Bool(fixnum!(&args[0]) <= fixnum!(&args[1])),
+            Gt => Value::Bool(fixnum!(&args[0]) > fixnum!(&args[1])),
+            Ge => Value::Bool(fixnum!(&args[0]) >= fixnum!(&args[1])),
+            IsEq | IsEqv => Value::Bool(args[0].eq_ptr(&args[1])),
+            IsEqual => Value::Bool(args[0].eq_structural(&args[1])),
+            Not => Value::Bool(!args[0].is_truthy()),
+            IsPair => Value::Bool(matches!(args[0], Value::Pair(_))),
+            IsNull => Value::Bool(matches!(args[0], Value::Nil)),
+            IsSymbol => Value::Bool(matches!(args[0], Value::Symbol(_))),
+            IsNumber => Value::Bool(matches!(args[0], Value::Fixnum(_))),
+            IsBoolean => Value::Bool(matches!(args[0], Value::Bool(_))),
+            IsProcedure => Value::Bool(matches!(args[0], Value::Closure(_))),
+            IsVector => Value::Bool(matches!(args[0], Value::Vector(_))),
+            IsString => Value::Bool(matches!(args[0], Value::Str(_))),
+            IsChar => Value::Bool(matches!(args[0], Value::Char(_))),
+            Cons => {
+                let d = args.pop().expect("two args");
+                let a = args.pop().expect("two args");
+                Value::cons(a, d)
+            }
+            Car => {
+                from_memory = true;
+                let p = pair!(&args[0]);
+                let v = p.borrow().0.clone();
+                v
+            }
+            Cdr => {
+                from_memory = true;
+                let p = pair!(&args[0]);
+                let v = p.borrow().1.clone();
+                v
+            }
+            SetCar => {
+                let v = args.pop().expect("two args");
+                pair!(&args[0]).borrow_mut().0 = v;
+                Value::Void
+            }
+            SetCdr => {
+                let v = args.pop().expect("two args");
+                pair!(&args[0]).borrow_mut().1 = v;
+                Value::Void
+            }
+            MakeVector | MakeVectorFill => {
+                let n = fixnum!(&args[0]);
+                if n < 0 {
+                    return Err(self.err("make-vector: negative length"));
+                }
+                let fill = if p == MakeVectorFill {
+                    args[1].clone()
+                } else {
+                    Value::Fixnum(0)
+                };
+                Value::Vector(Rc::new(RefCell::new(vec![fill; n as usize])))
+            }
+            VectorRef => {
+                from_memory = true;
+                let v = vector!(&args[0]);
+                let i = fixnum!(&args[1]);
+                let v = v.borrow();
+                let idx = usize::try_from(i).ok().filter(|&i| i < v.len());
+                match idx {
+                    Some(i) => v[i].clone(),
+                    None => {
+                        return Err(self.err(format!(
+                            "vector-ref: index {i} out of range"
+                        )))
+                    }
+                }
+            }
+            VectorSet => {
+                let x = args.pop().expect("three args");
+                let v = vector!(&args[0]);
+                let i = fixnum!(&args[1]);
+                let mut v = v.borrow_mut();
+                let len = v.len();
+                match usize::try_from(i).ok().filter(|&i| i < len) {
+                    Some(i) => v[i] = x,
+                    None => {
+                        return Err(self.err(format!(
+                            "vector-set!: index {i} out of range"
+                        )))
+                    }
+                }
+                Value::Void
+            }
+            VectorLength => Value::Fixnum(vector!(&args[0]).borrow().len() as i64),
+            StringLength => match &args[0] {
+                Value::Str(s) => Value::Fixnum(s.chars().count() as i64),
+                other => {
+                    return Err(self.err(format!(
+                        "string-length: expected string, got {}",
+                        other.write_string()
+                    )))
+                }
+            },
+            CharToInteger => match &args[0] {
+                Value::Char(c) => Value::Fixnum(*c as i64),
+                other => {
+                    return Err(self.err(format!(
+                        "char->integer: expected char, got {}",
+                        other.write_string()
+                    )))
+                }
+            },
+            Display => {
+                self.output.push_str(&args[0].display_string());
+                Value::Void
+            }
+            Write => {
+                self.output.push_str(&args[0].write_string());
+                Value::Void
+            }
+            Newline => {
+                self.output.push('\n');
+                Value::Void
+            }
+            Error => {
+                return Err(self.err(format!(
+                    "error: {}",
+                    args[0].display_string()
+                )))
+            }
+            Void => Value::Void,
+            MakeCell => Value::Cell(Rc::new(RefCell::new(args[0].clone()))),
+            CellRef => {
+                from_memory = true;
+                match &args[0] {
+                    Value::Cell(c) => c.borrow().clone(),
+                    other => {
+                        return Err(self.err(format!(
+                            "unbox: expected box, got {}",
+                            other.write_string()
+                        )))
+                    }
+                }
+            }
+            CellSet => {
+                let v = args.pop().expect("two args");
+                match &args[0] {
+                    Value::Cell(c) => {
+                        *c.borrow_mut() = v;
+                        Value::Void
+                    }
+                    other => {
+                        return Err(self.err(format!(
+                            "set-box!: expected box, got {}",
+                            other.write_string()
+                        )))
+                    }
+                }
+            }
+        };
+        if from_memory {
+            self.write_loaded(dst, result);
+        } else {
+            self.write(dst, result);
+        }
+        Ok(from_memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{VmFunc, VmProgram};
+    use crate::instr::SlotClass;
+    use lesgs_ir::machine::{arg_reg, scratch_reg};
+
+    /// Hand-assembled program: computes (2 + 3) * 7 via a helper call.
+    fn tiny_program() -> VmProgram {
+        let a0 = arg_reg(0);
+        let a1 = arg_reg(1);
+        let s0 = scratch_reg(0);
+        // f0: add(a, b) -> rv
+        let add = VmFunc {
+            id: FuncId(0),
+            name: "add".into(),
+            code: vec![
+                Instr::Prim { op: Prim::Add, dst: RV, args: vec![a0, a1] },
+                Instr::Return,
+            ],
+            frame_size: 0,
+            n_incoming: 0,
+            syntactic_leaf: true,
+            call_inevitable: false,
+        };
+        // f1: main — saves ret, calls add(2,3), multiplies by 7.
+        let main = VmFunc {
+            id: FuncId(1),
+            name: "main".into(),
+            code: vec![
+                Instr::StackStore { slot: 0, src: RET, class: SlotClass::Save },
+                Instr::LoadImm { dst: a0, imm: Imm::Fixnum(2) },
+                Instr::LoadImm { dst: a1, imm: Imm::Fixnum(3) },
+                Instr::Call { target: CallTarget::Func(FuncId(0)), frame_advance: 1 },
+                Instr::StackLoad { dst: RET, slot: 0, class: SlotClass::Save },
+                Instr::LoadImm { dst: s0, imm: Imm::Fixnum(7) },
+                Instr::Prim { op: Prim::Mul, dst: RV, args: vec![RV, s0] },
+                Instr::Return,
+            ],
+            frame_size: 1,
+            n_incoming: 0,
+            syntactic_leaf: false,
+            call_inevitable: true,
+        };
+        // f2: entry — call main, halt.
+        let entry = VmFunc {
+            id: FuncId(2),
+            name: "entry".into(),
+            code: vec![
+                Instr::Call { target: CallTarget::Func(FuncId(1)), frame_advance: 0 },
+                Instr::Halt,
+            ],
+            frame_size: 0,
+            n_incoming: 0,
+            syntactic_leaf: false,
+            call_inevitable: true,
+        };
+        VmProgram {
+            funcs: vec![add, main, entry],
+            entry: FuncId(2),
+            constants: vec![],
+            n_globals: 0,
+        }
+    }
+
+    #[test]
+    fn hand_assembled_program_runs() {
+        let p = tiny_program();
+        let out = Machine::new(&p, CostModel::alpha_like())
+            .with_poison(true)
+            .run()
+            .unwrap();
+        assert_eq!(out.value, "35");
+        assert_eq!(out.stats.calls, 2);
+        assert_eq!(out.stats.saves(), 1);
+        assert_eq!(out.stats.restores(), 1);
+        // add is a syntactic leaf activation.
+        assert_eq!(
+            out.stats.activations[&ActivationClass::SyntacticLeaf],
+            1
+        );
+    }
+
+    #[test]
+    fn stalls_accrue_on_immediate_use() {
+        // Using a loaded value immediately stalls for the latency.
+        let a0 = arg_reg(0);
+        let f = VmFunc {
+            id: FuncId(0),
+            name: "entry".into(),
+            code: vec![
+                Instr::LoadImm { dst: a0, imm: Imm::Fixnum(5) },
+                Instr::StackStore { slot: 0, src: a0, class: SlotClass::Temp },
+                Instr::StackLoad { dst: a0, slot: 0, class: SlotClass::Temp },
+                Instr::Prim { op: Prim::Add1, dst: RV, args: vec![a0] },
+                Instr::Halt,
+            ],
+            frame_size: 1,
+            n_incoming: 0,
+            syntactic_leaf: true,
+            call_inevitable: false,
+        };
+        let p = VmProgram { funcs: vec![f], entry: FuncId(0), constants: vec![], n_globals: 0 };
+        let out = Machine::new(&p, CostModel::alpha_like()).run().unwrap();
+        assert_eq!(out.value, "6");
+        assert!(out.stats.stall_cycles > 0, "{:?}", out.stats);
+        let unit = Machine::new(&p, CostModel::unit()).run().unwrap();
+        assert_eq!(unit.stats.stall_cycles, 0);
+    }
+
+    #[test]
+    fn uninitialized_slot_read_fails() {
+        let f = VmFunc {
+            id: FuncId(0),
+            name: "entry".into(),
+            code: vec![
+                Instr::StackLoad { dst: RV, slot: 3, class: SlotClass::Spill },
+                Instr::Halt,
+            ],
+            frame_size: 4,
+            n_incoming: 0,
+            syntactic_leaf: true,
+            call_inevitable: false,
+        };
+        let p = VmProgram { funcs: vec![f], entry: FuncId(0), constants: vec![], n_globals: 0 };
+        let err = Machine::new(&p, CostModel::unit()).run().unwrap_err();
+        assert!(err.message.contains("uninitialized"));
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let f = VmFunc {
+            id: FuncId(0),
+            name: "entry".into(),
+            code: vec![Instr::Jump { target: 0 }],
+            frame_size: 0,
+            n_incoming: 0,
+            syntactic_leaf: true,
+            call_inevitable: false,
+        };
+        let p = VmProgram { funcs: vec![f], entry: FuncId(0), constants: vec![], n_globals: 0 };
+        let err = Machine::new(&p, CostModel::unit())
+            .with_fuel(100)
+            .run()
+            .unwrap_err();
+        assert!(err.message.contains("budget"));
+    }
+
+    #[test]
+    fn globals_load_and_store() {
+        let a0 = arg_reg(0);
+        let f = VmFunc {
+            id: FuncId(0),
+            name: "entry".into(),
+            code: vec![
+                Instr::LoadImm { dst: a0, imm: Imm::Fixnum(41) },
+                Instr::StoreGlobal { index: 1, src: a0 },
+                Instr::LoadGlobal { dst: RV, index: 1 },
+                Instr::Prim { op: Prim::Add1, dst: RV, args: vec![RV] },
+                Instr::Halt,
+            ],
+            frame_size: 0,
+            n_incoming: 0,
+            syntactic_leaf: true,
+            call_inevitable: false,
+        };
+        let p = VmProgram {
+            funcs: vec![f],
+            entry: FuncId(0),
+            constants: vec![],
+            n_globals: 2,
+        };
+        let out = Machine::new(&p, CostModel::alpha_like()).run().unwrap();
+        assert_eq!(out.value, "42");
+        // Global traffic counts as heap operations with load latency.
+        assert!(out.stats.heap_ops >= 2);
+    }
+
+    #[test]
+    fn global_index_out_of_range_fails() {
+        let f = VmFunc {
+            id: FuncId(0),
+            name: "entry".into(),
+            code: vec![Instr::LoadGlobal { dst: RV, index: 5 }, Instr::Halt],
+            frame_size: 0,
+            n_incoming: 0,
+            syntactic_leaf: true,
+            call_inevitable: false,
+        };
+        let p = VmProgram {
+            funcs: vec![f],
+            entry: FuncId(0),
+            constants: vec![],
+            n_globals: 1,
+        };
+        let err = Machine::new(&p, CostModel::unit()).run().unwrap_err();
+        assert!(err.message.contains("global"));
+    }
+
+    #[test]
+    fn branch_prediction_penalties() {
+        // Branch falls through on #t: no penalty with default
+        // prediction; penalty when hinted the other way.
+        let mk = |likely: Option<bool>| {
+            let f = VmFunc {
+                id: FuncId(0),
+                name: "entry".into(),
+                code: vec![
+                    Instr::LoadImm { dst: RV, imm: Imm::Bool(true) },
+                    Instr::BranchFalse { src: RV, target: 3, likely },
+                    Instr::LoadImm { dst: RV, imm: Imm::Fixnum(1) },
+                    Instr::Halt,
+                ],
+                frame_size: 0,
+                n_incoming: 0,
+                syntactic_leaf: true,
+                call_inevitable: false,
+            };
+            let p =
+                VmProgram { funcs: vec![f], entry: FuncId(0), constants: vec![], n_globals: 0 };
+            Machine::new(&p, CostModel::alpha_like()).run().unwrap().stats
+        };
+        assert_eq!(mk(None).mispredicts, 0);
+        assert_eq!(mk(Some(true)).mispredicts, 0);
+        assert_eq!(mk(Some(false)).mispredicts, 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! An instrumented register-machine virtual machine.
+//!
+//! The VM stands in for the paper's Alpha 3000/600: it executes the
+//! code produced by `lesgs-codegen` and counts exactly the events the
+//! paper's evaluation measures — stack references (by kind: parameter,
+//! save, restore, spill, temporary, outgoing argument), procedure
+//! activations (classified as syntactic/effective leaves), and a cycle
+//! count under a simple memory-latency cost model where loads complete
+//! a few cycles after they issue and uses of not-yet-ready registers
+//! stall. The latency model is what makes the eager-vs-lazy restore
+//! trade-off of §2.2 observable.
+
+pub mod cost;
+pub mod exec;
+pub mod instr;
+pub mod program;
+pub mod stats;
+pub mod value;
+
+pub use cost::CostModel;
+pub use exec::{Machine, VmError, VmOutcome};
+pub use instr::{CallTarget, Imm, Instr, SlotClass};
+pub use program::{VmFunc, VmProgram};
+pub use stats::{ActivationClass, RunStats};
+pub use value::Value;

@@ -1,0 +1,153 @@
+//! Execution statistics — the quantities the paper's evaluation
+//! reports.
+
+use std::collections::HashMap;
+
+use crate::instr::SlotClass;
+
+/// The four activation classes of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivationClass {
+    /// Made no calls, and its procedure contains none.
+    SyntacticLeaf,
+    /// Made no calls at run time although its procedure contains some.
+    NonSyntacticLeaf,
+    /// Made calls, but call-free paths exist.
+    NonSyntacticInternal,
+    /// Made calls, and every path calls (`ret ∈ S_t ∩ S_f`).
+    SyntacticInternal,
+}
+
+impl ActivationClass {
+    /// All four classes in Table 2 order.
+    pub const ALL: [ActivationClass; 4] = [
+        ActivationClass::SyntacticLeaf,
+        ActivationClass::NonSyntacticLeaf,
+        ActivationClass::NonSyntacticInternal,
+        ActivationClass::SyntacticInternal,
+    ];
+
+    /// Short label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ActivationClass::SyntacticLeaf => "syntactic leaf",
+            ActivationClass::NonSyntacticLeaf => "non-syntactic leaf",
+            ActivationClass::NonSyntacticInternal => "non-syntactic internal",
+            ActivationClass::SyntacticInternal => "syntactic internal",
+        }
+    }
+
+    /// An *effective leaf* activation made no calls (leaf classes).
+    pub fn is_effective_leaf(self) -> bool {
+        matches!(
+            self,
+            ActivationClass::SyntacticLeaf | ActivationClass::NonSyntacticLeaf
+        )
+    }
+}
+
+/// Counters collected during a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Simulated cycles (cost model applied).
+    pub cycles: u64,
+    /// Cycles lost waiting on in-flight loads.
+    pub stall_cycles: u64,
+    /// Stack loads by class.
+    pub stack_loads: HashMap<SlotClass, u64>,
+    /// Stack stores by class.
+    pub stack_stores: HashMap<SlotClass, u64>,
+    /// Non-tail calls executed.
+    pub calls: u64,
+    /// Tail calls executed.
+    pub tail_calls: u64,
+    /// Activations by class (Table 2).
+    pub activations: HashMap<ActivationClass, u64>,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Mispredicted branches (when prediction is modeled).
+    pub mispredicts: u64,
+    /// Heap-touching primitive operations.
+    pub heap_ops: u64,
+    /// Closure objects allocated.
+    pub closures_allocated: u64,
+}
+
+impl RunStats {
+    /// Total stack references (loads + stores), the paper's headline
+    /// metric for Table 3.
+    pub fn stack_refs(&self) -> u64 {
+        self.stack_loads.values().sum::<u64>()
+            + self.stack_stores.values().sum::<u64>()
+    }
+
+    /// Save-slot stores.
+    pub fn saves(&self) -> u64 {
+        *self.stack_stores.get(&SlotClass::Save).unwrap_or(&0)
+    }
+
+    /// Save-slot loads (restores).
+    pub fn restores(&self) -> u64 {
+        *self.stack_loads.get(&SlotClass::Save).unwrap_or(&0)
+    }
+
+    /// Total activations.
+    pub fn total_activations(&self) -> u64 {
+        self.activations.values().sum()
+    }
+
+    /// Fraction of activations in a class.
+    pub fn activation_fraction(&self, class: ActivationClass) -> f64 {
+        let total = self.total_activations();
+        if total == 0 {
+            0.0
+        } else {
+            *self.activations.get(&class).unwrap_or(&0) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of effective leaf activations (the paper's two-thirds
+    /// observation).
+    pub fn effective_leaf_fraction(&self) -> f64 {
+        ActivationClass::ALL
+            .iter()
+            .filter(|c| c.is_effective_leaf())
+            .map(|c| self.activation_fraction(*c))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_refs_sums_loads_and_stores() {
+        let mut s = RunStats::default();
+        s.stack_loads.insert(SlotClass::Save, 3);
+        s.stack_stores.insert(SlotClass::Param, 4);
+        s.stack_stores.insert(SlotClass::Save, 2);
+        assert_eq!(s.stack_refs(), 9);
+        assert_eq!(s.saves(), 2);
+        assert_eq!(s.restores(), 3);
+    }
+
+    #[test]
+    fn activation_fractions() {
+        let mut s = RunStats::default();
+        s.activations.insert(ActivationClass::SyntacticLeaf, 1);
+        s.activations.insert(ActivationClass::NonSyntacticLeaf, 2);
+        s.activations.insert(ActivationClass::SyntacticInternal, 1);
+        assert_eq!(s.total_activations(), 4);
+        assert!((s.effective_leaf_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(ActivationClass::ALL.len(), 4);
+        assert!(ActivationClass::SyntacticLeaf.is_effective_leaf());
+        assert!(!ActivationClass::SyntacticInternal.is_effective_leaf());
+    }
+}

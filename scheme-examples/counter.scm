@@ -1,0 +1,12 @@
+;; Closures, boxes, and globals working together.
+(define (make-counter)
+  (let ((n (box 0)))
+    (lambda ()
+      (set-box! n (+ (unbox n) 1))
+      (unbox n))))
+(define c1 (make-counter))
+(define c2 (make-counter))
+(c1) (c1) (c2)
+(display (c1)) (newline)   ; 3
+(display (c2)) (newline)   ; 2
+(list (c1) (c2))

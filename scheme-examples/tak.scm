@@ -1,0 +1,11 @@
+;; The paper's Table 4/5 benchmark. Try:
+;;   lesgsc stats scheme-examples/tak.scm
+;;   lesgsc stats --save early scheme-examples/tak.scm
+;;   lesgsc dis --regs 2 scheme-examples/tak.scm
+(define (tak x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+(tak 18 12 6)

@@ -1,0 +1,65 @@
+//! # lesgs — Register Allocation Using Lazy Saves, Eager Restores, and Greedy Shuffling
+//!
+//! A from-scratch Rust reproduction of Burger, Waddell & Dybvig
+//! (PLDI '95): the linear intraprocedural register allocation strategy
+//! used by Chez Scheme, together with everything needed to evaluate it —
+//! a mini-Scheme compiler, a reference interpreter, an instrumented
+//! register-machine VM with a memory-latency cost model, the Gabriel-
+//! style benchmark suite, and harnesses regenerating every table and
+//! figure in the paper.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`sexpr`] | `lesgs-sexpr` | S-expression reader/printer |
+//! | [`frontend`] | `lesgs-frontend` | desugaring, renaming, assignment & closure conversion |
+//! | [`interp`] | `lesgs-interp` | reference interpreter (differential oracle) |
+//! | [`ir`] | `lesgs-ir` | allocator IR, register sets, machine model |
+//! | [`allocator`] | `lesgs-core` | **the paper's contribution**: lazy saves, eager restores, greedy shuffling |
+//! | [`codegen`] | `lesgs-codegen` | IR → VM code |
+//! | [`vm`] | `lesgs-vm` | instrumented virtual machine |
+//! | [`compiler`] | `lesgs-compiler` | end-to-end driver |
+//! | [`suite`] | `lesgs-suite` | benchmarks and experiment machinery |
+//!
+//! # Quick start
+//!
+//! ```
+//! use lesgs::compiler::{run_source, CompilerConfig};
+//!
+//! let out = run_source(
+//!     "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1))))) (fact 10)",
+//!     &CompilerConfig::default(),
+//! ).unwrap();
+//! assert_eq!(out.value, "3628800");
+//! // The run is fully instrumented:
+//! assert!(out.stats.saves() > 0);
+//! assert!(out.stats.effective_leaf_fraction() > 0.0);
+//! ```
+//!
+//! # Comparing save strategies
+//!
+//! ```
+//! use lesgs::allocator::{AllocConfig, SaveStrategy};
+//! use lesgs::compiler::{run_source, CompilerConfig};
+//!
+//! let src = "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 12)";
+//! let run = |save| {
+//!     let cfg = CompilerConfig::with_alloc(AllocConfig { save, ..AllocConfig::default() });
+//!     run_source(src, &cfg).unwrap().stats
+//! };
+//! let lazy = run(SaveStrategy::Lazy);
+//! let early = run(SaveStrategy::Early);
+//! // Lazy placement executes fewer save stores than saving at entry.
+//! assert!(lazy.saves() < early.saves());
+//! ```
+
+pub use lesgs_codegen as codegen;
+pub use lesgs_compiler as compiler;
+pub use lesgs_core as allocator;
+pub use lesgs_frontend as frontend;
+pub use lesgs_interp as interp;
+pub use lesgs_ir as ir;
+pub use lesgs_sexpr as sexpr;
+pub use lesgs_suite as suite;
+pub use lesgs_vm as vm;

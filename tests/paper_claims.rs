@@ -1,0 +1,164 @@
+//! Executable versions of the paper's qualitative claims, run on the
+//! small-scale suite so they are cheap enough for `cargo test`.
+
+use lesgs::allocator::{AllocConfig, SaveStrategy};
+use lesgs::ir::MachineConfig;
+use lesgs::suite::measure::Measurement;
+use lesgs::suite::{all_benchmarks, measure, Scale};
+
+fn average<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
+    let v: Vec<f64> = xs.into_iter().collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// §1/§2: "syntactic leaf routines account for under one third of all
+/// procedure activations, [effective leaf routines] account for over
+/// two thirds" — our suite is more internal-heavy, so the executable
+/// claim is the *ordering*: effective leaves strictly dominate
+/// syntactic leaves, and both populations are substantial.
+#[test]
+fn effective_leaves_dominate_syntactic_leaves() {
+    let cfg = AllocConfig::paper_default();
+    let mut syntactic = Vec::new();
+    let mut effective = Vec::new();
+    for b in all_benchmarks() {
+        let run = measure(&b, Scale::Small, &cfg).unwrap();
+        if run.stats.total_activations() < 10 {
+            continue; // all-tail benchmarks have no meaningful split
+        }
+        syntactic.push(
+            run.stats
+                .activation_fraction(lesgs::vm::ActivationClass::SyntacticLeaf),
+        );
+        effective.push(run.stats.effective_leaf_fraction());
+    }
+    let syn = average(syntactic);
+    let eff = average(effective);
+    assert!(
+        eff > syn,
+        "effective leaves ({eff:.2}) must exceed syntactic leaves ({syn:.2})"
+    );
+    assert!(syn < 1.0 / 3.0 + 0.05, "syntactic leaves around or under one third");
+    assert!(eff > 0.35, "a large share of activations are effective leaves");
+}
+
+/// Table 3's ordering: lazy saves beat both the early and the late
+/// strategies on average, in stack references and in cycles.
+#[test]
+fn lazy_beats_early_and_late_on_average() {
+    let mut totals = std::collections::HashMap::new();
+    for b in all_benchmarks() {
+        let base = measure(&b, Scale::Small, &AllocConfig::baseline()).unwrap();
+        for save in [SaveStrategy::Lazy, SaveStrategy::Early, SaveStrategy::Late] {
+            let cfg = AllocConfig { save, ..AllocConfig::paper_default() };
+            let opt = measure(&b, Scale::Small, &cfg).unwrap();
+            assert_eq!(base.value, opt.value, "{} {save:?}", b.name);
+            let m = Measurement::compare(&base, &opt);
+            let e = totals.entry(format!("{save:?}")).or_insert((0.0, 0.0, 0));
+            e.0 += m.stack_ref_reduction();
+            e.1 += m.speedup_percent();
+            e.2 += 1;
+        }
+    }
+    let get = |k: &str| {
+        let (s, c, n) = totals[k];
+        (s / n as f64, c / n as f64)
+    };
+    let lazy = get("Lazy");
+    let early = get("Early");
+    let late = get("Late");
+    assert!(lazy.0 >= early.0, "lazy stack-ref {} >= early {}", lazy.0, early.0);
+    assert!(lazy.0 >= late.0, "lazy stack-ref {} >= late {}", lazy.0, late.0);
+    assert!(lazy.1 >= early.1, "lazy speedup {} >= early {}", lazy.1, early.1);
+    assert!(lazy.1 >= late.1, "lazy speedup {} >= late {}", lazy.1, late.1);
+}
+
+/// §2.2: eager restores run about as fast as lazy restores — the
+/// latency hidden by restoring early pays for the unnecessary loads.
+#[test]
+fn eager_restores_competitive_with_lazy() {
+    use lesgs::allocator::RestoreStrategy;
+    let mut ratios = Vec::new();
+    for b in all_benchmarks() {
+        let eager =
+            measure(&b, Scale::Small, &AllocConfig::paper_default()).unwrap();
+        let lazy = measure(
+            &b,
+            Scale::Small,
+            &AllocConfig {
+                restore: RestoreStrategy::Lazy,
+                ..AllocConfig::paper_default()
+            },
+        )
+        .unwrap();
+        assert_eq!(eager.value, lazy.value, "{}", b.name);
+        ratios.push(lazy.stats.cycles as f64 / eager.stats.cycles as f64);
+    }
+    let avg = average(ratios);
+    assert!(
+        avg >= 0.97,
+        "eager must not lose to lazy restores on average, ratio {avg:.3}"
+    );
+}
+
+/// §3.1: the greedy shuffler is optimal at (nearly) all call sites.
+#[test]
+fn greedy_shuffling_nearly_always_optimal() {
+    let cfg = lesgs::compiler::CompilerConfig::default();
+    let mut sites = 0usize;
+    let mut matches = 0usize;
+    for b in all_benchmarks() {
+        let compiled =
+            lesgs::compiler::compile(b.source(Scale::Standard), &cfg).unwrap();
+        let s = compiled.shuffle_stats();
+        sites += s.call_sites;
+        matches += s.sites_greedy_optimal;
+    }
+    assert!(sites > 100, "need a meaningful population, got {sites}");
+    let frac = matches as f64 / sites as f64;
+    assert!(frac > 0.99, "greedy optimal at {frac:.3} of {sites} sites");
+}
+
+/// §4: performance increases monotonically with the number of argument
+/// registers (small tolerance for plateaus).
+#[test]
+fn register_count_sweep_is_monotone() {
+    for b in all_benchmarks() {
+        let mut last = f64::INFINITY;
+        for c in [0usize, 2, 4, 6] {
+            let cfg = AllocConfig {
+                machine: MachineConfig::with_arg_regs(c),
+                ..AllocConfig::paper_default()
+            };
+            let run = measure(&b, Scale::Small, &cfg).unwrap();
+            let cycles = run.stats.cycles as f64;
+            assert!(
+                cycles <= last * 1.02,
+                "{}: c={c} regressed ({cycles} vs {last})",
+                b.name
+            );
+            last = cycles;
+        }
+    }
+}
+
+/// Table 5's shape: lazy saves help the callee-save discipline, and the
+/// caller-save lazy configuration is fastest on tak.
+#[test]
+fn callee_save_lazy_and_caller_save_ordering_on_tak() {
+    use lesgs::allocator::Discipline;
+    let tak = lesgs::suite::programs::benchmark("tak").unwrap();
+    let run = |save, discipline| {
+        let cfg = AllocConfig {
+            save,
+            discipline,
+            ..AllocConfig::paper_default()
+        };
+        measure(&tak, Scale::Small, &cfg).unwrap().stats.cycles
+    };
+    let callee_early = run(SaveStrategy::Early, Discipline::CalleeSave);
+    let callee_lazy = run(SaveStrategy::Lazy, Discipline::CalleeSave);
+    let caller_lazy = run(SaveStrategy::Lazy, Discipline::CallerSave);
+    assert!(callee_lazy < callee_early, "lazy helps callee-save");
+    assert!(caller_lazy <= callee_lazy, "caller-save lazy fastest");
+}

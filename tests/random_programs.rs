@@ -1,0 +1,106 @@
+//! Property-based differential testing: randomly generated (total,
+//! terminating) mini-Scheme programs must evaluate identically in the
+//! reference interpreter and in the compiled VM under a spread of
+//! allocator configurations.
+
+use proptest::prelude::*;
+
+use lesgs::allocator::{AllocConfig, SaveStrategy, ShuffleStrategy};
+use lesgs::compiler::differential_check;
+use lesgs::ir::MachineConfig;
+
+/// Fixed helper procedures callable from generated code; all total.
+const HELPERS: &str = "
+(define (dbl x) (+ x x))
+(define (count n) (if (<= n 0) 0 (+ 1 (count (- n 1)))))
+(define (sum3 a b c) (+ a (+ b c)))
+(define (pick p a b) (if p a b))
+";
+
+fn configs() -> Vec<AllocConfig> {
+    let mut out = Vec::new();
+    for save in [SaveStrategy::Lazy, SaveStrategy::Early, SaveStrategy::Late] {
+        for c in [0usize, 6] {
+            out.push(AllocConfig {
+                save,
+                machine: MachineConfig::with_arg_regs(c),
+                ..AllocConfig::default()
+            });
+        }
+    }
+    out.push(AllocConfig {
+        shuffle: ShuffleStrategy::FixedOrder,
+        machine: MachineConfig::with_arg_regs(3),
+        ..AllocConfig::default()
+    });
+    out
+}
+
+/// Generates an expression using only the variables in `vars`.
+fn arb_expr(depth: u32, vars: Vec<String>) -> BoxedStrategy<String> {
+    // Every generated expression is numeric, so programs are total
+    // and type-correct by construction; booleans only appear inside
+    // predicate positions ((odd? _), (even? _), (< _ _)).
+    let leaf = {
+        let vars = vars.clone();
+        prop_oneof![
+            (-9i64..=9).prop_map(|n| n.to_string()),
+            proptest::sample::select(
+                vars.iter().cloned().chain(["0".to_owned()]).collect::<Vec<_>>()
+            ),
+        ]
+    };
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = {
+        let vars = vars.clone();
+        move || arb_expr(depth - 1, vars.clone())
+    };
+    let fresh = format!("v{depth}");
+    let let_vars = {
+        let mut vs = vars.clone();
+        vs.push(fresh.clone());
+        vs
+    };
+    prop_oneof![
+        3 => leaf,
+        2 => (sub(), sub()).prop_map(|(a, b)| format!("(+ {a} {b})")),
+        2 => (sub(), sub()).prop_map(|(a, b)| format!("(- {a} {b})")),
+        1 => (sub(), sub())
+            .prop_map(|(a, b)| format!("(remainder (* {a} {b}) 10007)")),
+        2 => (sub(), sub(), sub())
+            .prop_map(|(c, t, e)| format!("(if (odd? {c}) {t} {e})")),
+        1 => (sub(), sub(), sub())
+            .prop_map(|(c, t, e)| format!("(if (and (< {c} {t}) (< {t} {e})) {c} {e})")),
+        2 => (sub(), arb_expr(depth - 1, let_vars.clone())).prop_map(
+            move |(rhs, body)| format!("(let (({fresh} {rhs})) {body})")
+        ),
+        1 => sub().prop_map(|a| format!("(dbl {a})")),
+        1 => sub().prop_map(|a| format!("(count (remainder {a} 7))")),
+        2 => (sub(), sub(), sub())
+            .prop_map(|(a, b, c)| format!("(sum3 {a} {b} {c})")),
+        1 => (sub(), sub(), sub())
+            .prop_map(|(p, a, b)| format!("(pick (even? {p}) {a} {b})")),
+        1 => (sub(), sub())
+            .prop_map(|(a, b)| format!("((lambda (q r) (- r q)) {a} {b})")),
+    ]
+    .boxed()
+}
+
+fn arb_program() -> impl Strategy<Value = String> {
+    arb_expr(4, vec![]).prop_map(|e| format!("{HELPERS}\n{e}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_programs_compile_and_agree(src in arb_program()) {
+        differential_check(&src, &configs(), 2_000_000)
+            .unwrap_or_else(|e| panic!("{e}\nprogram:\n{src}"));
+    }
+}

@@ -1,0 +1,58 @@
+//! The static dataflow validator must accept every allocation of every
+//! benchmark under every configuration — a save/restore placement bug
+//! anywhere in the matrix fails here with a precise message.
+
+use lesgs::allocator::verify::verify_program;
+use lesgs::compiler::{compile, config_matrix, CompilerConfig};
+use lesgs::suite::{all_benchmarks, Scale};
+
+#[test]
+fn every_configuration_verifies_statically() {
+    for b in all_benchmarks() {
+        for alloc in config_matrix() {
+            let cfg = CompilerConfig::with_alloc(alloc);
+            let compiled = compile(b.source(Scale::Small), &cfg)
+                .unwrap_or_else(|e| panic!("{} {alloc:?}: {e}", b.name));
+            let errors = verify_program(&compiled.allocated);
+            assert!(
+                errors.is_empty(),
+                "{} under {alloc:?}: {errors:?}",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn saved_registers_all_have_save_slots() {
+    // Frame-layout consistency: every register appearing in a Save or
+    // restore set must have a save slot in the layout.
+    use lesgs::allocator::alloc::AExpr;
+    for b in all_benchmarks() {
+        let cfg = CompilerConfig::default();
+        let compiled = compile(b.source(Scale::Small), &cfg).unwrap();
+        for f in &compiled.allocated.funcs {
+            f.body.visit(&mut |e| match e {
+                AExpr::Save { regs, exit_restore, .. } => {
+                    for r in regs.iter().chain(exit_restore.iter()) {
+                        assert!(
+                            f.frame.save_regs.contains(r),
+                            "{}: {r} lacks a save slot",
+                            f.name
+                        );
+                    }
+                }
+                AExpr::Call(c) => {
+                    for r in c.restore.iter() {
+                        assert!(
+                            f.frame.save_regs.contains(r),
+                            "{}: restore of {r} without slot",
+                            f.name
+                        );
+                    }
+                }
+                _ => {}
+            });
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The interpreter and the VM carry separate value representations;
+//! differential testing only works if their `display`/`write`
+//! renderings agree on every datum. This property test hammers that
+//! agreement through the whole pipeline with quoted random data.
+
+use proptest::prelude::*;
+
+/// Generates a printable datum expression.
+fn arb_datum(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (-999i64..=999).prop_map(|n| n.to_string()),
+        Just("#t".to_owned()),
+        Just("#f".to_owned()),
+        "[a-z][a-z0-9-]{0,6}".prop_map(|s| s),
+        Just("()".to_owned()),
+        prop_oneof![Just("#\\a"), Just("#\\space"), Just("#\\newline")]
+            .prop_map(|s| s.to_owned()),
+        "[ a-zA-Z0-9]{0,8}".prop_map(|s| format!("\"{s}\"")),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    prop_oneof![
+        3 => leaf,
+        2 => proptest::collection::vec(arb_datum(depth - 1), 0..4)
+            .prop_map(|items| format!("({})", items.join(" "))),
+        1 => proptest::collection::vec(arb_datum(depth - 1), 0..4)
+            .prop_map(|items| format!("#({})", items.join(" "))),
+        1 => (arb_datum(depth - 1), arb_datum(depth - 1))
+            .prop_map(|(a, b)| format!("({a} . {b})")),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Quoted data renders identically through the interpreter and the
+    /// compiled VM, in both display and write styles.
+    #[test]
+    fn quoted_data_renders_identically(d in arb_datum(3)) {
+        let src = format!("(display '{d}) (newline) (write '{d}) '{d}");
+        let oracle = lesgs::interp::run_source(&src, 1_000_000)
+            .expect("interpreter accepts the datum");
+        let cfg = lesgs::compiler::CompilerConfig {
+            poison: true,
+            ..Default::default()
+        };
+        let vm = lesgs::compiler::run_source(&src, &cfg)
+            .expect("compiler accepts the datum");
+        prop_assert_eq!(&vm.output, &oracle.output, "display/write of {}", d);
+        prop_assert_eq!(&vm.value, &oracle.value, "final value of {}", d);
+    }
+
+    /// The reader round-trips its own printer output for quoted data.
+    #[test]
+    fn reader_roundtrips_printed_data(d in arb_datum(3)) {
+        let parsed = lesgs::sexpr::parse_one(&d).expect("generated datum parses");
+        let printed = parsed.to_string();
+        let reparsed = lesgs::sexpr::parse_one(&printed)
+            .expect("printed datum parses");
+        prop_assert_eq!(parsed, reparsed);
+    }
+}
+
+#[test]
+fn shipped_scheme_examples_pass_differential_check() {
+    for file in ["tak.scm", "counter.scm", "sieve.scm"] {
+        let path = format!("{}/scheme-examples/{file}", env!("CARGO_MANIFEST_DIR"));
+        let src = std::fs::read_to_string(&path).unwrap();
+        lesgs::compiler::differential_check(
+            &src,
+            &lesgs::compiler::config_matrix(),
+            200_000_000,
+        )
+        .unwrap_or_else(|e| panic!("{file}: {e}"));
+    }
+}
