@@ -1,8 +1,10 @@
-//! Criterion benches for the allocator's hot kernels: the two linear
-//! passes (§3), greedy vs exhaustive shuffling (§3.1), and full
-//! compilation.
+//! Benches for the allocator's hot kernels: the two linear passes
+//! (§3), greedy vs exhaustive shuffling (§3.1), and full compilation.
+//!
+//! Gated behind the `bench-harness` feature; run with
+//! `cargo bench -p lesgs-bench --features bench-harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lesgs_bench::harness;
 use lesgs_core::alloc::ArgRef;
 use lesgs_core::config::SaveStrategy;
 use lesgs_core::shuffle::{self, NodeSpec, Problem, Target};
@@ -12,27 +14,24 @@ use lesgs_ir::machine::arg_reg;
 use lesgs_ir::{lower_program, RegSet};
 use lesgs_suite::programs::{benchmark, Scale};
 
-fn bench_passes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("allocation-passes");
+fn bench_passes() {
+    let mut group = harness::group("allocation-passes");
     for name in ["tak", "deriv", "queens"] {
         let b = benchmark(name).expect("benchmark exists");
-        let ir = lower_program(
-            &pipeline::front_to_closed(b.source(Scale::Standard)).expect("compiles"),
-        );
+        let ir =
+            lower_program(&pipeline::front_to_closed(b.source(Scale::Standard)).expect("compiles"));
         for (label, save) in [
             ("lazy", SaveStrategy::Lazy),
             ("early", SaveStrategy::Early),
             ("late", SaveStrategy::Late),
         ] {
-            let cfg = AllocConfig { save, ..AllocConfig::paper_default() };
-            group.bench_with_input(
-                BenchmarkId::new(label, name),
-                &ir,
-                |bencher, ir| bencher.iter(|| allocate_program(ir, &cfg)),
-            );
+            let cfg = AllocConfig {
+                save,
+                ..AllocConfig::paper_default()
+            };
+            group.bench(&format!("{label}/{name}"), || allocate_program(&ir, &cfg));
         }
     }
-    group.finish();
 }
 
 fn swap_heavy_problem(n: usize) -> Problem {
@@ -51,39 +50,32 @@ fn swap_heavy_problem(n: usize) -> Problem {
     }
 }
 
-fn bench_shuffle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("shuffle");
+fn bench_shuffle() {
+    let mut group = harness::group("shuffle");
     for n in [3usize, 6] {
         let p = swap_heavy_problem(n);
-        group.bench_with_input(BenchmarkId::new("greedy", n), &p, |b, p| {
-            b.iter(|| shuffle::greedy(p))
+        group.bench(&format!("greedy/{n}"), || shuffle::greedy(&p));
+        group.bench(&format!("optimal-exhaustive/{n}"), || {
+            shuffle::optimal_temp_count(&p)
         });
-        group.bench_with_input(
-            BenchmarkId::new("optimal-exhaustive", n),
-            &p,
-            |b, p| b.iter(|| shuffle::optimal_temp_count(p)),
-        );
-        group.bench_with_input(BenchmarkId::new("fixed-order", n), &p, |b, p| {
-            b.iter(|| shuffle::fixed_order(p))
-        });
+        group.bench(&format!("fixed-order/{n}"), || shuffle::fixed_order(&p));
     }
-    group.finish();
 }
 
-fn bench_compile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full-compile");
+fn bench_compile() {
+    let mut group = harness::group("full-compile");
     for name in ["tak", "dderiv", "takr"] {
         let b = benchmark(name).expect("benchmark exists");
         let src = b.source(Scale::Standard).to_owned();
-        group.bench_with_input(BenchmarkId::from_parameter(name), &src, |bencher, src| {
-            bencher.iter(|| {
-                lesgs_compiler::compile(src, &lesgs_compiler::CompilerConfig::default())
-                    .expect("compiles")
-            })
+        group.bench(name, || {
+            lesgs_compiler::compile(&src, &lesgs_compiler::CompilerConfig::default())
+                .expect("compiles")
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_passes, bench_shuffle, bench_compile);
-criterion_main!(benches);
+fn main() {
+    bench_passes();
+    bench_shuffle();
+    bench_compile();
+}

@@ -1,17 +1,19 @@
-//! Criterion benches for simulated execution: the wall-clock cost of
-//! running benchmarks on the instrumented VM under each save strategy
-//! (the simulator analogue of Table 3's measurement loop).
+//! Benches for simulated execution: the wall-clock cost of running
+//! benchmarks on the instrumented VM under each save strategy (the
+//! simulator analogue of Table 3's measurement loop).
+//!
+//! Gated behind the `bench-harness` feature; run with
+//! `cargo bench -p lesgs-bench --features bench-harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lesgs_bench::harness;
 use lesgs_compiler::{compile, CompilerConfig};
 use lesgs_core::config::SaveStrategy;
 use lesgs_core::AllocConfig;
 use lesgs_suite::programs::{benchmark, Scale};
 use lesgs_vm::{CostModel, Machine};
 
-fn bench_vm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vm-execution");
-    group.sample_size(20);
+fn bench_vm() {
+    let mut group = harness::group("vm-execution");
     for name in ["tak", "queens"] {
         let b = benchmark(name).expect("benchmark exists");
         for (label, save) in [
@@ -20,51 +22,43 @@ fn bench_vm(c: &mut Criterion) {
             ("late", SaveStrategy::Late),
         ] {
             let cfg = CompilerConfig {
-                alloc: AllocConfig { save, ..AllocConfig::paper_default() },
+                alloc: AllocConfig {
+                    save,
+                    ..AllocConfig::paper_default()
+                },
                 ..CompilerConfig::default()
             };
-            let compiled =
-                compile(b.source(Scale::Small), &cfg).expect("compiles");
-            group.bench_with_input(
-                BenchmarkId::new(label, name),
-                &compiled,
-                |bencher, compiled| {
-                    bencher.iter(|| {
-                        Machine::new(&compiled.vm, CostModel::alpha_like())
-                            .run()
-                            .expect("runs")
-                    })
-                },
-            );
+            let compiled = compile(b.source(Scale::Small), &cfg).expect("compiles");
+            group.bench(&format!("{label}/{name}"), || {
+                Machine::new(&compiled.vm, CostModel::alpha_like())
+                    .run()
+                    .expect("runs")
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_baseline_vs_six(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vm-baseline-vs-six-registers");
-    group.sample_size(20);
+fn bench_baseline_vs_six() {
+    let mut group = harness::group("vm-baseline-vs-six-registers");
     let b = benchmark("tak").expect("benchmark exists");
     for (label, alloc) in [
         ("baseline", AllocConfig::baseline()),
         ("six-registers", AllocConfig::paper_default()),
     ] {
-        let cfg = CompilerConfig { alloc, ..CompilerConfig::default() };
+        let cfg = CompilerConfig {
+            alloc,
+            ..CompilerConfig::default()
+        };
         let compiled = compile(b.source(Scale::Small), &cfg).expect("compiles");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(label),
-            &compiled,
-            |bencher, compiled| {
-                bencher.iter(|| {
-                    Machine::new(&compiled.vm, CostModel::alpha_like())
-                        .run()
-                        .expect("runs")
-                })
-            },
-        );
+        group.bench(label, || {
+            Machine::new(&compiled.vm, CostModel::alpha_like())
+                .run()
+                .expect("runs")
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_vm, bench_baseline_vs_six);
-criterion_main!(benches);
+fn main() {
+    bench_vm();
+    bench_baseline_vs_six();
+}

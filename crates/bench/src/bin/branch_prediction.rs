@@ -10,7 +10,10 @@ use lesgs_suite::tables::{pct, Table};
 fn main() {
     let scale = scale_from_args();
     let off = AllocConfig::paper_default();
-    let on = AllocConfig { branch_prediction: true, ..off };
+    let on = AllocConfig {
+        branch_prediction: true,
+        ..off
+    };
 
     let mut t = Table::new(vec![
         "benchmark".into(),

@@ -16,7 +16,10 @@ fn show(name: &str, derived: (RegSet, RegSet), expanded: &Toy) {
         direct.0,
         direct.1
     );
-    assert_eq!(derived, direct, "Figure 1 equation must match the expansion");
+    assert_eq!(
+        derived, direct,
+        "Figure 1 equation must match the expansion"
+    );
 }
 
 fn main() {
@@ -31,17 +34,31 @@ fn main() {
 
     let a = Toy::if_(x.clone(), call.clone(), Toy::False);
     let b = call.clone();
-    show("(and E1 E2)", figure1::s_and(&a, &b), &Toy::and(a.clone(), b.clone()));
+    show(
+        "(and E1 E2)",
+        figure1::s_and(&a, &b),
+        &Toy::and(a.clone(), b.clone()),
+    );
 
     let c = Toy::if_(x.clone(), Toy::True, call.clone());
-    show("(or E1 E2)", figure1::s_or(&c, &x), &Toy::or(c.clone(), x.clone()));
+    show(
+        "(or E1 E2)",
+        figure1::s_or(&c, &x),
+        &Toy::or(c.clone(), x.clone()),
+    );
 
     println!("\nThe paper's §2.1.2 worked example:");
     let inner = Toy::if_(x.clone(), call.clone(), Toy::False);
     let outer = Toy::if_(inner.clone(), Toy::Var(arg_reg(1)), call.clone());
     println!("  A = (if (if x call false) y call)");
-    println!("  inner save set = {} (nothing saved around the inner if)", save_set(&inner));
-    println!("  outer save set = {} (all live registers, as required)", save_set(&outer));
+    println!(
+        "  inner save set = {} (nothing saved around the inner if)",
+        save_set(&inner)
+    );
+    println!(
+        "  outer save set = {} (all live registers, as required)",
+        save_set(&outer)
+    );
     assert_eq!(save_set(&inner), RegSet::EMPTY);
     assert_eq!(save_set(&outer), live);
     println!("\nAll Figure 1 equations verified.");

@@ -28,7 +28,10 @@ fn main() {
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let on = run_source(
             src,
-            &CompilerConfig { lambda_lift: true, ..CompilerConfig::default() },
+            &CompilerConfig {
+                lambda_lift: true,
+                ..CompilerConfig::default()
+            },
         )
         .unwrap_or_else(|e| panic!("{} (lifted): {e}", b.name));
         assert_eq!(off.value, on.value, "{}", b.name);

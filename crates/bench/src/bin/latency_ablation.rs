@@ -12,9 +12,9 @@
 
 use lesgs_bench::{geometric_mean, lazy_restore_config, scale_from_args};
 use lesgs_core::AllocConfig;
+use lesgs_suite::all_benchmarks;
 use lesgs_suite::measure::measure_with_cost;
 use lesgs_suite::tables::Table;
-use lesgs_suite::all_benchmarks;
 use lesgs_vm::CostModel;
 
 fn main() {
@@ -25,7 +25,10 @@ fn main() {
         "winner".into(),
     ]);
     for latency in [0u64, 1, 2, 3, 5, 8] {
-        let cost = CostModel { load_latency: latency, ..CostModel::alpha_like() };
+        let cost = CostModel {
+            load_latency: latency,
+            ..CostModel::alpha_like()
+        };
         let mut ratios = Vec::new();
         for b in all_benchmarks() {
             let eager = measure_with_cost(&b, scale, &AllocConfig::paper_default(), cost)

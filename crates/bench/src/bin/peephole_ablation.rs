@@ -25,7 +25,10 @@ fn main() {
         let src = b.source(scale);
         let off = run_source(
             src,
-            &CompilerConfig { no_peephole: true, ..CompilerConfig::default() },
+            &CompilerConfig {
+                no_peephole: true,
+                ..CompilerConfig::default()
+            },
         )
         .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let on = run_source(src, &CompilerConfig::default())

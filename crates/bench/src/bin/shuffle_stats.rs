@@ -29,8 +29,8 @@ fn main() {
     let mut no_takr_sites = 0usize;
     let mut no_takr_cycles = 0usize;
     for b in all_benchmarks() {
-        let compiled = compile(b.source(Scale::Standard), &cfg)
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let compiled =
+            compile(b.source(Scale::Standard), &cfg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let s = compiled.shuffle_stats();
         total_sites += s.call_sites;
         total_cycles += s.sites_with_cycles;

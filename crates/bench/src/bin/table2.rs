@@ -28,10 +28,7 @@ fn main() {
     let mut eff = Vec::new();
     for b in all_benchmarks() {
         let run = run_benchmark(&b, scale, &cfg);
-        let mut cells = vec![
-            b.name.to_owned(),
-            run.stats.total_activations().to_string(),
-        ];
+        let mut cells = vec![b.name.to_owned(), run.stats.total_activations().to_string()];
         for (i, class) in ActivationClass::ALL.iter().enumerate() {
             let f = run.stats.activation_fraction(*class);
             class_avgs[i].push(f);
@@ -49,9 +46,7 @@ fn main() {
 
     println!("Table 2: dynamic call graph summary ({scale:?} scale)");
     println!("{table}");
-    println!(
-        "Paper: syntactic leaves < 1/3 of activations; effective leaves > 2/3."
-    );
+    println!("Paper: syntactic leaves < 1/3 of activations; effective leaves > 2/3.");
     println!(
         "Here: syntactic leaves = {}, effective leaves = {}.",
         frac_pct(mean(&class_avgs[0])),

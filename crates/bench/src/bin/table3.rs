@@ -9,9 +9,9 @@
 
 use lesgs_bench::{mean, run_benchmark, save_strategies, scale_from_args};
 use lesgs_core::AllocConfig;
+use lesgs_suite::all_benchmarks;
 use lesgs_suite::measure::Measurement;
 use lesgs_suite::tables::{pct, Table};
-use lesgs_suite::all_benchmarks;
 
 fn main() {
     let scale = scale_from_args();
@@ -29,7 +29,10 @@ fn main() {
         let base = run_benchmark(&b, scale, &baseline_cfg);
         let mut cells = vec![b.name.to_owned()];
         for (i, (_, save)) in save_strategies().into_iter().enumerate() {
-            let cfg = AllocConfig { save, ..AllocConfig::paper_default() };
+            let cfg = AllocConfig {
+                save,
+                ..AllocConfig::paper_default()
+            };
             let opt = run_benchmark(&b, scale, &cfg);
             assert_eq!(
                 base.value, opt.value,

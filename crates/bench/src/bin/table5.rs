@@ -16,10 +16,8 @@ fn main() {
     let scale = scale_from_args();
     let tak = benchmark("tak").expect("tak exists");
 
-    let callee_early =
-        run_benchmark(&tak, scale, &callee_save_config(SaveStrategy::Early));
-    let callee_lazy =
-        run_benchmark(&tak, scale, &callee_save_config(SaveStrategy::Lazy));
+    let callee_early = run_benchmark(&tak, scale, &callee_save_config(SaveStrategy::Early));
+    let callee_lazy = run_benchmark(&tak, scale, &callee_save_config(SaveStrategy::Lazy));
     let caller_lazy = run_benchmark(&tak, scale, &AllocConfig::paper_default());
     let caller_early = run_benchmark(
         &tak,

@@ -1,0 +1,58 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The workspace builds in offline environments where `criterion`
+//! cannot be fetched, so the benches run on this dependency-free
+//! stand-in: warm up, time a fixed batch of iterations a few times,
+//! report the best and median per-iteration cost. No statistics beyond
+//! that — the benches exist to compare configurations, and min/median
+//! over batches is stable enough for that.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Number of timed batches per benchmark.
+const BATCHES: usize = 7;
+/// Target wall-clock time per batch.
+const BATCH_TARGET_NANOS: u128 = 40_000_000;
+
+/// A named group of benchmarks, printed as a section.
+pub struct Group {
+    name: String,
+}
+
+/// Creates a benchmark group.
+pub fn group(name: &str) -> Group {
+    println!("\n== {name} ==");
+    Group {
+        name: name.to_owned(),
+    }
+}
+
+impl Group {
+    /// Times `f`, printing per-iteration cost under `id`.
+    pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) {
+        // Warm up and size the batch so one batch lands near the
+        // target duration.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_nanos().max(1);
+        let iters = (BATCH_TARGET_NANOS / once).clamp(1, 1_000_000) as usize;
+
+        let mut per_iter: Vec<u128> = (0..BATCHES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() / iters as u128
+            })
+            .collect();
+        per_iter.sort_unstable();
+        println!(
+            "{}/{id}: best {} ns/iter, median {} ns/iter ({iters} iters/batch)",
+            self.name,
+            per_iter[0],
+            per_iter[BATCHES / 2]
+        );
+    }
+}

@@ -4,6 +4,8 @@
 //! paper; see DESIGN.md's experiment index. This library holds the
 //! common runners.
 
+pub mod harness;
+
 use lesgs_core::config::{Discipline, RestoreStrategy, SaveStrategy};
 use lesgs_core::AllocConfig;
 use lesgs_suite::{measure, programs, BenchmarkRun, Scale};
@@ -28,7 +30,10 @@ pub fn save_strategies() -> [(&'static str, SaveStrategy); 3] {
 
 /// Standard configurations used across the harnesses.
 pub fn config_with_save(save: SaveStrategy) -> AllocConfig {
-    AllocConfig { save, ..AllocConfig::paper_default() }
+    AllocConfig {
+        save,
+        ..AllocConfig::paper_default()
+    }
 }
 
 /// The callee-save configuration modelling the C compilers of
@@ -50,13 +55,8 @@ pub fn lazy_restore_config() -> AllocConfig {
 }
 
 /// Runs one benchmark, aborting the harness on failure.
-pub fn run_benchmark(
-    bench: &programs::Benchmark,
-    scale: Scale,
-    cfg: &AllocConfig,
-) -> BenchmarkRun {
-    measure(bench, scale, cfg)
-        .unwrap_or_else(|e| panic!("benchmark {} failed: {e}", bench.name))
+pub fn run_benchmark(bench: &programs::Benchmark, scale: Scale, cfg: &AllocConfig) -> BenchmarkRun {
+    measure(bench, scale, cfg).unwrap_or_else(|e| panic!("benchmark {} failed: {e}", bench.name))
 }
 
 /// Geometric-mean helper for averaging ratios.

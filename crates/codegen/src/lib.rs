@@ -14,8 +14,7 @@
 pub mod peephole;
 
 use lesgs_core::alloc::{
-    ACallee, AExpr, AllocatedFunc, AllocatedProgram, ArgRef, Dest, Home, Slot, Step,
-    TempLoc,
+    ACallee, AExpr, AllocatedFunc, AllocatedProgram, ArgRef, Dest, Home, Slot, Step, TempLoc,
 };
 use lesgs_core::frame::FrameLayout;
 use lesgs_frontend::{Const, FuncId, Prim};
@@ -124,10 +123,7 @@ impl Emitter<'_> {
     }
 
     fn temp_offset(&self, i: u32) -> u32 {
-        self.layout.n_incoming
-            + self.layout.save_regs.len() as u32
-            + self.layout.n_spills
-            + i
+        self.layout.n_incoming + self.layout.save_regs.len() as u32 + self.layout.n_spills + i
     }
 
     fn slot_offset(&self, s: Slot) -> u32 {
@@ -149,14 +145,22 @@ impl Emitter<'_> {
     fn emit_saves(&mut self, regs: RegSet) {
         for r in regs.iter() {
             let slot = self.layout.offset(Slot::Save(r));
-            self.emit(Instr::StackStore { slot, src: r, class: SlotClass::Save });
+            self.emit(Instr::StackStore {
+                slot,
+                src: r,
+                class: SlotClass::Save,
+            });
         }
     }
 
     fn emit_restores(&mut self, regs: RegSet) {
         for r in regs.iter() {
             let slot = self.layout.offset(Slot::Save(r));
-            self.emit(Instr::StackLoad { dst: r, slot, class: SlotClass::Save });
+            self.emit(Instr::StackLoad {
+                dst: r,
+                slot,
+                class: SlotClass::Save,
+            });
         }
     }
 
@@ -270,7 +274,11 @@ impl Emitter<'_> {
                 }
             }
         }
-        self.emit(Instr::Prim { op: p, dst, args: regs });
+        self.emit(Instr::Prim {
+            op: p,
+            dst,
+            args: regs,
+        });
         for r in to_release {
             self.release_scratch(r);
         }
@@ -306,7 +314,11 @@ impl Emitter<'_> {
             }
             Dest::Temp(TempLoc::Frame(k)) => {
                 let slot = self.temp_offset(plan_temp_base + k);
-                self.emit(Instr::StackStore { slot, src, class: SlotClass::Temp });
+                self.emit(Instr::StackStore {
+                    slot,
+                    src,
+                    class: SlotClass::Temp,
+                });
             }
         }
     }
@@ -323,9 +335,7 @@ impl Emitter<'_> {
                 Step::Eval { arg, dst: d } => {
                     let expr: &AExpr = match arg {
                         ArgRef::Arg(i) => &node.args[*i as usize],
-                        ArgRef::Closure => {
-                            node.closure.as_deref().expect("closure present")
-                        }
+                        ArgRef::Closure => node.closure.as_deref().expect("closure present"),
                     };
                     match d {
                         Dest::Reg(r) | Dest::Temp(TempLoc::Reg(r)) => {
@@ -383,8 +393,12 @@ impl Emitter<'_> {
                 .steps
                 .iter()
                 .filter_map(|st| match st {
-                    Step::Eval { dst: Dest::Out(j), .. }
-                    | Step::Move { dst: Dest::Out(j), .. } => Some(j + 1),
+                    Step::Eval {
+                        dst: Dest::Out(j), ..
+                    }
+                    | Step::Move {
+                        dst: Dest::Out(j), ..
+                    } => Some(j + 1),
                     _ => None,
                 })
                 .max()
@@ -397,13 +411,20 @@ impl Emitter<'_> {
                     class: SlotClass::OutArg,
                 });
                 self.patches.push((idx, PatchKind::OutSlot(i)));
-                self.emit(Instr::StackStore { slot: i, src: s, class: SlotClass::OutArg });
+                self.emit(Instr::StackStore {
+                    slot: i,
+                    src: s,
+                    class: SlotClass::OutArg,
+                });
                 self.release_scratch(s);
             }
             self.emit(Instr::TailCall { target });
             // Control never returns; dst is left untouched.
         } else {
-            let idx = self.emit(Instr::Call { target, frame_advance: u32::MAX });
+            let idx = self.emit(Instr::Call {
+                target,
+                frame_advance: u32::MAX,
+            });
             self.patches.push((idx, PatchKind::FrameAdvance));
             self.emit_restores(node.restore);
             if dst != RV {
@@ -432,7 +453,11 @@ impl Emitter<'_> {
             }
             AExpr::ReadHome(Home::Slot(s)) => {
                 let slot = self.slot_offset(*s);
-                self.emit(Instr::StackLoad { dst, slot, class: Self::slot_class(*s) });
+                self.emit(Instr::StackLoad {
+                    dst,
+                    slot,
+                    class: Self::slot_class(*s),
+                });
             }
             AExpr::FreeRef(i) => {
                 self.emit(Instr::LoadFree { dst, index: *i });
@@ -442,13 +467,24 @@ impl Emitter<'_> {
             }
             AExpr::GlobalSet { index, value } => {
                 let (r, scratch) = self.value_to_rv(value);
-                self.emit(Instr::StoreGlobal { index: *index, src: r });
+                self.emit(Instr::StoreGlobal {
+                    index: *index,
+                    src: r,
+                });
                 if scratch {
                     self.release_scratch(r);
                 }
-                self.emit(Instr::LoadImm { dst, imm: Imm::Void });
+                self.emit(Instr::LoadImm {
+                    dst,
+                    imm: Imm::Void,
+                });
             }
-            AExpr::If { cond, then, els, predict } => {
+            AExpr::If {
+                cond,
+                then,
+                els,
+                predict,
+            } => {
                 let (c, scratch) = self.value_to_rv(cond);
                 let taken_label = self.new_label();
                 let end_label = self.new_label();
@@ -509,7 +545,12 @@ impl Emitter<'_> {
                 self.expr(body, dst);
             }
             AExpr::PrimApp(p, args) => self.primapp(*p, args, dst),
-            AExpr::Save { regs, exit_restore, body, .. } => {
+            AExpr::Save {
+                regs,
+                exit_restore,
+                body,
+                ..
+            } => {
                 self.emit_saves(*regs);
                 if exit_restore.is_empty() {
                     self.expr(body, dst);
@@ -527,11 +568,17 @@ impl Emitter<'_> {
             }
             AExpr::RestoreRegs(regs) => {
                 self.emit_restores(*regs);
-                self.emit(Instr::LoadImm { dst, imm: Imm::Void });
+                self.emit(Instr::LoadImm {
+                    dst,
+                    imm: Imm::Void,
+                });
             }
             AExpr::RegMove { src, dst: d } => {
                 self.emit(Instr::Mov { dst: *d, src: *src });
-                self.emit(Instr::LoadImm { dst, imm: Imm::Void });
+                self.emit(Instr::LoadImm {
+                    dst,
+                    imm: Imm::Void,
+                });
             }
             AExpr::Call(node) => self.call(node, dst),
             AExpr::MakeClosure { func, free } => {
@@ -548,7 +595,11 @@ impl Emitter<'_> {
                         self.expr(f, RV);
                         (RV, false)
                     };
-                    self.emit(Instr::ClosureSlotSet { clo, index: i as u32, src: r });
+                    self.emit(Instr::ClosureSlotSet {
+                        clo,
+                        index: i as u32,
+                        src: r,
+                    });
                     if scratch {
                         self.release_scratch(r);
                     }
@@ -587,7 +638,11 @@ impl Emitter<'_> {
                     self.expr(value, RV);
                     (RV, false)
                 };
-                self.emit(Instr::ClosureSlotSet { clo: c, index: *index, src: v });
+                self.emit(Instr::ClosureSlotSet {
+                    clo: c,
+                    index: *index,
+                    src: v,
+                });
                 if vs {
                     self.release_scratch(v);
                 }
@@ -595,7 +650,10 @@ impl Emitter<'_> {
                     self.release_scratch(c);
                 }
                 self.temp_sp = temp_base;
-                self.emit(Instr::LoadImm { dst, imm: Imm::Void });
+                self.emit(Instr::LoadImm {
+                    dst,
+                    imm: Imm::Void,
+                });
             }
         }
     }
@@ -606,8 +664,9 @@ impl Emitter<'_> {
         for (idx, patch) in &self.patches {
             match patch {
                 PatchKind::OutSlot(j) => match &mut self.code[*idx] {
-                    Instr::StackStore { slot, .. }
-                    | Instr::StackLoad { slot, .. } => *slot = frame_size + j,
+                    Instr::StackStore { slot, .. } | Instr::StackLoad { slot, .. } => {
+                        *slot = frame_size + j
+                    }
                     _ => unreachable!("out-slot patch on non-stack instruction"),
                 },
                 PatchKind::FrameAdvance => {
@@ -616,8 +675,7 @@ impl Emitter<'_> {
                     }
                 }
                 PatchKind::Label(l) => {
-                    let target =
-                        self.labels[*l as usize].expect("label placed");
+                    let target = self.labels[*l as usize].expect("label placed");
                     match &mut self.code[*idx] {
                         Instr::Jump { target: t }
                         | Instr::BranchFalse { target: t, .. }
@@ -676,10 +734,7 @@ pub fn compile_program(program: &AllocatedProgram) -> VmProgram {
 
 /// Compiles with explicit control over the peephole optimizer (used by
 /// the ablation harness).
-pub fn compile_program_opts(
-    program: &AllocatedProgram,
-    run_peephole: bool,
-) -> VmProgram {
+pub fn compile_program_opts(program: &AllocatedProgram, run_peephole: bool) -> VmProgram {
     let mut constants = Vec::new();
     let mut funcs: Vec<VmFunc> = program
         .funcs
@@ -778,8 +833,10 @@ mod tests {
             "7"
         );
         assert_eq!(
-            value("(define (compose f g) (lambda (x) (f (g x))))
-                   ((compose (lambda (a) (* a 2)) (lambda (b) (+ b 1))) 5)"),
+            value(
+                "(define (compose f g) (lambda (x) (f (g x))))
+                   ((compose (lambda (a) (* a 2)) (lambda (b) (+ b 1))) 5)"
+            ),
             "12"
         );
     }
@@ -797,15 +854,17 @@ mod tests {
 
     #[test]
     fn output() {
-        let out = run("(display 1) (display 'x) (newline) 0", &AllocConfig::paper_default());
+        let out = run(
+            "(display 1) (display 'x) (newline) 0",
+            &AllocConfig::paper_default(),
+        );
         assert_eq!(out.output, "1x\n");
     }
 
     #[test]
     fn all_configs_agree_on_fib() {
         use lesgs_core::config::{RestoreStrategy, SaveStrategy};
-        let src =
-            "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 12)";
+        let src = "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 12)";
         for save in [SaveStrategy::Lazy, SaveStrategy::Early, SaveStrategy::Late] {
             for restore in [RestoreStrategy::Eager, RestoreStrategy::Lazy] {
                 for c in [0, 1, 3, 6] {
@@ -816,10 +875,7 @@ mod tests {
                         ..AllocConfig::paper_default()
                     };
                     let out = run(src, &cfg);
-                    assert_eq!(
-                        out.value, "144",
-                        "save={save:?} restore={restore:?} c={c}"
-                    );
+                    assert_eq!(out.value, "144", "save={save:?} restore={restore:?} c={c}");
                 }
             }
         }
@@ -833,8 +889,10 @@ mod tests {
         );
         // True swap.
         assert_eq!(
-            value("(define (g a b n) (if (zero? n) (- a b) (g b a (- n 1))))
-                   (g 10 4 3)"),
+            value(
+                "(define (g a b n) (if (zero? n) (- a b) (g b a (- n 1))))
+                   (g 10 4 3)"
+            ),
             "-6"
         );
     }
@@ -845,10 +903,7 @@ mod tests {
             machine: lesgs_ir::MachineConfig::with_arg_regs(2),
             ..AllocConfig::paper_default()
         };
-        let out = run(
-            "(define (f a b c d) (+ (+ a b) (+ c d))) (f 1 2 3 4)",
-            &cfg,
-        );
+        let out = run("(define (f a b c d) (+ (+ a b) (+ c d))) (f 1 2 3 4)", &cfg);
         assert_eq!(out.value, "10");
         // c and d traveled on the stack.
         assert!(out.stats.stack_refs() > 0);
@@ -856,8 +911,7 @@ mod tests {
 
     #[test]
     fn baseline_uses_many_more_stack_refs() {
-        let src =
-            "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 12)";
+        let src = "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 12)";
         let base = run(src, &AllocConfig::baseline());
         let six = run(src, &AllocConfig::paper_default());
         // fib's partial sums must cross calls whatever the register

@@ -47,17 +47,17 @@ pub fn peephole(func: &mut VmFunc) -> usize {
     for i in 0..n {
         match &func.code[i] {
             // 1. Self-moves.
-            Instr::Mov { dst, src } if dst == src
-                && !targets.contains(&(i as u32)) => {
-                    keep[i] = false;
-                    changed += 1;
-                }
+            Instr::Mov { dst, src } if dst == src && !targets.contains(&(i as u32)) => {
+                keep[i] = false;
+                changed += 1;
+            }
             // 3. Jump to the immediately following instruction.
-            Instr::Jump { target } if *target == (i + 1) as u32
-                && !targets.contains(&(i as u32)) => {
-                    keep[i] = false;
-                    changed += 1;
-                }
+            Instr::Jump { target }
+                if *target == (i + 1) as u32 && !targets.contains(&(i as u32)) =>
+            {
+                keep[i] = false;
+                changed += 1;
+            }
             _ => {}
         }
         // 2. Store-load forwarding (needs a window of two).
@@ -97,15 +97,23 @@ pub fn peephole(func: &mut VmFunc) -> usize {
             continue;
         }
         code.push(match ins {
-            Instr::Jump { target } => {
-                Instr::Jump { target: new_index[target as usize] }
-            }
-            Instr::BranchFalse { src, target, likely } => Instr::BranchFalse {
+            Instr::Jump { target } => Instr::Jump {
+                target: new_index[target as usize],
+            },
+            Instr::BranchFalse {
+                src,
+                target,
+                likely,
+            } => Instr::BranchFalse {
                 src,
                 target: new_index[target as usize],
                 likely,
             },
-            Instr::BranchTrue { src, target, likely } => Instr::BranchTrue {
+            Instr::BranchTrue {
+                src,
+                target,
+                likely,
+            } => Instr::BranchTrue {
                 src,
                 target: new_index[target as usize],
                 likely,
@@ -153,7 +161,10 @@ mod tests {
     fn removes_self_moves() {
         let mut f = func(vec![
             Instr::Mov { dst: RV, src: RV },
-            Instr::LoadImm { dst: RV, imm: Imm::Fixnum(1) },
+            Instr::LoadImm {
+                dst: RV,
+                imm: Imm::Fixnum(1),
+            },
             Instr::Halt,
         ]);
         assert!(peephole_to_fixpoint(&mut f) >= 1);
@@ -164,8 +175,16 @@ mod tests {
     fn forwards_store_load() {
         let a0 = arg_reg(0);
         let mut f = func(vec![
-            Instr::StackStore { slot: 2, src: a0, class: SlotClass::Temp },
-            Instr::StackLoad { dst: RV, slot: 2, class: SlotClass::Temp },
+            Instr::StackStore {
+                slot: 2,
+                src: a0,
+                class: SlotClass::Temp,
+            },
+            Instr::StackLoad {
+                dst: RV,
+                slot: 2,
+                class: SlotClass::Temp,
+            },
             Instr::Halt,
         ]);
         peephole_to_fixpoint(&mut f);
@@ -178,8 +197,16 @@ mod tests {
     fn forwarding_to_same_register_vanishes() {
         let a0 = arg_reg(0);
         let mut f = func(vec![
-            Instr::StackStore { slot: 2, src: a0, class: SlotClass::Temp },
-            Instr::StackLoad { dst: a0, slot: 2, class: SlotClass::Temp },
+            Instr::StackStore {
+                slot: 2,
+                src: a0,
+                class: SlotClass::Temp,
+            },
+            Instr::StackLoad {
+                dst: a0,
+                slot: 2,
+                class: SlotClass::Temp,
+            },
             Instr::Halt,
         ]);
         peephole_to_fixpoint(&mut f);
@@ -190,27 +217,42 @@ mod tests {
     fn does_not_forward_across_branch_targets() {
         let a0 = arg_reg(0);
         let mut f = func(vec![
-            Instr::BranchFalse { src: a0, target: 2, likely: None },
-            Instr::StackStore { slot: 2, src: a0, class: SlotClass::Temp },
+            Instr::BranchFalse {
+                src: a0,
+                target: 2,
+                likely: None,
+            },
+            Instr::StackStore {
+                slot: 2,
+                src: a0,
+                class: SlotClass::Temp,
+            },
             // Index 2 is a branch target: the load must survive.
-            Instr::StackLoad { dst: RV, slot: 2, class: SlotClass::Temp },
+            Instr::StackLoad {
+                dst: RV,
+                slot: 2,
+                class: SlotClass::Temp,
+            },
             Instr::Halt,
         ]);
         peephole_to_fixpoint(&mut f);
-        assert!(
-            matches!(f.code[2], Instr::StackLoad { .. }),
-            "{:?}",
-            f.code
-        );
+        assert!(matches!(f.code[2], Instr::StackLoad { .. }), "{:?}", f.code);
     }
 
     #[test]
     fn removes_jump_to_next_and_remaps() {
         let a0 = arg_reg(0);
         let mut f = func(vec![
-            Instr::BranchFalse { src: a0, target: 3, likely: None },
+            Instr::BranchFalse {
+                src: a0,
+                target: 3,
+                likely: None,
+            },
             Instr::Jump { target: 2 }, // jump to next: dead
-            Instr::LoadImm { dst: RV, imm: Imm::Fixnum(1) },
+            Instr::LoadImm {
+                dst: RV,
+                imm: Imm::Fixnum(1),
+            },
             Instr::Halt,
         ]);
         peephole_to_fixpoint(&mut f);
@@ -218,7 +260,11 @@ mod tests {
         // The branch target shifted from 3 to 2.
         assert_eq!(
             f.code[0],
-            Instr::BranchFalse { src: a0, target: 2, likely: None }
+            Instr::BranchFalse {
+                src: a0,
+                target: 2,
+                likely: None
+            }
         );
     }
 
@@ -227,15 +273,30 @@ mod tests {
         let a0 = arg_reg(0);
         // store; load into same reg -> mov a0,a0 -> deleted entirely.
         let mut f = func(vec![
-            Instr::StackStore { slot: 0, src: a0, class: SlotClass::Temp },
-            Instr::StackLoad { dst: a0, slot: 0, class: SlotClass::Temp },
+            Instr::StackStore {
+                slot: 0,
+                src: a0,
+                class: SlotClass::Temp,
+            },
+            Instr::StackLoad {
+                dst: a0,
+                slot: 0,
+                class: SlotClass::Temp,
+            },
             Instr::Jump { target: 3 },
             Instr::Halt,
         ]);
         peephole_to_fixpoint(&mut f);
-        assert_eq!(f.code, vec![
-            Instr::StackStore { slot: 0, src: a0, class: SlotClass::Temp },
-            Instr::Halt,
-        ]);
+        assert_eq!(
+            f.code,
+            vec![
+                Instr::StackStore {
+                    slot: 0,
+                    src: a0,
+                    class: SlotClass::Temp
+                },
+                Instr::Halt,
+            ]
+        );
     }
 }

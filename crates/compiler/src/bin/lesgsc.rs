@@ -16,6 +16,8 @@
 //!   --regs <0..6>               argument registers   (default 6)
 //!   --branch-prediction         enable §6 static branch prediction
 //!   --lift                      enable selective lambda lifting (§6)
+//!   --verify-bytecode           abstract-interpret the generated code and
+//!                               reject save/restore or frame violations
 //!   --fuel <n>                  VM instruction budget
 //!   -e <expr>                   use <expr> as the program text
 //! ```
@@ -32,6 +34,7 @@ struct Options {
     command: String,
     source: String,
     config: CompilerConfig,
+    verify_bytecode: bool,
 }
 
 fn usage() -> ! {
@@ -39,7 +42,8 @@ fn usage() -> ! {
         "usage: lesgsc <run|stats|dis|ir|interp|check> [options] <file.scm|->\n\
          options: --save lazy|early|late  --restore eager|lazy\n\
          \x20        --shuffle greedy|fixed  --callee-save  --regs <0..6>\n\
-         \x20        --branch-prediction  --lift  --fuel <n>  -e <expr>"
+         \x20        --branch-prediction  --lift  --verify-bytecode\n\
+         \x20        --fuel <n>  -e <expr>"
     );
     std::process::exit(2);
 }
@@ -53,10 +57,12 @@ fn parse_args() -> Result<Options, String> {
     let mut alloc = AllocConfig::paper_default();
     let mut fuel = 0u64;
     let mut lambda_lift = false;
+    let mut verify_bytecode = false;
     let mut source: Option<String> = None;
     while let Some(a) = args.next() {
         let mut value = |what: &str| {
-            args.next().ok_or_else(|| format!("{what} requires a value"))
+            args.next()
+                .ok_or_else(|| format!("{what} requires a value"))
         };
         match a.as_str() {
             "--save" => {
@@ -84,6 +90,7 @@ fn parse_args() -> Result<Options, String> {
             "--callee-save" => alloc.discipline = Discipline::CalleeSave,
             "--branch-prediction" => alloc.branch_prediction = true,
             "--lift" => lambda_lift = true,
+            "--verify-bytecode" => verify_bytecode = true,
             "--regs" => {
                 let n: usize = value("--regs")?
                     .parse()
@@ -107,10 +114,7 @@ fn parse_args() -> Result<Options, String> {
                 source = Some(buf);
             }
             path if !path.starts_with('-') => {
-                source = Some(
-                    std::fs::read_to_string(path)
-                        .map_err(|e| format!("{path}: {e}"))?,
-                );
+                source = Some(std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?);
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -119,7 +123,13 @@ fn parse_args() -> Result<Options, String> {
     Ok(Options {
         command,
         source,
-        config: CompilerConfig { alloc, fuel, lambda_lift, ..CompilerConfig::default() },
+        config: CompilerConfig {
+            alloc,
+            fuel,
+            lambda_lift,
+            ..CompilerConfig::default()
+        },
+        verify_bytecode,
     })
 }
 
@@ -139,7 +149,11 @@ fn main() -> ExitCode {
 
     match opts.command.as_str() {
         "interp" => {
-            let fuel = if opts.config.fuel == 0 { u64::MAX } else { opts.config.fuel };
+            let fuel = if opts.config.fuel == 0 {
+                u64::MAX
+            } else {
+                opts.config.fuel
+            };
             match lesgs_interp::run_source(&opts.source, fuel) {
                 Ok(out) => {
                     print!("{}", out.output);
@@ -150,7 +164,11 @@ fn main() -> ExitCode {
             }
         }
         "check" => {
-            let fuel = if opts.config.fuel == 0 { 200_000_000 } else { opts.config.fuel };
+            let fuel = if opts.config.fuel == 0 {
+                200_000_000
+            } else {
+                opts.config.fuel
+            };
             match differential_check(&opts.source, &config_matrix(), fuel) {
                 Ok(()) => {
                     println!(
@@ -167,6 +185,20 @@ fn main() -> ExitCode {
                 Ok(c) => c,
                 Err(e) => return fail(e.to_string()),
             };
+            if opts.verify_bytecode {
+                let errors = lesgs_vm::verify_bytecode(&compiled.vm);
+                if !errors.is_empty() {
+                    for e in &errors {
+                        eprintln!("lesgsc: {e}");
+                    }
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "lesgsc: bytecode verified ({} functions, {} instructions)",
+                    compiled.vm.funcs.len(),
+                    compiled.vm.code_size()
+                );
+            }
             match cmd {
                 "dis" => {
                     print!("{}", compiled.vm.disassemble());

@@ -48,7 +48,10 @@ pub struct CompilerConfig {
 impl CompilerConfig {
     /// The paper's configuration with a given allocator setup.
     pub fn with_alloc(alloc: AllocConfig) -> CompilerConfig {
-        CompilerConfig { alloc, ..CompilerConfig::default() }
+        CompilerConfig {
+            alloc,
+            ..CompilerConfig::default()
+        }
     }
 }
 
@@ -151,7 +154,9 @@ pub fn compile_timed(
     } else {
         pipeline::front_to_closed(src)
     }
-    .map_err(|e| CompileError { message: e.to_string() })?;
+    .map_err(|e| CompileError {
+        message: e.to_string(),
+    })?;
     let mut ir = lower_program(&closed);
     if !config.no_fold {
         lesgs_ir::fold::fold_program(&mut ir);
@@ -185,25 +190,21 @@ pub fn compile(src: &str, config: &CompilerConfig) -> Result<Compiled, CompileEr
 /// Compile errors or VM runtime errors (both stringified).
 pub fn run_source(src: &str, config: &CompilerConfig) -> Result<VmOutcome, CompileError> {
     let compiled = compile(src, config)?;
-    compiled
-        .run(config)
-        .map_err(|e| CompileError { message: e.to_string() })
+    compiled.run(config).map_err(|e| CompileError {
+        message: e.to_string(),
+    })
 }
 
 /// Runs `src` through the reference interpreter and through the
 /// compiler under every given allocator configuration, checking that
+/// the bytecode verifies ([`lesgs_vm::verify_bytecode`]) and that
 /// value and output agree everywhere.
 ///
 /// # Errors
 ///
 /// Returns a description of the first disagreement or failure.
-pub fn differential_check(
-    src: &str,
-    configs: &[AllocConfig],
-    fuel: u64,
-) -> Result<(), String> {
-    let oracle = lesgs_interp::run_source(src, fuel)
-        .map_err(|e| format!("oracle failed: {e}"))?;
+pub fn differential_check(src: &str, configs: &[AllocConfig], fuel: u64) -> Result<(), String> {
+    let oracle = lesgs_interp::run_source(src, fuel).map_err(|e| format!("oracle failed: {e}"))?;
     for alloc in configs {
         let config = CompilerConfig {
             alloc: *alloc,
@@ -211,7 +212,20 @@ pub fn differential_check(
             fuel,
             ..CompilerConfig::default()
         };
-        let out = run_source(src, &config)
+        let compiled = compile(src, &config).map_err(|e| format!("{alloc:?}: {e}"))?;
+        let verify_errors = lesgs_vm::verify_bytecode(&compiled.vm);
+        if !verify_errors.is_empty() {
+            return Err(format!(
+                "{alloc:?}: bytecode verification failed:\n{}",
+                verify_errors
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            ));
+        }
+        let out = compiled
+            .run(&config)
             .map_err(|e| format!("{alloc:?}: {e}"))?;
         if out.value != oracle.value {
             return Err(format!(
@@ -258,7 +272,10 @@ pub fn config_matrix() -> Vec<AllocConfig> {
             ..AllocConfig::default()
         });
     }
-    out.push(AllocConfig { branch_prediction: true, ..AllocConfig::default() });
+    out.push(AllocConfig {
+        branch_prediction: true,
+        ..AllocConfig::default()
+    });
     out
 }
 
@@ -313,8 +330,7 @@ mod tests {
     #[test]
     fn phase_times_recorded() {
         let (_, times) =
-            compile_timed("(define (f x) (+ x 1)) (f 1)", &CompilerConfig::default())
-                .unwrap();
+            compile_timed("(define (f x) (+ x 1)) (f 1)", &CompilerConfig::default()).unwrap();
         assert!(times.total() > Duration::ZERO);
         assert!(times.allocation_fraction() >= 0.0);
         assert!(times.allocation_fraction() <= 1.0);
@@ -346,8 +362,7 @@ mod tests {
                     poison: true,
                     ..CompilerConfig::default()
                 };
-                let out = run_source(src, &cfg)
-                    .unwrap_or_else(|e| panic!("{alloc:?}: {e}\n{src}"));
+                let out = run_source(src, &cfg).unwrap_or_else(|e| panic!("{alloc:?}: {e}\n{src}"));
                 assert_eq!(out.value, oracle.value, "{alloc:?}\n{src}");
             }
         }
@@ -355,12 +370,14 @@ mod tests {
 
     #[test]
     fn lambda_lifting_removes_closures() {
-        let src =
-            "(define (f a) (let loop ((i 0)) (if (= i a) i (loop (+ i 1))))) (f 50)";
+        let src = "(define (f a) (let loop ((i 0)) (if (= i a) i (loop (+ i 1))))) (f 50)";
         let plain = run_source(src, &CompilerConfig::default()).unwrap();
         let lifted = run_source(
             src,
-            &CompilerConfig { lambda_lift: true, ..CompilerConfig::default() },
+            &CompilerConfig {
+                lambda_lift: true,
+                ..CompilerConfig::default()
+            },
         )
         .unwrap();
         assert_eq!(plain.value, lifted.value);

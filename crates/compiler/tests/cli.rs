@@ -23,8 +23,7 @@ fn run_evaluates_expressions() {
 
 #[test]
 fn run_prints_program_output_before_value() {
-    let (stdout, _, ok) =
-        lesgsc(&["run", "-e", "(display \"hi\") (newline) 'done"]);
+    let (stdout, _, ok) = lesgsc(&["run", "-e", "(display \"hi\") (newline) 'done"]);
     assert!(ok);
     assert_eq!(stdout, "hi\ndone\n");
 }

@@ -313,7 +313,9 @@ impl AExpr {
             | AExpr::RestoreRegs(_)
             | AExpr::RegMove { .. } => {}
             AExpr::GlobalSet { value, .. } => value.visit(f),
-            AExpr::If { cond, then, els, .. } => {
+            AExpr::If {
+                cond, then, els, ..
+            } => {
                 cond.visit(f);
                 then.visit(f);
                 els.visit(f);
@@ -350,13 +352,16 @@ impl fmt::Display for AExpr {
             AExpr::GlobalSet { index, value } => {
                 write!(f, "(global-set! {index} {value})")
             }
-            AExpr::If { cond, then, els, predict } => {
-                match predict {
-                    Some(true) => write!(f, "(if/likely {cond} {then} {els})"),
-                    Some(false) => write!(f, "(if/unlikely {cond} {then} {els})"),
-                    None => write!(f, "(if {cond} {then} {els})"),
-                }
-            }
+            AExpr::If {
+                cond,
+                then,
+                els,
+                predict,
+            } => match predict {
+                Some(true) => write!(f, "(if/likely {cond} {then} {els})"),
+                Some(false) => write!(f, "(if/unlikely {cond} {then} {els})"),
+                None => write!(f, "(if {cond} {then} {els})"),
+            },
             AExpr::Seq(es) => {
                 write!(f, "(seq")?;
                 for e in es {

@@ -38,16 +38,12 @@ fn de_tail(e: &Expr) -> Expr {
                 lesgs_ir::Callee::KnownClosure(f, c) => {
                     lesgs_ir::Callee::KnownClosure(*f, Box::new(de_tail(c)))
                 }
-                lesgs_ir::Callee::Computed(c) => {
-                    lesgs_ir::Callee::Computed(Box::new(de_tail(c)))
-                }
+                lesgs_ir::Callee::Computed(c) => lesgs_ir::Callee::Computed(Box::new(de_tail(c))),
             },
             args: args.iter().map(de_tail).collect(),
             tail: false,
         },
-        Expr::Const(_) | Expr::Var(_) | Expr::FreeRef(_) | Expr::Global(_) => {
-            e.clone()
-        }
+        Expr::Const(_) | Expr::Var(_) | Expr::FreeRef(_) | Expr::Global(_) => e.clone(),
         Expr::GlobalSet(g, rhs) => Expr::GlobalSet(*g, Box::new(de_tail(rhs))),
         Expr::If(c, t, el) => Expr::If(
             Box::new(de_tail(c)),
@@ -60,9 +56,7 @@ fn de_tail(e: &Expr) -> Expr {
             rhs: Box::new(de_tail(rhs)),
             body: Box::new(de_tail(body)),
         },
-        Expr::PrimApp(p, args) => {
-            Expr::PrimApp(*p, args.iter().map(de_tail).collect())
-        }
+        Expr::PrimApp(p, args) => Expr::PrimApp(*p, args.iter().map(de_tail).collect()),
         Expr::MakeClosure { func, free } => Expr::MakeClosure {
             func: *func,
             free: free.iter().map(de_tail).collect(),
@@ -79,9 +73,13 @@ fn de_tail(e: &Expr) -> Expr {
 /// it, which would make lazy placement unsound (we fall back to early).
 fn region_live_out_conflict(e: &AExpr, used_k: RegSet, inside: bool) -> bool {
     match e {
-        AExpr::Save { regs, live_out, body, .. } if regs.contains(RET) && !inside => {
-            !(*live_out & used_k).is_empty()
-                || region_live_out_conflict(body, used_k, true)
+        AExpr::Save {
+            regs,
+            live_out,
+            body,
+            ..
+        } if regs.contains(RET) && !inside => {
+            !(*live_out & used_k).is_empty() || region_live_out_conflict(body, used_k, true)
         }
         _ => {
             let mut found = false;
@@ -102,7 +100,9 @@ fn visit_children<'a>(e: &'a AExpr, f: &mut dyn FnMut(&'a AExpr)) {
         | AExpr::RestoreRegs(_)
         | AExpr::RegMove { .. } => {}
         AExpr::GlobalSet { value, .. } => f(value),
-        AExpr::If { cond, then, els, .. } => {
+        AExpr::If {
+            cond, then, els, ..
+        } => {
             f(cond);
             f(then);
             f(els);
@@ -131,22 +131,23 @@ fn visit_children<'a>(e: &'a AExpr, f: &mut dyn FnMut(&'a AExpr)) {
 /// Moves `a_i → k_i` for each register parameter.
 fn param_moves(n_reg_params: usize) -> Vec<AExpr> {
     (0..n_reg_params)
-        .map(|i| AExpr::RegMove { src: arg_reg(i), dst: callee_reg(i) })
+        .map(|i| AExpr::RegMove {
+            src: arg_reg(i),
+            dst: callee_reg(i),
+        })
         .collect()
 }
 
 /// Injects callee-save saves + parameter moves at `ret` regions and
 /// remaps parameter reads outside regions back to argument registers.
-fn inject(
-    e: AExpr,
-    used_k: RegSet,
-    n_reg_params: usize,
-    inside: bool,
-) -> AExpr {
+fn inject(e: AExpr, used_k: RegSet, n_reg_params: usize, inside: bool) -> AExpr {
     match e {
-        AExpr::Save { regs, live_out, exit_restore, body }
-            if regs.contains(RET) && !inside =>
-        {
+        AExpr::Save {
+            regs,
+            live_out,
+            exit_restore,
+            body,
+        } if regs.contains(RET) && !inside => {
             let body = inject(*body, used_k, n_reg_params, true);
             let mut seq = param_moves(n_reg_params);
             seq.push(body);
@@ -158,10 +159,8 @@ fn inject(
             }
         }
         AExpr::ReadHome(Home::Reg(r)) if !inside && r.is_callee_save() => {
-            let i = r.index()
-                - lesgs_ir::machine::NUM_SCRATCH
-                - lesgs_ir::machine::MAX_ARG_REGS
-                - 3;
+            let i =
+                r.index() - lesgs_ir::machine::NUM_SCRATCH - lesgs_ir::machine::MAX_ARG_REGS - 3;
             AExpr::ReadHome(Home::Reg(arg_reg(i)))
         }
         AExpr::Const(_)
@@ -174,7 +173,12 @@ fn inject(
             index,
             value: Box::new(inject(*value, used_k, n_reg_params, inside)),
         },
-        AExpr::If { cond, then, els, predict } => AExpr::If {
+        AExpr::If {
+            cond,
+            then,
+            els,
+            predict,
+        } => AExpr::If {
             cond: Box::new(inject(*cond, used_k, n_reg_params, inside)),
             then: Box::new(inject(*then, used_k, n_reg_params, inside)),
             els: Box::new(inject(*els, used_k, n_reg_params, inside)),
@@ -196,7 +200,12 @@ fn inject(
                 .map(|a| inject(a, used_k, n_reg_params, inside))
                 .collect(),
         ),
-        AExpr::Save { regs, live_out, exit_restore, body } => AExpr::Save {
+        AExpr::Save {
+            regs,
+            live_out,
+            exit_restore,
+            body,
+        } => AExpr::Save {
             regs,
             live_out,
             exit_restore,
@@ -230,13 +239,18 @@ fn inject(
 
 /// Allocates one function under the callee-save discipline.
 pub fn allocate_func(func: &Func, cfg: &AllocConfig) -> AllocatedFunc {
-    let de_tailed = Func { body: de_tail(&func.body), ..func.clone() };
+    let de_tailed = Func {
+        body: de_tail(&func.body),
+        ..func.clone()
+    };
 
     // A function that makes no calls at all keeps everything in
     // caller-save registers: no callee-save traffic.
     if de_tailed.is_syntactic_leaf() {
-        let caller_cfg =
-            AllocConfig { discipline: Discipline::CallerSave, ..*cfg };
+        let caller_cfg = AllocConfig {
+            discipline: Discipline::CallerSave,
+            ..*cfg
+        };
         let homes = homes::assign(&de_tailed, &caller_cfg.machine, Discipline::CallerSave);
         let r1 = savep::run(&de_tailed, &homes, &caller_cfg);
         let r2 = pass2::run(r1.body, &caller_cfg);
@@ -267,7 +281,10 @@ pub fn allocate_func(func: &Func, cfg: &AllocConfig) -> AllocatedFunc {
     let place_cfg = match cfg.save {
         SaveStrategy::Lazy => *cfg,
         // Early and Late both degenerate to prologue placement here.
-        _ => AllocConfig { save: SaveStrategy::Early, ..*cfg },
+        _ => AllocConfig {
+            save: SaveStrategy::Early,
+            ..*cfg
+        },
     };
     let r1 = savep::run(&de_tailed, &homes, &place_cfg);
     let r2 = pass2::run(r1.body, &place_cfg);
@@ -367,15 +384,13 @@ mod tests {
         let mut found_k_save = false;
         let mut found_move = false;
         f.body.visit(&mut |e| match e {
-            AExpr::Save { regs, exit_restore, .. }
-                if regs.contains(callee_reg(0)) =>
-            {
+            AExpr::Save {
+                regs, exit_restore, ..
+            } if regs.contains(callee_reg(0)) => {
                 found_k_save = true;
                 assert!(exit_restore.contains(callee_reg(0)));
             }
-            AExpr::RegMove { src, dst }
-                if *src == arg_reg(0) && *dst == callee_reg(0) =>
-            {
+            AExpr::RegMove { src, dst } if *src == arg_reg(0) && *dst == callee_reg(0) => {
                 found_move = true;
             }
             _ => {}

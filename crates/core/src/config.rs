@@ -88,12 +88,18 @@ impl AllocConfig {
     /// The Table 3 baseline: no argument registers. Saves/restores
     /// still use the default strategies for `ret`/`cp`.
     pub fn baseline() -> AllocConfig {
-        AllocConfig { machine: MachineConfig::baseline(), ..AllocConfig::default() }
+        AllocConfig {
+            machine: MachineConfig::baseline(),
+            ..AllocConfig::default()
+        }
     }
 
     /// Default configuration with a different save strategy.
     pub fn with_save(save: SaveStrategy) -> AllocConfig {
-        AllocConfig { save, ..AllocConfig::default() }
+        AllocConfig {
+            save,
+            ..AllocConfig::default()
+        }
     }
 }
 

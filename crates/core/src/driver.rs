@@ -58,7 +58,11 @@ pub fn allocate_func(func: &lesgs_ir::Func, cfg: &AllocConfig) -> AllocatedFunc 
 /// ```
 pub fn allocate_program(program: &Program, cfg: &AllocConfig) -> AllocatedProgram {
     AllocatedProgram {
-        funcs: program.funcs.iter().map(|f| allocate_func(f, cfg)).collect(),
+        funcs: program
+            .funcs
+            .iter()
+            .map(|f| allocate_func(f, cfg))
+            .collect(),
         main: program.main,
         n_globals: program.n_globals,
         config: *cfg,
@@ -73,16 +77,21 @@ mod tests {
     use lesgs_ir::lower_program;
 
     fn allocate(src: &str, cfg: &AllocConfig) -> AllocatedProgram {
-        allocate_program(&lower_program(&pipeline::front_to_closed(src).unwrap()), cfg)
+        allocate_program(
+            &lower_program(&pipeline::front_to_closed(src).unwrap()),
+            cfg,
+        )
     }
 
-    const FACT: &str =
-        "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1))))) (fact 5)";
+    const FACT: &str = "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1))))) (fact 5)";
 
     #[test]
     fn all_strategies_allocate_fact() {
         for save in [SaveStrategy::Lazy, SaveStrategy::Early, SaveStrategy::Late] {
-            let cfg = AllocConfig { save, ..AllocConfig::paper_default() };
+            let cfg = AllocConfig {
+                save,
+                ..AllocConfig::paper_default()
+            };
             let p = allocate(FACT, &cfg);
             let fact = p.funcs.iter().find(|f| f.name == "fact").unwrap();
             assert!(!fact.syntactic_leaf);
@@ -95,7 +104,10 @@ mod tests {
         let lazy = allocate(FACT, &AllocConfig::paper_default());
         let early = allocate(
             FACT,
-            &AllocConfig { save: SaveStrategy::Early, ..AllocConfig::paper_default() },
+            &AllocConfig {
+                save: SaveStrategy::Early,
+                ..AllocConfig::paper_default()
+            },
         );
         let count = |p: &AllocatedProgram| {
             let f = p.funcs.iter().find(|f| f.name == "fact").unwrap();

@@ -47,10 +47,7 @@ impl FrameLayout {
                 i
             }
             Slot::Save(r) => {
-                assert!(
-                    self.save_regs.contains(r),
-                    "register {r} has no save slot"
-                );
+                assert!(self.save_regs.contains(r), "register {r} has no save slot");
                 let rank = self
                     .save_regs
                     .iter()

@@ -132,10 +132,18 @@ pub fn assign(func: &Func, machine: &MachineConfig, discipline: Discipline) -> H
     // disciplines: under callee-save, only *parameters* move to the
     // callee-save registers (see `calleesave`); locals keep the normal
     // caller-save treatment so the lazy region placement stays sound.
-    let pool: Vec<lesgs_ir::Reg> =
-        if machine.reg_homes { (0..c).map(arg_reg).collect() } else { Vec::new() };
+    let pool: Vec<lesgs_ir::Reg> = if machine.reg_homes {
+        (0..c).map(arg_reg).collect()
+    } else {
+        Vec::new()
+    };
     let _ = NUM_CALLEE_SAVE;
-    let mut a = Assign { home, n_spills: 0, pool, callee_used };
+    let mut a = Assign {
+        home,
+        n_spills: 0,
+        pool,
+        callee_used,
+    };
     a.walk(&func.body, in_use);
 
     Homes {
@@ -211,11 +219,7 @@ mod tests {
 
     #[test]
     fn excess_params_go_to_stack() {
-        let (h, _) = homes_for(
-            "(define (f a b c) (+ a (+ b c))) (f 1 2 3)",
-            "f",
-            2,
-        );
+        let (h, _) = homes_for("(define (f a b c) (+ a (+ b c))) (f 1 2 3)", "f", 2);
         assert_eq!(h.of(LocalId(0)), Home::Reg(arg_reg(0)));
         assert_eq!(h.of(LocalId(1)), Home::Reg(arg_reg(1)));
         assert_eq!(h.of(LocalId(2)), Home::Slot(Slot::Param(0)));
@@ -224,23 +228,17 @@ mod tests {
 
     #[test]
     fn baseline_homes_everything_on_stack() {
-        let (h, _) = homes_for(
-            "(define (f a) (let ((t (+ a 1))) (* t t))) (f 1)",
-            "f",
-            0,
-        );
+        let (h, _) = homes_for("(define (f a) (let ((t (+ a 1))) (* t t))) (f 1)", "f", 0);
         assert_eq!(h.of(LocalId(0)), Home::Slot(Slot::Param(0)));
         assert!(matches!(h.of(LocalId(1)), Home::Slot(Slot::Spill(0))));
     }
 
     #[test]
     fn let_vars_avoid_param_registers() {
-        let (h, _) = homes_for(
-            "(define (f a) (let ((t (+ a 1))) (* t a))) (f 1)",
-            "f",
-            6,
-        );
-        let Home::Reg(r) = h.of(LocalId(1)) else { panic!() };
+        let (h, _) = homes_for("(define (f a) (let ((t (+ a 1))) (* t a))) (f 1)", "f", 6);
+        let Home::Reg(r) = h.of(LocalId(1)) else {
+            panic!()
+        };
         assert_ne!(r, arg_reg(0), "t must not share a's register");
     }
 
@@ -272,8 +270,12 @@ mod tests {
             6,
         );
         // t and u have disjoint scopes: same register is fine.
-        let Home::Reg(rt) = h.of(LocalId(1)) else { panic!() };
-        let Home::Reg(ru) = h.of(LocalId(2)) else { panic!() };
+        let Home::Reg(rt) = h.of(LocalId(1)) else {
+            panic!()
+        };
+        let Home::Reg(ru) = h.of(LocalId(2)) else {
+            panic!()
+        };
         assert_eq!(rt, ru);
     }
 
@@ -281,7 +283,11 @@ mod tests {
     fn reads_collects_homes_and_cp() {
         let src = "(define (f a) (lambda (x) (+ x a))) ((f 1) 2)";
         let p = lower_program(&pipeline::front_to_closed(src).unwrap());
-        let lam = p.funcs.iter().find(|f| f.name.starts_with("lambda@")).unwrap();
+        let lam = p
+            .funcs
+            .iter()
+            .find(|f| f.name.starts_with("lambda@"))
+            .unwrap();
         let machine = MachineConfig::six_registers();
         let h = assign(lam, &machine, Discipline::CallerSave);
         let reads = reg_reads(&lam.body, &h);
@@ -308,7 +314,11 @@ mod tests {
             "f",
             2,
         );
-        assert_eq!(h.of(LocalId(2)), Home::Reg(arg_reg(1)), "t reuses b's register");
+        assert_eq!(
+            h.of(LocalId(2)),
+            Home::Reg(arg_reg(1)),
+            "t reuses b's register"
+        );
     }
 
     #[test]

@@ -44,24 +44,37 @@ impl Pass2 {
     fn process(&mut self, e: AExpr, ss: RegSet, pr_exit: RegSet) -> (AExpr, RegSet) {
         match e {
             AExpr::Const(_) => (e, pr_exit),
-            AExpr::ReadHome(Home::Reg(r)) if self.allocatable.contains(r) => {
-                (e, pr_exit.insert(r))
-            }
+            AExpr::ReadHome(Home::Reg(r)) if self.allocatable.contains(r) => (e, pr_exit.insert(r)),
             AExpr::ReadHome(Home::Reg(_)) => (e, pr_exit),
             AExpr::ReadHome(Home::Slot(_)) => (e, pr_exit),
             AExpr::Global(_) => (e, pr_exit),
             AExpr::GlobalSet { index, value } => {
                 let (v, pr) = self.process(*value, ss, pr_exit);
-                (AExpr::GlobalSet { index, value: Box::new(v) }, pr)
+                (
+                    AExpr::GlobalSet {
+                        index,
+                        value: Box::new(v),
+                    },
+                    pr,
+                )
             }
             AExpr::FreeRef(_) => (e, pr_exit.insert(CP)),
             AExpr::RestoreRegs(regs) => (AExpr::RestoreRegs(regs), pr_exit - regs),
             AExpr::RegMove { src, dst } => {
                 let pr = pr_exit.remove(dst);
-                let pr = if self.allocatable.contains(src) { pr.insert(src) } else { pr };
+                let pr = if self.allocatable.contains(src) {
+                    pr.insert(src)
+                } else {
+                    pr
+                };
                 (AExpr::RegMove { src, dst }, pr)
             }
-            AExpr::If { cond, then, els, predict } => {
+            AExpr::If {
+                cond,
+                then,
+                els,
+                predict,
+            } => {
                 let (t, pr_t) = self.process(*then, ss, pr_exit);
                 let (el, pr_e) = self.process(*els, ss, pr_exit);
                 let (c, pr_c) = self.process(*cond, ss, pr_t | pr_e);
@@ -94,7 +107,11 @@ impl Pass2 {
                 };
                 let (r, pr_r) = self.process(*rhs, ss, pr_b);
                 (
-                    AExpr::Bind { home, rhs: Box::new(r), body: Box::new(b) },
+                    AExpr::Bind {
+                        home,
+                        rhs: Box::new(r),
+                        body: Box::new(b),
+                    },
                     pr_r,
                 )
             }
@@ -109,7 +126,12 @@ impl Pass2 {
                 out.reverse();
                 (AExpr::PrimApp(p, out), pr)
             }
-            AExpr::Save { regs, live_out, exit_restore, body } => {
+            AExpr::Save {
+                regs,
+                live_out,
+                exit_restore,
+                body,
+            } => {
                 // "When a save that is already in the save set is
                 // encountered, it is eliminated."
                 let kept = if self.eliminate { regs - ss } else { regs };
@@ -158,11 +180,9 @@ impl Pass2 {
                 };
                 // Process evaluation steps in reverse execution order.
                 let steps = node.plan.steps.clone();
-                let mut args: Vec<Option<AExpr>> =
-                    node.args.drain(..).map(Some).collect();
+                let mut args: Vec<Option<AExpr>> = node.args.drain(..).map(Some).collect();
                 let mut closure = node.closure.take();
-                let mut new_args: Vec<Option<AExpr>> =
-                    (0..args.len()).map(|_| None).collect();
+                let mut new_args: Vec<Option<AExpr>> = (0..args.len()).map(|_| None).collect();
                 let mut new_closure = None;
                 for step in steps.iter().rev() {
                     match step {
@@ -171,22 +191,18 @@ impl Pass2 {
                                 pr = pr.remove(*r);
                             }
                             let expr = match arg {
-                                crate::alloc::ArgRef::Arg(i) => args[*i as usize]
-                                    .take()
-                                    .expect("arg evaluated once"),
-                                crate::alloc::ArgRef::Closure => *closure
-                                    .take()
-                                    .expect("closure evaluated once"),
+                                crate::alloc::ArgRef::Arg(i) => {
+                                    args[*i as usize].take().expect("arg evaluated once")
+                                }
+                                crate::alloc::ArgRef::Closure => {
+                                    *closure.take().expect("closure evaluated once")
+                                }
                             };
                             let (e2, pr2) = self.process(expr, ss, pr);
                             pr = pr2;
                             match arg {
-                                crate::alloc::ArgRef::Arg(i) => {
-                                    new_args[*i as usize] = Some(e2)
-                                }
-                                crate::alloc::ArgRef::Closure => {
-                                    new_closure = Some(Box::new(e2))
-                                }
+                                crate::alloc::ArgRef::Arg(i) => new_args[*i as usize] = Some(e2),
+                                crate::alloc::ArgRef::Closure => new_closure = Some(Box::new(e2)),
                             }
                         }
                         Step::Move { from, dst } => {
@@ -244,7 +260,10 @@ pub fn run(body: AExpr, cfg: &AllocConfig) -> Pass2Result {
     };
     // On exit from the body the return jump references `ret`.
     let (body, _pr) = p.process(body, RegSet::EMPTY, RegSet::single(RET));
-    Pass2Result { body, saved_regs: p.saved_union }
+    Pass2Result {
+        body,
+        saved_regs: p.saved_union,
+    }
 }
 
 /// The lazy restore strategy (§2.2): restores are placed immediately
@@ -273,7 +292,13 @@ fn lazy(e: AExpr, dirty_in: RegSet) -> (AExpr, RegSet) {
         AExpr::Global(_) => (e, dirty_in),
         AExpr::GlobalSet { index, value } => {
             let (v, dirty) = lazy(*value, dirty_in);
-            (AExpr::GlobalSet { index, value: Box::new(v) }, dirty)
+            (
+                AExpr::GlobalSet {
+                    index,
+                    value: Box::new(v),
+                },
+                dirty,
+            )
         }
         AExpr::FreeRef(i) if dirty_in.contains(CP) => (
             AExpr::Seq(vec![
@@ -299,7 +324,12 @@ fn lazy(e: AExpr, dirty_in: RegSet) -> (AExpr, RegSet) {
                 None => (mv, dirty),
             }
         }
-        AExpr::If { cond, then, els, predict } => {
+        AExpr::If {
+            cond,
+            then,
+            els,
+            predict,
+        } => {
             let (c, dirty_c) = lazy(*cond, dirty_in);
             let (t, dirty_t) = lazy(*then, dirty_c);
             let (el, dirty_e) = lazy(*els, dirty_c);
@@ -331,7 +361,11 @@ fn lazy(e: AExpr, dirty_in: RegSet) -> (AExpr, RegSet) {
             };
             let (b, dirty) = lazy(*body, dirty);
             (
-                AExpr::Bind { home, rhs: Box::new(r), body: Box::new(b) },
+                AExpr::Bind {
+                    home,
+                    rhs: Box::new(r),
+                    body: Box::new(b),
+                },
                 dirty,
             )
         }
@@ -345,7 +379,12 @@ fn lazy(e: AExpr, dirty_in: RegSet) -> (AExpr, RegSet) {
             }
             (AExpr::PrimApp(p, out), dirty)
         }
-        AExpr::Save { regs, live_out, exit_restore, body } => {
+        AExpr::Save {
+            regs,
+            live_out,
+            exit_restore,
+            body,
+        } => {
             // A save stores register contents: any register that is
             // still dirty (stale since an earlier call — only possible
             // under the Late strategy, whose saves repeat) must be
@@ -374,19 +413,14 @@ fn lazy(e: AExpr, dirty_in: RegSet) -> (AExpr, RegSet) {
             let mut dirty = dirty_in;
             let mut args: Vec<Option<AExpr>> = node.args.drain(..).map(Some).collect();
             let mut closure = node.closure.take();
-            let mut new_args: Vec<Option<AExpr>> =
-                (0..args.len()).map(|_| None).collect();
+            let mut new_args: Vec<Option<AExpr>> = (0..args.len()).map(|_| None).collect();
             let mut new_closure = None;
             for step in &steps {
                 match step {
                     Step::Eval { arg, dst } => {
                         let expr = match arg {
-                            crate::alloc::ArgRef::Arg(i) => {
-                                args[*i as usize].take().expect("once")
-                            }
-                            crate::alloc::ArgRef::Closure => {
-                                *closure.take().expect("once")
-                            }
+                            crate::alloc::ArgRef::Arg(i) => args[*i as usize].take().expect("once"),
+                            crate::alloc::ArgRef::Closure => *closure.take().expect("once"),
                         };
                         let (e2, d) = lazy(expr, dirty);
                         dirty = d;
@@ -394,12 +428,8 @@ fn lazy(e: AExpr, dirty_in: RegSet) -> (AExpr, RegSet) {
                             dirty = dirty.remove(*r);
                         }
                         match arg {
-                            crate::alloc::ArgRef::Arg(i) => {
-                                new_args[*i as usize] = Some(e2)
-                            }
-                            crate::alloc::ArgRef::Closure => {
-                                new_closure = Some(Box::new(e2))
-                            }
+                            crate::alloc::ArgRef::Arg(i) => new_args[*i as usize] = Some(e2),
+                            crate::alloc::ArgRef::Closure => new_closure = Some(Box::new(e2)),
                         }
                     }
                     Step::Move { from, dst } => {

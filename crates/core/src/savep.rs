@@ -19,9 +19,7 @@ use lesgs_ir::expr::{Callee, Expr, Func};
 use lesgs_ir::machine::{arg_reg, CP, MAX_ARG_REGS, RET};
 use lesgs_ir::RegSet;
 
-use crate::alloc::{
-    ACallee, AExpr, ArgRef, CallNode, Home, ShufflePlan, Step,
-};
+use crate::alloc::{ACallee, AExpr, ArgRef, CallNode, Home, ShufflePlan, Step};
 use crate::config::{AllocConfig, SaveStrategy, ShuffleStrategy};
 use crate::homes::{reg_reads, reg_writes, Homes};
 use crate::shuffle::{self, NodeSpec, Target};
@@ -63,10 +61,31 @@ fn prim_never_false(p: Prim) -> bool {
     use Prim::*;
     matches!(
         p,
-        Add | Sub | Mul | Quotient | Remainder | Modulo | Abs | Min | Max | Add1
-            | Sub1 | Cons | MakeVector | MakeVectorFill | VectorLength
-            | StringLength | CharToInteger | Display | Write | Newline | Void
-            | MakeCell | CellSet | SetCar | SetCdr | VectorSet
+        Add | Sub
+            | Mul
+            | Quotient
+            | Remainder
+            | Modulo
+            | Abs
+            | Min
+            | Max
+            | Add1
+            | Sub1
+            | Cons
+            | MakeVector
+            | MakeVectorFill
+            | VectorLength
+            | StringLength
+            | CharToInteger
+            | Display
+            | Write
+            | Newline
+            | Void
+            | MakeCell
+            | CellSet
+            | SetCar
+            | SetCdr
+            | VectorSet
     )
 }
 
@@ -166,7 +185,11 @@ impl Pass1<'_> {
                 Step::Move { .. } => None,
             })
             .collect();
-        let mut live = if tail { RegSet::single(RET) } else { live_after };
+        let mut live = if tail {
+            RegSet::single(RET)
+        } else {
+            live_after
+        };
         let mut walked_args: Vec<Option<Walked>> = args.iter().map(|_| None).collect();
         let mut walked_closure: Option<Walked> = None;
         let mut musts = RegSet::EMPTY;
@@ -212,9 +235,20 @@ impl Pass1<'_> {
         };
         let mut a = AExpr::Call(node);
         if !tail && self.cfg.save == SaveStrategy::Late && !s_call.is_empty() {
-            a = AExpr::Save { regs: s_call, live_out, exit_restore: RegSet::EMPTY, body: Box::new(a) };
+            a = AExpr::Save {
+                regs: s_call,
+                live_out,
+                exit_restore: RegSet::EMPTY,
+                body: Box::new(a),
+            };
         }
-        Walked { a, live_in: live, st, sf, call_live }
+        Walked {
+            a,
+            live_in: live,
+            st,
+            sf,
+            call_live,
+        }
     }
 
     fn walk(&mut self, e: &Expr, live_out: RegSet) -> Walked {
@@ -264,7 +298,10 @@ impl Pass1<'_> {
             Expr::GlobalSet(g, rhs) => {
                 let wr = self.walk(rhs, live_out);
                 Walked {
-                    a: AExpr::GlobalSet { index: *g, value: Box::new(wr.a) },
+                    a: AExpr::GlobalSet {
+                        index: *g,
+                        value: Box::new(wr.a),
+                    },
                     live_in: wr.live_in,
                     st: wr.st & wr.sf,
                     sf: RegSet::ALL, // result is void (truthy)
@@ -279,7 +316,12 @@ impl Pass1<'_> {
                 let lazy = self.cfg.save == SaveStrategy::Lazy;
                 let wrap = |sv: RegSet, w: AExpr| -> AExpr {
                     if lazy && !sv.is_empty() {
-                        AExpr::Save { regs: sv, live_out, exit_restore: RegSet::EMPTY, body: Box::new(w) }
+                        AExpr::Save {
+                            regs: sv,
+                            live_out,
+                            exit_restore: RegSet::EMPTY,
+                            body: Box::new(w),
+                        }
                     } else {
                         w
                     }
@@ -421,9 +463,7 @@ impl Pass1<'_> {
                     call_live,
                 }
             }
-            Expr::Call { callee, args, tail } => {
-                self.walk_call(callee, args, *tail, live_out)
-            }
+            Expr::Call { callee, args, tail } => self.walk_call(callee, args, *tail, live_out),
             Expr::MakeClosure { func, free } => {
                 let mut live = live_out;
                 let mut walked: Vec<Walked> = Vec::with_capacity(free.len());
@@ -472,7 +512,12 @@ impl Pass1<'_> {
 
 /// Runs pass 1 on one function.
 pub fn run(func: &Func, homes: &Homes, cfg: &AllocConfig) -> Pass1Result {
-    let mut p = Pass1 { homes, cfg, call_union: RegSet::EMPTY, max_temps: 0 };
+    let mut p = Pass1 {
+        homes,
+        cfg,
+        call_union: RegSet::EMPTY,
+        max_temps: 0,
+    };
     // `ret` is referenced by the return itself, so it is live on exit
     // from every body.
     let live_out = RegSet::single(RET);
@@ -494,9 +539,18 @@ pub fn run(func: &Func, homes: &Homes, cfg: &AllocConfig) -> Pass1Result {
     let body = if root_save.is_empty() {
         w.a
     } else {
-        AExpr::Save { regs: root_save, live_out, exit_restore: RegSet::EMPTY, body: Box::new(w.a) }
+        AExpr::Save {
+            regs: root_save,
+            live_out,
+            exit_restore: RegSet::EMPTY,
+            body: Box::new(w.a),
+        }
     };
-    Pass1Result { body, call_inevitable, max_shuffle_temps: p.max_temps }
+    Pass1Result {
+        body,
+        call_inevitable,
+        max_shuffle_temps: p.max_temps,
+    }
 }
 
 #[cfg(test)]
@@ -562,7 +616,10 @@ mod tests {
 
     #[test]
     fn early_strategy_saves_at_entry() {
-        let cfg = AllocConfig { save: SaveStrategy::Early, ..AllocConfig::paper_default() };
+        let cfg = AllocConfig {
+            save: SaveStrategy::Early,
+            ..AllocConfig::paper_default()
+        };
         let r = pass1(
             "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1))))) (fact 5)",
             "fact",
@@ -575,12 +632,11 @@ mod tests {
 
     #[test]
     fn late_strategy_saves_at_calls() {
-        let cfg = AllocConfig { save: SaveStrategy::Late, ..AllocConfig::paper_default() };
-        let r = pass1(
-            "(define (g x) (+ (g x) (g x))) (g 1)",
-            "g",
-            &cfg,
-        );
+        let cfg = AllocConfig {
+            save: SaveStrategy::Late,
+            ..AllocConfig::paper_default()
+        };
+        let r = pass1("(define (g x) (+ (g x) (g x))) (g 1)", "g", &cfg);
         // Two calls, two saves (the second is redundant but late saves
         // don't know that).
         assert_eq!(r.body.count_saves(), 2);

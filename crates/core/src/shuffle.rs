@@ -93,10 +93,14 @@ fn node_reads(problem: &Problem, g: &GraphNode) -> (RegSet, u64) {
             let n = &problem.nodes[*i];
             (n.reads_regs, n.reads_params)
         }
-        GraphNode::Move { from: TempLoc::Reg(r), .. } => {
-            (RegSet::single(*r), 0)
-        }
-        GraphNode::Move { from: TempLoc::Frame(_), .. } => (RegSet::EMPTY, 0),
+        GraphNode::Move {
+            from: TempLoc::Reg(r),
+            ..
+        } => (RegSet::single(*r), 0),
+        GraphNode::Move {
+            from: TempLoc::Frame(_),
+            ..
+        } => (RegSet::EMPTY, 0),
     }
 }
 
@@ -115,9 +119,10 @@ fn emit(problem: &Problem, g: &GraphNode) -> Step {
             arg: problem.nodes[*i].arg,
             dst: problem.nodes[*i].target.dest(),
         },
-        GraphNode::Move { from, target } => {
-            Step::Move { from: *from, dst: target.dest() }
-        }
+        GraphNode::Move { from, target } => Step::Move {
+            from: *from,
+            dst: target.dest(),
+        },
     }
 }
 
@@ -142,23 +147,30 @@ pub fn greedy(problem: &Problem) -> ShufflePlan {
     // Choose the directly-evaluated complex argument: one whose target
     // no simple argument reads. Param targets are never direct (they
     // overlap frame slots other arguments may read).
-    let direct = complex.iter().copied().find(|&i| {
-        let t = problem.nodes[i].target;
-        if matches!(t, Target::Param(_)) {
-            return false;
-        }
-        problem.nodes.iter().enumerate().all(|(j, n)| {
-            j == i || n.complex || !reads_target((n.reads_regs, n.reads_params), t)
-        })
-    });
+    let direct =
+        complex.iter().copied().find(|&i| {
+            let t = problem.nodes[i].target;
+            if matches!(t, Target::Param(_)) {
+                return false;
+            }
+            problem.nodes.iter().enumerate().all(|(j, n)| {
+                j == i || n.complex || !reads_target((n.reads_regs, n.reads_params), t)
+            })
+        });
     for &i in &complex {
         if Some(i) == direct {
             continue;
         }
         let t = TempLoc::Frame(frame_temps);
         frame_temps += 1;
-        pre_steps.push(Step::Eval { arg: problem.nodes[i].arg, dst: Dest::Temp(t) });
-        graph.push(GraphNode::Move { from: t, target: problem.nodes[i].target });
+        pre_steps.push(Step::Eval {
+            arg: problem.nodes[i].arg,
+            dst: Dest::Temp(t),
+        });
+        graph.push(GraphNode::Move {
+            from: t,
+            target: problem.nodes[i].target,
+        });
     }
     if let Some(i) = direct {
         pre_steps.push(Step::Eval {
@@ -193,9 +205,10 @@ pub fn greedy(problem: &Problem) -> ShufflePlan {
         // done last.
         let pick = (0..graph.len()).find(|&j| {
             let reads = node_reads(problem, &graph[j]);
-            graph.iter().enumerate().all(|(k, other)| {
-                k == j || !reads_target(reads, node_target(problem, other))
-            })
+            graph
+                .iter()
+                .enumerate()
+                .all(|(k, other)| k == j || !reads_target(reads, node_target(problem, other)))
         });
         match pick {
             Some(j) => {
@@ -214,8 +227,7 @@ pub fn greedy(problem: &Problem) -> ShufflePlan {
                             .iter()
                             .enumerate()
                             .filter(|(k, other)| {
-                                *k != j
-                                    && reads_target(node_reads(problem, other), t)
+                                *k != j && reads_target(node_reads(problem, other), t)
                             })
                             .count()
                     })
@@ -238,8 +250,10 @@ pub fn greedy(problem: &Problem) -> ShufflePlan {
                         arg: problem.nodes[i].arg,
                         dst: Dest::Temp(temp),
                     }),
-                    GraphNode::Move { from, .. } => break_steps
-                        .push(Step::Move { from, dst: Dest::Temp(temp) }),
+                    GraphNode::Move { from, .. } => break_steps.push(Step::Move {
+                        from,
+                        dst: Dest::Temp(temp),
+                    }),
                 }
                 graph.push(GraphNode::Move { from: temp, target });
             }
@@ -248,7 +262,8 @@ pub fn greedy(problem: &Problem) -> ShufflePlan {
 
     plan.steps = pre_steps;
     plan.steps.extend(break_steps);
-    plan.steps.extend(stack.iter().rev().map(|g| emit(problem, g)));
+    plan.steps
+        .extend(stack.iter().rev().map(|g| emit(problem, g)));
     plan.frame_temps = frame_temps;
     plan.optimal_temps = optimal_temp_count(problem) as u32;
     plan
@@ -276,16 +291,24 @@ pub fn fixed_order(problem: &Problem) -> ShufflePlan {
         // register AND the outgoing-argument area (callee frames are
         // built on top of it).
         let conflict = problem.nodes[i + 1..].iter().any(|later| {
-            reads_target((later.reads_regs, later.reads_params), n.target)
-                || later.complex
+            reads_target((later.reads_regs, later.reads_params), n.target) || later.complex
         });
         if n.complex || conflict || matches!(n.target, Target::Param(_)) {
             let t = TempLoc::Frame(frame_temps);
             frame_temps += 1;
-            plan.steps.push(Step::Eval { arg: n.arg, dst: Dest::Temp(t) });
-            moves.push(Step::Move { from: t, dst: n.target.dest() });
+            plan.steps.push(Step::Eval {
+                arg: n.arg,
+                dst: Dest::Temp(t),
+            });
+            moves.push(Step::Move {
+                from: t,
+                dst: n.target.dest(),
+            });
         } else {
-            plan.steps.push(Step::Eval { arg: n.arg, dst: n.target.dest() });
+            plan.steps.push(Step::Eval {
+                arg: n.arg,
+                dst: n.target.dest(),
+            });
         }
     }
     plan.steps.extend(moves);
@@ -301,8 +324,7 @@ pub fn fixed_order(problem: &Problem) -> ShufflePlan {
 pub fn optimal_temp_count(problem: &Problem) -> usize {
     // Only simple arguments participate; complex ones are temped by
     // construction.
-    let simples: Vec<&NodeSpec> =
-        problem.nodes.iter().filter(|n| !n.complex).collect();
+    let simples: Vec<&NodeSpec> = problem.nodes.iter().filter(|n| !n.complex).collect();
     let n = simples.len();
     if n == 0 {
         return 0;
@@ -312,8 +334,7 @@ pub fn optimal_temp_count(problem: &Problem) -> usize {
     let mut adj = vec![0u32; n];
     for (u, nu) in simples.iter().enumerate() {
         for (v, nv) in simples.iter().enumerate() {
-            if u != v && reads_target((nu.reads_regs, nu.reads_params), nv.target)
-            {
+            if u != v && reads_target((nu.reads_regs, nu.reads_params), nv.target) {
                 adj[u] |= 1 << v;
             }
         }
@@ -432,11 +453,11 @@ mod tests {
             format!("arg{i}({})", parts.join(","))
         };
         let write = |dst: &Dest,
-                         val: String,
-                         regs: &mut HashMap<Reg, String>,
-                         temps: &mut HashMap<u32, String>,
-                         outs: &mut HashMap<u32, String>,
-                         params: &mut HashMap<u32, String>| {
+                     val: String,
+                     regs: &mut HashMap<Reg, String>,
+                     temps: &mut HashMap<u32, String>,
+                     outs: &mut HashMap<u32, String>,
+                     params: &mut HashMap<u32, String>| {
             match dst {
                 Dest::Reg(r) => {
                     regs.insert(*r, val);
@@ -550,7 +571,10 @@ mod tests {
         let last = plan.steps.last().unwrap();
         assert_eq!(
             *last,
-            Step::Eval { arg: ArgRef::Arg(1), dst: Dest::Reg(arg_reg(1)) }
+            Step::Eval {
+                arg: ArgRef::Arg(1),
+                dst: Dest::Reg(arg_reg(1))
+            }
         );
     }
 
@@ -637,7 +661,15 @@ mod tests {
         let evals_to_temp = plan
             .steps
             .iter()
-            .filter(|s| matches!(s, Step::Eval { dst: Dest::Temp(_), .. }))
+            .filter(|s| {
+                matches!(
+                    s,
+                    Step::Eval {
+                        dst: Dest::Temp(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(evals_to_temp, 1);
     }
@@ -665,20 +697,39 @@ mod tests {
         n0.reads_params = 0; // writes param 0
         let mut n1 = spec(1, Target::Param(1), &[], false);
         n1.reads_params = 1; // reads param 0
-        let p = Problem { nodes: vec![n0, n1], temp_regs: RegSet::EMPTY };
+        let p = Problem {
+            nodes: vec![n0, n1],
+            temp_regs: RegSet::EMPTY,
+        };
         let plan = greedy(&p);
         check_plan(&p, &plan);
         // n1 must be evaluated before n0's assignment.
-        let pos = |pred: &dyn Fn(&Step) -> bool| {
-            plan.steps.iter().position(pred).expect("step present")
-        };
+        let pos =
+            |pred: &dyn Fn(&Step) -> bool| plan.steps.iter().position(pred).expect("step present");
         let n1_eval = pos(&|s| {
-            matches!(s, Step::Eval { arg: ArgRef::Arg(1), .. })
+            matches!(
+                s,
+                Step::Eval {
+                    arg: ArgRef::Arg(1),
+                    ..
+                }
+            )
         });
         let n0_assign = plan
             .steps
             .iter()
-            .position(|s| matches!(s, Step::Eval { arg: ArgRef::Arg(0), dst: Dest::Param(0) } | Step::Move { dst: Dest::Param(0), .. }))
+            .position(|s| {
+                matches!(
+                    s,
+                    Step::Eval {
+                        arg: ArgRef::Arg(0),
+                        dst: Dest::Param(0)
+                    } | Step::Move {
+                        dst: Dest::Param(0),
+                        ..
+                    }
+                )
+            })
             .unwrap();
         assert!(n1_eval < n0_assign);
     }
@@ -718,62 +769,70 @@ mod tests {
 mod properties {
     use super::*;
     use lesgs_ir::machine::arg_reg;
-    use proptest::prelude::*;
+    use lesgs_testkit::{run_cases, Rng};
 
-    fn arb_problem() -> impl Strategy<Value = Problem> {
-        // Up to 6 simple args with random read sets over the 6 arg regs.
-        (1usize..=6).prop_flat_map(|n| {
-            proptest::collection::vec(0u8..64, n).prop_map(move |reads| {
-                Problem {
-                    nodes: reads
-                        .iter()
-                        .enumerate()
-                        .map(|(i, bits)| NodeSpec {
-                            arg: ArgRef::Arg(i as u16),
-                            target: Target::Reg(arg_reg(i)),
-                            reads_regs: (0..6)
-                                .filter(|b| bits & (1 << b) != 0)
-                                .map(arg_reg)
-                                .collect(),
-                            reads_params: 0,
-                            complex: false,
-                        })
-                        .collect(),
-                    temp_regs: RegSet::EMPTY,
-                }
-            })
-        })
+    // Up to 6 simple args with random read sets over the 6 arg regs.
+    fn gen_problem(rng: &mut Rng) -> Problem {
+        let n = 1 + rng.below(6);
+        Problem {
+            nodes: (0..n)
+                .map(|i| {
+                    let bits = rng.below(64);
+                    NodeSpec {
+                        arg: ArgRef::Arg(i as u16),
+                        target: Target::Reg(arg_reg(i)),
+                        reads_regs: (0..6)
+                            .filter(|b| bits & (1 << b) != 0)
+                            .map(arg_reg)
+                            .collect(),
+                        reads_params: 0,
+                        complex: false,
+                    }
+                })
+                .collect(),
+            temp_regs: RegSet::EMPTY,
+        }
     }
 
-    proptest! {
-        /// Every greedy plan computes the correct final register state.
-        #[test]
-        fn greedy_plans_are_correct(p in arb_problem()) {
+    /// Every greedy plan computes the correct final register state.
+    #[test]
+    fn greedy_plans_are_correct() {
+        run_cases(512, |rng| {
+            let p = gen_problem(rng);
             let plan = greedy(&p);
             super::tests::check_plan(&p, &plan);
-        }
+        });
+    }
 
-        /// The fixed-order baseline is also correct (just slower).
-        #[test]
-        fn fixed_order_plans_are_correct(p in arb_problem()) {
+    /// The fixed-order baseline is also correct (just slower).
+    #[test]
+    fn fixed_order_plans_are_correct() {
+        run_cases(512, |rng| {
+            let p = gen_problem(rng);
             let plan = fixed_order(&p);
             super::tests::check_plan(&p, &plan);
-        }
+        });
+    }
 
-        /// Greedy never beats the optimal and uses at most a few more.
-        #[test]
-        fn greedy_at_least_optimal(p in arb_problem()) {
+    /// Greedy never beats the optimal and uses at most a few more.
+    #[test]
+    fn greedy_at_least_optimal() {
+        run_cases(512, |rng| {
+            let p = gen_problem(rng);
             let plan = greedy(&p);
-            prop_assert!(plan.cycle_temps as usize >= optimal_temp_count(&p));
-        }
+            assert!(plan.cycle_temps as usize >= optimal_temp_count(&p), "{p:?}");
+        });
+    }
 
-        /// Greedy uses no temporaries whenever none are needed.
-        #[test]
-        fn greedy_optimal_when_acyclic(p in arb_problem()) {
+    /// Greedy uses no temporaries whenever none are needed.
+    #[test]
+    fn greedy_optimal_when_acyclic() {
+        run_cases(512, |rng| {
+            let p = gen_problem(rng);
             if optimal_temp_count(&p) == 0 {
                 let plan = greedy(&p);
-                prop_assert_eq!(plan.cycle_temps, 0);
+                assert_eq!(plan.cycle_temps, 0, "{p:?}");
             }
-        }
+        });
     }
 }

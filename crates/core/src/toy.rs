@@ -49,7 +49,9 @@ impl Toy {
 
     /// A call with the given live-after registers.
     pub fn call<I: IntoIterator<Item = Reg>>(live: I) -> Toy {
-        Toy::Call { live_after: live.into_iter().collect() }
+        Toy::Call {
+            live_after: live.into_iter().collect(),
+        }
     }
 
     /// `(not E)` modeled as `(if E false true)` (Figure 1).
@@ -270,14 +272,20 @@ mod tests {
     fn figure1_and_equation() {
         let a = Toy::if_(Toy::Var(r(0)), Toy::call([r(1)]), Toy::False);
         let b = Toy::call([r(2)]);
-        assert_eq!(figure1::s_and(&a, &b), s_revised(&Toy::and(a.clone(), b.clone())));
+        assert_eq!(
+            figure1::s_and(&a, &b),
+            s_revised(&Toy::and(a.clone(), b.clone()))
+        );
     }
 
     #[test]
     fn figure1_or_equation() {
         let a = Toy::if_(Toy::Var(r(0)), Toy::True, Toy::call([r(1)]));
         let b = Toy::Var(r(2));
-        assert_eq!(figure1::s_or(&a, &b), s_revised(&Toy::or(a.clone(), b.clone())));
+        assert_eq!(
+            figure1::s_or(&a, &b),
+            s_revised(&Toy::or(a.clone(), b.clone()))
+        );
     }
 
     #[test]
@@ -291,94 +299,109 @@ mod tests {
 mod properties {
     use super::*;
     use lesgs_ir::machine::arg_reg;
-    use proptest::prelude::*;
+    use lesgs_testkit::{run_cases, Rng};
 
-    fn arb_regset() -> impl Strategy<Value = RegSet> {
-        (0u8..64).prop_map(|bits| {
-            (0..6)
-                .filter(|i| bits & (1 << i) != 0)
-                .map(arg_reg)
-                .collect()
-        })
+    fn gen_regset(rng: &mut Rng) -> RegSet {
+        let bits = rng.below(64);
+        (0..6)
+            .filter(|i| bits & (1 << i) != 0)
+            .map(arg_reg)
+            .collect()
     }
 
-    fn arb_toy() -> impl Strategy<Value = Toy> {
-        let leaf = prop_oneof![
-            (0usize..6).prop_map(|i| Toy::Var(arg_reg(i))),
-            Just(Toy::True),
-            Just(Toy::False),
-            arb_regset().prop_map(|live_after| Toy::Call { live_after }),
-        ];
-        leaf.prop_recursive(5, 64, 3, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Toy::seq(a, b)),
-                (inner.clone(), inner.clone(), inner)
-                    .prop_map(|(a, b, c)| Toy::if_(a, b, c)),
-            ]
-        })
+    fn gen_toy(rng: &mut Rng, depth: u32) -> Toy {
+        if depth == 0 || rng.chance(2, 5) {
+            return match rng.below(4) {
+                0 => Toy::Var(arg_reg(rng.below(6))),
+                1 => Toy::True,
+                2 => Toy::False,
+                _ => Toy::Call {
+                    live_after: gen_regset(rng),
+                },
+            };
+        }
+        match rng.below(2) {
+            0 => Toy::seq(gen_toy(rng, depth - 1), gen_toy(rng, depth - 1)),
+            _ => Toy::if_(
+                gen_toy(rng, depth - 1),
+                gen_toy(rng, depth - 1),
+                gen_toy(rng, depth - 1),
+            ),
+        }
     }
 
-    proptest! {
-        /// "It is straightforward to show that the revised algorithm is
-        /// not as lazy as the previous algorithm, i.e., that
-        /// S[E] ⊆ S_t[E] ∩ S_f[E] for all expressions E."
-        #[test]
-        fn revised_at_least_as_eager_as_simple(e in arb_toy()) {
-            prop_assert!(s_simple(&e).is_subset(save_set(&e)));
-        }
+    /// "It is straightforward to show that the revised algorithm is
+    /// not as lazy as the previous algorithm, i.e., that
+    /// S[E] ⊆ S_t[E] ∩ S_f[E] for all expressions E."
+    #[test]
+    fn revised_at_least_as_eager_as_simple() {
+        run_cases(512, |rng| {
+            let e = gen_toy(rng, 5);
+            assert!(s_simple(&e).is_subset(save_set(&e)), "{e}");
+        });
+    }
 
-        /// "It can also be shown that the revised algorithm is never
-        /// too eager; i.e., if there is a path through any expression E
-        /// without calls, then S_t[E] ∩ S_f[E] = ∅."
-        #[test]
-        fn revised_never_too_eager(e in arb_toy()) {
+    /// "It can also be shown that the revised algorithm is never
+    /// too eager; i.e., if there is a path through any expression E
+    /// without calls, then S_t[E] ∩ S_f[E] = ∅."
+    #[test]
+    fn revised_never_too_eager() {
+        run_cases(512, |rng| {
+            let e = gen_toy(rng, 5);
             let (pt, pf) = call_free_paths(&e);
             if pt || pf {
-                prop_assert_eq!(save_set(&e), RegSet::EMPTY);
+                assert_eq!(save_set(&e), RegSet::EMPTY, "{e}");
             }
-        }
+        });
+    }
 
-        /// Same property for the simple algorithm (§2.1.1: "this
-        /// placement is never too eager").
-        #[test]
-        fn simple_never_too_eager(e in arb_toy()) {
+    /// Same property for the simple algorithm (§2.1.1: "this
+    /// placement is never too eager").
+    #[test]
+    fn simple_never_too_eager() {
+        run_cases(512, |rng| {
+            let e = gen_toy(rng, 5);
             let (pt, pf) = call_free_paths(&e);
             if pt || pf {
-                prop_assert_eq!(s_simple(&e), RegSet::EMPTY);
+                assert_eq!(s_simple(&e), RegSet::EMPTY, "{e}");
             }
-        }
+        });
+    }
 
-        /// Figure 1 equations agree with the if-expansions for all
-        /// subexpressions.
-        #[test]
-        fn figure1_equations_hold(a in arb_toy(), b in arb_toy()) {
-            prop_assert_eq!(figure1::s_not(&a), s_revised(&Toy::not(a.clone())));
-            prop_assert_eq!(
+    /// Figure 1 equations agree with the if-expansions for all
+    /// subexpressions.
+    #[test]
+    fn figure1_equations_hold() {
+        run_cases(512, |rng| {
+            let a = gen_toy(rng, 4);
+            let b = gen_toy(rng, 4);
+            assert_eq!(figure1::s_not(&a), s_revised(&Toy::not(a.clone())));
+            assert_eq!(
                 figure1::s_and(&a, &b),
                 s_revised(&Toy::and(a.clone(), b.clone()))
             );
-            prop_assert_eq!(
+            assert_eq!(
                 figure1::s_or(&a, &b),
                 s_revised(&Toy::or(a.clone(), b.clone()))
             );
-        }
+        });
+    }
 
-        /// A save set never mentions registers that are not live after
-        /// some call in the expression.
-        #[test]
-        fn save_set_bounded_by_call_liveness(e in arb_toy()) {
-            fn all_call_live(e: &Toy) -> RegSet {
-                match e {
-                    Toy::Call { live_after } => *live_after,
-                    Toy::Seq(a, b) => all_call_live(a) | all_call_live(b),
-                    Toy::If(a, b, c) => {
-                        all_call_live(a) | all_call_live(b) | all_call_live(c)
-                    }
-                    _ => RegSet::EMPTY,
-                }
+    /// A save set never mentions registers that are not live after
+    /// some call in the expression.
+    #[test]
+    fn save_set_bounded_by_call_liveness() {
+        fn all_call_live(e: &Toy) -> RegSet {
+            match e {
+                Toy::Call { live_after } => *live_after,
+                Toy::Seq(a, b) => all_call_live(a) | all_call_live(b),
+                Toy::If(a, b, c) => all_call_live(a) | all_call_live(b) | all_call_live(c),
+                _ => RegSet::EMPTY,
             }
-            prop_assert!(save_set(&e).is_subset(all_call_live(&e)));
         }
+        run_cases(512, |rng| {
+            let e = gen_toy(rng, 5);
+            assert!(save_set(&e).is_subset(all_call_live(&e)), "{e}");
+        });
     }
 }

@@ -43,7 +43,10 @@ struct State {
 
 impl State {
     fn meet(a: State, b: State) -> State {
-        State { valid: a.valid & b.valid, saved: a.saved & b.saved }
+        State {
+            valid: a.valid & b.valid,
+            saved: a.saved & b.saved,
+        }
     }
 }
 
@@ -62,9 +65,7 @@ impl Checker<'_> {
     }
 
     fn check_read(&mut self, r: lesgs_ir::Reg, st: &State, what: &str) {
-        if (self.allocatable.contains(r) || r.is_callee_save())
-            && !st.valid.contains(r)
-        {
+        if (self.allocatable.contains(r) || r.is_callee_save()) && !st.valid.contains(r) {
             self.error(format!("{what} reads stale register {r}"));
         }
     }
@@ -98,7 +99,9 @@ impl Checker<'_> {
                 }
                 st.valid = st.valid.insert(*dst);
             }
-            AExpr::If { cond, then, els, .. } => {
+            AExpr::If {
+                cond, then, els, ..
+            } => {
                 self.walk(cond, st);
                 let mut st_t = *st;
                 let mut st_e = *st;
@@ -115,7 +118,12 @@ impl Checker<'_> {
                 self.walk(body, st);
             }
             AExpr::PrimApp(_, args) => args.iter().for_each(|a| self.walk(a, st)),
-            AExpr::Save { regs, exit_restore, body, .. } => {
+            AExpr::Save {
+                regs,
+                exit_restore,
+                body,
+                ..
+            } => {
                 for r in regs.iter() {
                     // Callee-save slots archive the *caller's* values,
                     // which are valid to store by convention.
@@ -134,10 +142,9 @@ impl Checker<'_> {
                         Step::Eval { arg, dst } => {
                             let expr: &AExpr = match arg {
                                 crate::alloc::ArgRef::Arg(i) => &c.args[*i as usize],
-                                crate::alloc::ArgRef::Closure => c
-                                    .closure
-                                    .as_deref()
-                                    .expect("closure present"),
+                                crate::alloc::ArgRef::Closure => {
+                                    c.closure.as_deref().expect("closure present")
+                                }
                             };
                             self.walk(expr, st);
                             if let Dest::Reg(r) | Dest::Temp(TempLoc::Reg(r)) = dst {
@@ -165,9 +172,7 @@ impl Checker<'_> {
                 st.valid = st.valid - self.allocatable;
                 self.restore(c.restore, st);
             }
-            AExpr::MakeClosure { free, .. } => {
-                free.iter().for_each(|a| self.walk(a, st))
-            }
+            AExpr::MakeClosure { free, .. } => free.iter().for_each(|a| self.walk(a, st)),
             AExpr::ClosureSet { clo, value, .. } => {
                 self.walk(clo, st);
                 self.walk(value, st);
@@ -177,10 +182,7 @@ impl Checker<'_> {
 }
 
 /// Verifies one allocated function.
-pub fn verify_func(
-    func: &AllocatedFunc,
-    config: &crate::config::AllocConfig,
-) -> Vec<VerifyError> {
+pub fn verify_func(func: &AllocatedFunc, config: &crate::config::AllocConfig) -> Vec<VerifyError> {
     let mut checker = Checker {
         func,
         allocatable: config.machine.allocatable(),
@@ -190,7 +192,10 @@ pub fn verify_func(
     // closure, ret the return address. Callee-save registers hold the
     // caller's values, which the function must not *use* before homing
     // its parameters there.
-    let mut st = State { valid: config.machine.allocatable(), saved: RegSet::EMPTY };
+    let mut st = State {
+        valid: config.machine.allocatable(),
+        saved: RegSet::EMPTY,
+    };
     checker.walk(&func.body, &mut st);
     // `ret` must be valid at the (implicit) return.
     if !st.valid.contains(RET) {
@@ -267,7 +272,10 @@ mod tests {
                     ..AllocConfig::paper_default()
                 };
                 let errors = verify(src, &cfg);
-                assert!(errors.is_empty(), "callee-save {save:?}: {errors:?}\nsrc={src}");
+                assert!(
+                    errors.is_empty(),
+                    "callee-save {save:?}: {errors:?}\nsrc={src}"
+                );
             }
         }
     }

@@ -11,7 +11,10 @@ use lesgs_ir::machine::arg_reg;
 use lesgs_ir::RegSet;
 
 fn allocate(src: &str, restore: RestoreStrategy) -> Vec<AllocatedFunc> {
-    let cfg = AllocConfig { restore, ..AllocConfig::paper_default() };
+    let cfg = AllocConfig {
+        restore,
+        ..AllocConfig::paper_default()
+    };
     let ir = lower_program(&pipeline::front_to_closed(src).unwrap());
     allocate_program(&ir, &cfg).funcs
 }
@@ -172,21 +175,20 @@ fn figure2_shapes_run_identically() {
             "3",
         ),
         (
-            format!(
-                "{HELPER} (define (f x p) (if p (+ (g x) x) (+ (g x) 1))) (f 3 #f)"
-            ),
+            format!("{HELPER} (define (f x p) (if p (+ (g x) x) (+ (g x) 1))) (f 3 #f)"),
             "1",
         ),
         (
-            format!(
-                "{HELPER} (define (f x p) (+ (if p (+ (g x) (g x)) 0) x)) (f 3 #t)"
-            ),
+            format!("{HELPER} (define (f x p) (+ (if p (+ (g x) (g x)) 0) x)) (f 3 #t)"),
             "3",
         ),
     ] {
         for restore in [RestoreStrategy::Eager, RestoreStrategy::Lazy] {
             let cfg = lesgs_compiler::CompilerConfig {
-                alloc: AllocConfig { restore, ..AllocConfig::paper_default() },
+                alloc: AllocConfig {
+                    restore,
+                    ..AllocConfig::paper_default()
+                },
                 poison: true,
                 ..Default::default()
             };

@@ -115,9 +115,7 @@ impl Converter<'_> {
                 Box::new(self.convert(t)),
                 Box::new(self.convert(el)),
             ),
-            Expr::Seq(es) => {
-                Expr::Seq(es.iter().map(|e| self.convert(e)).collect())
-            }
+            Expr::Seq(es) => Expr::Seq(es.iter().map(|e| self.convert(e)).collect()),
             Expr::Lambda(l) => Expr::Lambda(self.convert_lambda(l)),
             Expr::Let(bs, b) => {
                 // Mutated let-bound variables bind the cell directly:
@@ -156,10 +154,9 @@ impl Converter<'_> {
                 Box::new(self.convert(f)),
                 args.iter().map(|a| self.convert(a)).collect(),
             ),
-            Expr::PrimApp(p, args) => Expr::PrimApp(
-                *p,
-                args.iter().map(|a| self.convert(a)).collect(),
-            ),
+            Expr::PrimApp(p, args) => {
+                Expr::PrimApp(*p, args.iter().map(|a| self.convert(a)).collect())
+            }
         }
     }
 }
@@ -189,7 +186,11 @@ pub fn convert(e: &Expr<VarId>, interner: &mut Interner) -> Expr<VarId> {
     if mutated.is_empty() {
         return e.clone();
     }
-    let mut c = Converter { interner, mutated, cells: HashMap::new() };
+    let mut c = Converter {
+        interner,
+        mutated,
+        cells: HashMap::new(),
+    };
     c.convert(e)
 }
 

@@ -128,15 +128,9 @@ impl<V> Expr<V> {
             Expr::If(c, t, e) => c.size() + t.size() + e.size(),
             Expr::Seq(es) => es.iter().map(Expr::size).sum(),
             Expr::Lambda(l) => l.body.size(),
-            Expr::Let(bs, b) => {
-                bs.iter().map(|(_, e)| e.size()).sum::<usize>() + b.size()
-            }
-            Expr::Letrec(bs, b) => {
-                bs.iter().map(|(_, l)| l.body.size()).sum::<usize>() + b.size()
-            }
-            Expr::App(f, args) => {
-                f.size() + args.iter().map(Expr::size).sum::<usize>()
-            }
+            Expr::Let(bs, b) => bs.iter().map(|(_, e)| e.size()).sum::<usize>() + b.size(),
+            Expr::Letrec(bs, b) => bs.iter().map(|(_, l)| l.body.size()).sum::<usize>() + b.size(),
+            Expr::App(f, args) => f.size() + args.iter().map(Expr::size).sum::<usize>(),
             Expr::PrimApp(_, args) => args.iter().map(Expr::size).sum(),
         };
         children + 1

@@ -236,9 +236,7 @@ fn reference_kinds(
                 value.insert(*v);
             }
         }
-        Expr::Set(_, rhs) | Expr::GlobalSet(_, rhs) => {
-            reference_kinds(rhs, names, operator, value)
-        }
+        Expr::Set(_, rhs) | Expr::GlobalSet(_, rhs) => reference_kinds(rhs, names, operator, value),
         Expr::If(c, t, el) => {
             reference_kinds(c, names, operator, value);
             reference_kinds(t, names, operator, value);
@@ -326,12 +324,7 @@ impl Convert<'_> {
     }
 
     /// Converts a lambda into a function; returns its id and free list.
-    fn convert_function(
-        &mut self,
-        id: FuncId,
-        name: String,
-        lam: &Lambda<VarId>,
-    ) -> Vec<VarId> {
+    fn convert_function(&mut self, id: FuncId, name: String, lam: &Lambda<VarId>) -> Vec<VarId> {
         let mut ctx = FnCtx::new(&lam.params);
         let body = self.convert(&lam.body, &mut ctx, true);
         let free = ctx.free_list.clone();
@@ -376,7 +369,10 @@ impl Convert<'_> {
                 !group.contains(x)
                     && !matches!(
                         self.known.get(x),
-                        Some(KnownBinding { closure_var: None, .. })
+                        Some(KnownBinding {
+                            closure_var: None,
+                            ..
+                        })
                     )
             });
             let seed = !fv.is_empty() || value_refs.contains(v);
@@ -423,7 +419,13 @@ impl Convert<'_> {
             } else {
                 None
             };
-            self.known.insert(*v, KnownBinding { func: id, closure_var });
+            self.known.insert(
+                *v,
+                KnownBinding {
+                    func: id,
+                    closure_var,
+                },
+            );
         }
 
         // --- convert the group's bodies --------------------------------
@@ -459,8 +461,13 @@ impl Convert<'_> {
                     free_values.push(ctx.resolve(*fv));
                 }
             }
-            creations
-                .push((cv, CExpr::MakeClosure { func: ids[v], free: free_values }));
+            creations.push((
+                cv,
+                CExpr::MakeClosure {
+                    func: ids[v],
+                    free: free_values,
+                },
+            ));
             ctx.locals.insert(cv);
         }
 
@@ -528,14 +535,19 @@ impl Convert<'_> {
                 let name = l.name.clone().unwrap_or_else(|| format!("lambda@{id}"));
                 let free = self.convert_function(id, name, l);
                 let free_values = free.iter().map(|v| ctx.resolve(*v)).collect();
-                CExpr::MakeClosure { func: id, free: free_values }
+                CExpr::MakeClosure {
+                    func: id,
+                    free: free_values,
+                }
             }
             Expr::Let(bs, b) => {
                 // Parallel by construction: after alpha renaming no RHS
                 // can see a sibling, so nested single lets are
                 // equivalent.
-                let rhss: Vec<CExpr> =
-                    bs.iter().map(|(_, rhs)| self.convert(rhs, ctx, false)).collect();
+                let rhss: Vec<CExpr> = bs
+                    .iter()
+                    .map(|(_, rhs)| self.convert(rhs, ctx, false))
+                    .collect();
                 for (v, _) in bs {
                     ctx.locals.insert(*v);
                 }
@@ -550,11 +562,7 @@ impl Convert<'_> {
                 if let Expr::Lambda(l) = f.as_ref() {
                     if l.params.len() == args.len() {
                         let let_expr = Expr::Let(
-                            l.params
-                                .iter()
-                                .copied()
-                                .zip(args.iter().cloned())
-                                .collect(),
+                            l.params.iter().copied().zip(args.iter().cloned()).collect(),
                             l.body.clone(),
                         );
                         return self.convert(&let_expr, ctx, tail);
@@ -562,17 +570,17 @@ impl Convert<'_> {
                 }
                 let callee = match f.as_ref() {
                     Expr::Var(v) => match self.known.get(v).copied() {
-                        Some(KnownBinding { func, closure_var: None }) => {
-                            Callee::Direct(func)
-                        }
-                        Some(KnownBinding { func, closure_var: Some(cv) }) => {
-                            Callee::KnownClosure(func, Box::new(ctx.resolve(cv)))
-                        }
+                        Some(KnownBinding {
+                            func,
+                            closure_var: None,
+                        }) => Callee::Direct(func),
+                        Some(KnownBinding {
+                            func,
+                            closure_var: Some(cv),
+                        }) => Callee::KnownClosure(func, Box::new(ctx.resolve(cv))),
                         None => Callee::Computed(Box::new(ctx.resolve(*v))),
                     },
-                    other => {
-                        Callee::Computed(Box::new(self.convert(other, ctx, false)))
-                    }
+                    other => Callee::Computed(Box::new(self.convert(other, ctx, false))),
                 };
                 CExpr::Call {
                     callee,
@@ -595,16 +603,13 @@ impl Convert<'_> {
 ///
 /// Panics if `e` still contains assignments (run
 /// [`assignconv`](crate::assignconv) first) or free variables.
-pub fn close_program(
-    e: &Expr<VarId>,
-    mut interner: Interner,
-    n_globals: u32,
-) -> ClosedProgram {
-    assert!(
-        free_vars(e).is_empty(),
-        "program expression must be closed"
-    );
-    let mut c = Convert { funcs: Vec::new(), known: HashMap::new(), interner: &mut interner };
+pub fn close_program(e: &Expr<VarId>, mut interner: Interner, n_globals: u32) -> ClosedProgram {
+    assert!(free_vars(e).is_empty(), "program expression must be closed");
+    let mut c = Convert {
+        funcs: Vec::new(),
+        known: HashMap::new(),
+        interner: &mut interner,
+    };
     let main_id = c.fresh_func_id();
     let main_lambda = Lambda {
         params: Vec::new(),
@@ -618,7 +623,12 @@ pub fn close_program(
         .into_iter()
         .map(|f| f.expect("every allocated function is filled"))
         .collect();
-    ClosedProgram { funcs, main: main_id, interner, n_globals }
+    ClosedProgram {
+        funcs,
+        main: main_id,
+        interner,
+        n_globals,
+    }
 }
 
 #[cfg(test)]
@@ -639,10 +649,7 @@ mod tests {
 
     fn count_calls(e: &CExpr, pred: &mut dyn FnMut(&Callee, bool)) {
         match e {
-            CExpr::Const(_)
-            | CExpr::Local(_)
-            | CExpr::FreeRef(_)
-            | CExpr::Global(_) => {}
+            CExpr::Const(_) | CExpr::Local(_) | CExpr::FreeRef(_) | CExpr::Global(_) => {}
             CExpr::GlobalSet(_, rhs) => count_calls(rhs, pred),
             CExpr::If(c, t, el) => {
                 count_calls(c, pred);
@@ -662,9 +669,7 @@ mod tests {
                 }
                 args.iter().for_each(|a| count_calls(a, pred));
             }
-            CExpr::MakeClosure { free, .. } => {
-                free.iter().for_each(|f| count_calls(f, pred))
-            }
+            CExpr::MakeClosure { free, .. } => free.iter().for_each(|f| count_calls(f, pred)),
             CExpr::ClosureSet { clo, value, .. } => {
                 count_calls(clo, pred);
                 count_calls(value, pred);
@@ -812,8 +817,12 @@ mod tests {
     fn immediate_lambda_application_is_let() {
         let p = close("((lambda (x) (+ x 1)) 41)");
         // No closure should be allocated for the immediate lambda.
-        assert_eq!(p.funcs.len(), 1, "only main exists: {:?}",
-                   p.funcs.iter().map(|f| &f.name).collect::<Vec<_>>());
+        assert_eq!(
+            p.funcs.len(),
+            1,
+            "only main exists: {:?}",
+            p.funcs.iter().map(|f| &f.name).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -835,10 +844,7 @@ mod tests {
         use crate::desugar;
         use crate::rename::Renamer;
         use lesgs_sexpr::parse_one;
-        let surface = desugar::expr(
-            &parse_one("(lambda (x) (+ x y))").unwrap(),
-        )
-        .unwrap();
+        let surface = desugar::expr(&parse_one("(lambda (x) (+ x y))").unwrap()).unwrap();
         let mut r = Renamer::new();
         let y = r.bind("y");
         let renamed = r.rename(&surface).unwrap();

@@ -20,7 +20,9 @@ pub struct DesugarError {
 
 impl DesugarError {
     fn new(message: impl Into<String>) -> DesugarError {
-        DesugarError { message: message.into() }
+        DesugarError {
+            message: message.into(),
+        }
     }
 }
 
@@ -64,9 +66,7 @@ fn quote_to_expr(d: &Datum) -> SurfaceExpr {
 pub fn split_define(form: &[Datum]) -> Result<(String, SurfaceExpr)> {
     match form {
         [_, Datum::Symbol(name), rhs] => Ok((name.clone(), expr(rhs)?)),
-        [_, Datum::Symbol(name)] => {
-            Ok((name.clone(), Expr::Const(Const::Void)))
-        }
+        [_, Datum::Symbol(name)] => Ok((name.clone(), Expr::Const(Const::Void))),
         [_, Datum::List(header), rest @ ..] if !rest.is_empty() => {
             let [name_d, params @ ..] = header.as_slice() else {
                 return err("malformed define header");
@@ -83,13 +83,8 @@ pub fn split_define(form: &[Datum]) -> Result<(String, SurfaceExpr)> {
             };
             Ok((name, Expr::Lambda(lam)))
         }
-        [_, Datum::Improper(_, _), ..] => {
-            err("rest (variadic) parameters are not supported")
-        }
-        _ => err(format!(
-            "malformed define: {}",
-            Datum::List(form.to_vec())
-        )),
+        [_, Datum::Improper(_, _), ..] => err("rest (variadic) parameters are not supported"),
+        _ => err(format!("malformed define: {}", Datum::List(form.to_vec()))),
     }
 }
 
@@ -223,8 +218,7 @@ fn letrec_form(rest: &[Datum]) -> Result<SurfaceExpr> {
     let inner = body(body_forms)?;
     let names: Vec<String> = bindings.iter().map(|(n, _)| n.clone()).collect();
     let assigned = rest.iter().any(|d| datum_assigns_any(d, &names));
-    let all_lambdas =
-        !assigned && bindings.iter().all(|(_, e)| matches!(e, Expr::Lambda(_)));
+    let all_lambdas = !assigned && bindings.iter().all(|(_, e)| matches!(e, Expr::Lambda(_)));
     if all_lambdas {
         let bindings = bindings
             .into_iter()
@@ -268,9 +262,7 @@ fn cond_form(rest: &[Datum]) -> Result<SurfaceExpr> {
                 if actions.is_empty() {
                     return err("empty else clause");
                 }
-                result = Expr::seq(
-                    actions.iter().map(expr).collect::<Result<Vec<_>>>()?,
-                );
+                result = Expr::seq(actions.iter().map(expr).collect::<Result<Vec<_>>>()?);
             }
             [test] => {
                 // (cond (e) rest...) => (or e rest...)
@@ -362,12 +354,8 @@ fn do_form(rest: &[Datum]) -> Result<SurfaceExpr> {
         Expr::seq(results.iter().map(expr).collect::<Result<Vec<_>>>()?)
     };
     let loop_name = "%do-loop".to_owned();
-    let mut loop_body: Vec<SurfaceExpr> =
-        commands.iter().map(expr).collect::<Result<Vec<_>>>()?;
-    loop_body.push(Expr::App(
-        Box::new(Expr::Var(loop_name.clone())),
-        steps,
-    ));
+    let mut loop_body: Vec<SurfaceExpr> = commands.iter().map(expr).collect::<Result<Vec<_>>>()?;
+    loop_body.push(Expr::App(Box::new(Expr::Var(loop_name.clone())), steps));
     let lam = Lambda {
         params,
         body: Box::new(Expr::If(
@@ -456,7 +444,9 @@ pub fn expr(d: &Datum) -> Result<SurfaceExpr> {
             if let Some(sym) = head.as_symbol() {
                 match sym {
                     "quote" => {
-                        let [q] = rest else { return err("malformed quote") };
+                        let [q] = rest else {
+                            return err("malformed quote");
+                        };
                         return Ok(quote_to_expr(q));
                     }
                     "if" => {
@@ -585,10 +575,7 @@ mod tests {
         assert_eq!(de("(and)"), "#t");
         assert_eq!(de("(or)"), "#f");
         assert_eq!(de("(and a b)"), "(if a b #f)");
-        assert_eq!(
-            de("(or a b)"),
-            "(let ((%or-tmp a)) (if %or-tmp %or-tmp b))"
-        );
+        assert_eq!(de("(or a b)"), "(let ((%or-tmp a)) (if %or-tmp %or-tmp b))");
     }
 
     #[test]

@@ -67,17 +67,15 @@ fn reference_kinds(
                 value.insert(*v);
             }
         }
-        Expr::Set(_, rhs) | Expr::GlobalSet(_, rhs) => {
-            reference_kinds(rhs, names, operator, value)
-        }
+        Expr::Set(_, rhs) | Expr::GlobalSet(_, rhs) => reference_kinds(rhs, names, operator, value),
         Expr::If(c, t, el) => {
             reference_kinds(c, names, operator, value);
             reference_kinds(t, names, operator, value);
             reference_kinds(el, names, operator, value);
         }
-        Expr::Seq(es) => {
-            es.iter().for_each(|e| reference_kinds(e, names, operator, value))
-        }
+        Expr::Seq(es) => es
+            .iter()
+            .for_each(|e| reference_kinds(e, names, operator, value)),
         Expr::Lambda(l) => reference_kinds(&l.body, names, operator, value),
         Expr::Let(bs, b) => {
             bs.iter()
@@ -118,7 +116,8 @@ fn append_args(e: &mut Expr<VarId>, names: &HashSet<VarId>, extra: &[VarId]) {
         Expr::Seq(es) => es.iter_mut().for_each(|e| append_args(e, names, extra)),
         Expr::Lambda(l) => append_args(&mut l.body, names, extra),
         Expr::Let(bs, b) => {
-            bs.iter_mut().for_each(|(_, r)| append_args(r, names, extra));
+            bs.iter_mut()
+                .for_each(|(_, r)| append_args(r, names, extra));
             append_args(b, names, extra);
         }
         Expr::Letrec(bs, b) => {
@@ -136,9 +135,7 @@ fn append_args(e: &mut Expr<VarId>, names: &HashSet<VarId>, extra: &[VarId]) {
             }
             args.iter_mut().for_each(|a| append_args(a, names, extra));
         }
-        Expr::PrimApp(_, args) => {
-            args.iter_mut().for_each(|a| append_args(a, names, extra))
-        }
+        Expr::PrimApp(_, args) => args.iter_mut().for_each(|a| append_args(a, names, extra)),
     }
 }
 
@@ -170,7 +167,8 @@ fn substitute(e: &mut Expr<VarId>, map: &HashMap<VarId, VarId>) {
             substitute(b, map);
         }
         Expr::Letrec(bs, b) => {
-            bs.iter_mut().for_each(|(_, l)| substitute(&mut l.body, map));
+            bs.iter_mut()
+                .for_each(|(_, l)| substitute(&mut l.body, map));
             substitute(b, map);
         }
         Expr::App(f, args) => {
@@ -191,11 +189,7 @@ struct Lifter<'a> {
 }
 
 impl Lifter<'_> {
-    fn lift_letrec(
-        &mut self,
-        bindings: &mut [(VarId, Lambda<VarId>)],
-        body: &mut Expr<VarId>,
-    ) {
+    fn lift_letrec(&mut self, bindings: &mut [(VarId, Lambda<VarId>)], body: &mut Expr<VarId>) {
         self.stats.groups += 1;
         let group: HashSet<VarId> = bindings.iter().map(|(v, _)| *v).collect();
 
@@ -264,9 +258,7 @@ impl Lifter<'_> {
         for (_, l) in bindings.iter_mut() {
             let mut map = HashMap::new();
             for v in &extra {
-                let fresh = self
-                    .interner
-                    .fresh(format!("{}^", self.interner.name(*v)));
+                let fresh = self.interner.fresh(format!("{}^", self.interner.name(*v)));
                 map.insert(*v, fresh);
                 l.params.push(fresh);
             }
@@ -333,11 +325,7 @@ impl Lifter<'_> {
 /// let stats = lift(&mut core, &mut names, LiftOptions::default());
 /// assert_eq!(stats.lifted, 1, "the loop captures `a` and gets lifted");
 /// ```
-pub fn lift(
-    e: &mut Expr<VarId>,
-    interner: &mut Interner,
-    options: LiftOptions,
-) -> LiftStats {
+pub fn lift(e: &mut Expr<VarId>, interner: &mut Interner, options: LiftOptions) -> LiftStats {
     let mut l = Lifter {
         interner,
         options,
@@ -362,9 +350,8 @@ mod tests {
 
     #[test]
     fn capturing_loop_becomes_closed() {
-        let (p, stats) = lifted_closed(
-            "(define (f a) (let loop ((i 0)) (if (= i a) i (loop (+ i 1))))) (f 3)",
-        );
+        let (p, stats) =
+            lifted_closed("(define (f a) (let loop ((i 0)) (if (= i a) i (loop (+ i 1))))) (f 3)");
         assert_eq!(stats.lifted, 1);
         assert_eq!(stats.vars_lifted, 1);
         let loop_fn = p.funcs.iter().find(|f| f.name == "loop").unwrap();
@@ -408,8 +395,18 @@ mod tests {
              (f 0)",
         );
         assert_eq!(stats.lifted, 1);
-        assert!(p.funcs.iter().find(|f| f.name == "even2?").unwrap().is_closed());
-        assert!(p.funcs.iter().find(|f| f.name == "odd2?").unwrap().is_closed());
+        assert!(p
+            .funcs
+            .iter()
+            .find(|f| f.name == "even2?")
+            .unwrap()
+            .is_closed());
+        assert!(p
+            .funcs
+            .iter()
+            .find(|f| f.name == "odd2?")
+            .unwrap()
+            .is_closed());
     }
 
     #[test]

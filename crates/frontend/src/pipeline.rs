@@ -33,9 +33,7 @@ pub fn front_to_core(src: &str) -> Result<(Expr<VarId>, Interner), FrontError> {
 /// # Errors
 ///
 /// Returns [`FrontError`] on parse, desugar, or scoping failures.
-pub fn front_to_core_full(
-    src: &str,
-) -> Result<(Expr<VarId>, Interner, u32), FrontError> {
+pub fn front_to_core_full(src: &str) -> Result<(Expr<VarId>, Interner, u32), FrontError> {
     let program = SurfaceProgram::from_source(src)?;
     let (assembled, globals) = program.assemble();
     let mut renamer = Renamer::new();

@@ -150,14 +150,13 @@ impl Prim {
         use Prim::*;
         match self {
             Void | Newline => 0,
-            Abs | Add1 | Sub1 | IsZero | IsPositive | IsNegative | IsEven | IsOdd
-            | Not | IsPair | IsNull | IsSymbol | IsNumber | IsBoolean | IsProcedure
-            | IsVector | IsString | IsChar | Car | Cdr | MakeVector | VectorLength
-            | StringLength | CharToInteger | Display | Write | Error | MakeCell
-            | CellRef => 1,
-            Add | Sub | Mul | Quotient | Remainder | Modulo | Min | Max | NumEq
-            | Lt | Le | Gt | Ge | IsEq | IsEqv | IsEqual | Cons | SetCar | SetCdr
-            | MakeVectorFill | VectorRef | CellSet => 2,
+            Abs | Add1 | Sub1 | IsZero | IsPositive | IsNegative | IsEven | IsOdd | Not
+            | IsPair | IsNull | IsSymbol | IsNumber | IsBoolean | IsProcedure | IsVector
+            | IsString | IsChar | Car | Cdr | MakeVector | VectorLength | StringLength
+            | CharToInteger | Display | Write | Error | MakeCell | CellRef => 1,
+            Add | Sub | Mul | Quotient | Remainder | Modulo | Min | Max | NumEq | Lt | Le | Gt
+            | Ge | IsEq | IsEqv | IsEqual | Cons | SetCar | SetCdr | MakeVectorFill | VectorRef
+            | CellSet => 2,
             VectorSet => 3,
         }
     }
@@ -178,9 +177,20 @@ impl Prim {
         use Prim::*;
         matches!(
             self,
-            Cons | Car | Cdr | SetCar | SetCdr | MakeVector | MakeVectorFill
-                | VectorRef | VectorSet | VectorLength | StringLength | IsEqual
-                | MakeCell | CellRef | CellSet
+            Cons | Car
+                | Cdr
+                | SetCar
+                | SetCdr
+                | MakeVector
+                | MakeVectorFill
+                | VectorRef
+                | VectorSet
+                | VectorLength
+                | StringLength
+                | IsEqual
+                | MakeCell
+                | CellRef
+                | CellSet
         )
     }
 

@@ -225,8 +225,7 @@ impl SurfaceProgram {
     ///
     /// Returns [`FrontError`] on reader or desugaring failures.
     pub fn from_source(src: &str) -> Result<SurfaceProgram, FrontError> {
-        let user_forms =
-            parse(src).map_err(|e| FrontError::Parse(e.to_string()))?;
+        let user_forms = parse(src).map_err(|e| FrontError::Parse(e.to_string()))?;
         let prelude_forms = parse(PRELUDE).expect("prelude parses");
 
         let mut set_targets = HashSet::new();
@@ -265,15 +264,14 @@ impl SurfaceProgram {
 
         let mut wanted: Vec<String> = Vec::new();
         let mut seen: HashSet<String> = HashSet::new();
-        let enqueue = |names: HashSet<String>,
-                           wanted: &mut Vec<String>,
-                           seen: &mut HashSet<String>| {
-            for n in names {
-                if prelude_index.contains_key(&n) && seen.insert(n.clone()) {
-                    wanted.push(n);
+        let enqueue =
+            |names: HashSet<String>, wanted: &mut Vec<String>, seen: &mut HashSet<String>| {
+                for n in names {
+                    if prelude_index.contains_key(&n) && seen.insert(n.clone()) {
+                        wanted.push(n);
+                    }
                 }
-            }
-        };
+            };
         for (_, rhs) in &defines {
             enqueue(free_names_of(rhs), &mut wanted, &mut seen);
         }
@@ -299,7 +297,11 @@ impl SurfaceProgram {
             mains.push(Expr::Const(Const::Void));
         }
 
-        Ok(SurfaceProgram { defines: all_defines, mains, set_targets })
+        Ok(SurfaceProgram {
+            defines: all_defines,
+            mains,
+            set_targets,
+        })
     }
 
     /// Assembles the program into one core expression plus the list of
@@ -350,8 +352,7 @@ mod tests {
 
     #[test]
     fn value_defines_are_initialized_in_order() {
-        let p = SurfaceProgram::from_source("(define a 1) (define b 2) (+ a b)")
-            .unwrap();
+        let p = SurfaceProgram::from_source("(define a 1) (define b 2) (+ a b)").unwrap();
         let s = p.assemble().0.to_string();
         let ia = s.find("(set! a 1)").unwrap();
         let ib = s.find("(set! b 2)").unwrap();
@@ -360,10 +361,7 @@ mod tests {
 
     #[test]
     fn set_function_demotes_to_value() {
-        let p = SurfaceProgram::from_source(
-            "(define (f) 1) (set! f (lambda () 2)) (f)",
-        )
-        .unwrap();
+        let p = SurfaceProgram::from_source("(define (f) 1) (set! f (lambda () 2)) (f)").unwrap();
         let s = p.assemble().0.to_string();
         assert!(s.contains("(set! f (lambda"), "{s}");
         assert!(!s.contains("letrec ((f"), "{s}");
@@ -372,8 +370,7 @@ mod tests {
     #[test]
     fn prelude_is_pruned() {
         let p = SurfaceProgram::from_source("(length '(1 2))").unwrap();
-        let names: Vec<&str> =
-            p.defines.iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = p.defines.iter().map(|(n, _)| n.as_str()).collect();
         assert!(names.contains(&"length"));
         assert!(!names.contains(&"assoc"));
     }
@@ -382,36 +379,29 @@ mod tests {
     fn prelude_transitive_dependencies() {
         // list-ref depends on list-tail.
         let p = SurfaceProgram::from_source("(list-ref '(1 2 3) 1)").unwrap();
-        let names: Vec<&str> =
-            p.defines.iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = p.defines.iter().map(|(n, _)| n.as_str()).collect();
         assert!(names.contains(&"list-ref"));
         assert!(names.contains(&"list-tail"));
     }
 
     #[test]
     fn user_shadows_prelude() {
-        let p = SurfaceProgram::from_source("(define (length l) 42) (length '())")
-            .unwrap();
+        let p = SurfaceProgram::from_source("(define (length l) 42) (length '())").unwrap();
         let count = p.defines.iter().filter(|(n, _)| n == "length").count();
         assert_eq!(count, 1);
     }
 
     #[test]
     fn value_defines_become_globals() {
-        let p = SurfaceProgram::from_source(
-            "(define a 1) (define (f) a) (define b 2) (+ (f) b)",
-        )
-        .unwrap();
+        let p = SurfaceProgram::from_source("(define a 1) (define (f) a) (define b 2) (+ (f) b)")
+            .unwrap();
         let (_, globals) = p.assemble();
         assert_eq!(globals, vec!["a".to_owned(), "b".to_owned()]);
     }
 
     #[test]
     fn set_function_define_is_global() {
-        let p = SurfaceProgram::from_source(
-            "(define (f) 1) (set! f (lambda () 2)) (f)",
-        )
-        .unwrap();
+        let p = SurfaceProgram::from_source("(define (f) 1) (set! f (lambda () 2)) (f)").unwrap();
         let (_, globals) = p.assemble();
         assert_eq!(globals, vec!["f".to_owned()]);
     }

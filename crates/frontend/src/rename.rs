@@ -22,7 +22,9 @@ pub struct RenameError {
 
 impl RenameError {
     fn new(message: impl Into<String>) -> RenameError {
-        RenameError { message: message.into() }
+        RenameError {
+            message: message.into(),
+        }
     }
 }
 
@@ -86,9 +88,7 @@ impl Renamer {
     fn check_distinct(names: &[&String], what: &str) -> Result<()> {
         for (i, n) in names.iter().enumerate() {
             if names[..i].contains(n) {
-                return Err(RenameError::new(format!(
-                    "duplicate {what} `{n}`"
-                )));
+                return Err(RenameError::new(format!("duplicate {what} `{n}`")));
             }
         }
         Ok(())
@@ -102,7 +102,11 @@ impl Renamer {
         for p in &lam.params {
             self.unbind(p);
         }
-        Ok(Lambda { params, body: Box::new(body?), name: lam.name.clone() })
+        Ok(Lambda {
+            params,
+            body: Box::new(body?),
+            name: lam.name.clone(),
+        })
     }
 
     /// Expands a surface primitive application to fixed arity.
@@ -128,12 +132,8 @@ impl Renamer {
             }
             PrimArity::FoldLeft { identity } => {
                 let mut it = args.into_iter();
-                let first = it
-                    .next()
-                    .unwrap_or(Expr::Const(Const::Fixnum(identity)));
-                Ok(it.fold(first, |acc, a| {
-                    Expr::PrimApp(prim, vec![acc, a])
-                }))
+                let first = it.next().unwrap_or(Expr::Const(Const::Fixnum(identity)));
+                Ok(it.fold(first, |acc, a| Expr::PrimApp(prim, vec![acc, a])))
             }
             PrimArity::SubLike => match args.len() {
                 0 => Err(RenameError::new("`-` expects at least one argument")),
@@ -147,9 +147,7 @@ impl Renamer {
                 _ => {
                     let mut it = args.into_iter();
                     let first = it.next().expect("nonempty");
-                    Ok(it.fold(first, |acc, a| {
-                        Expr::PrimApp(prim, vec![acc, a])
-                    }))
+                    Ok(it.fold(first, |acc, a| Expr::PrimApp(prim, vec![acc, a])))
                 }
             },
             PrimArity::Chain => {
@@ -165,8 +163,9 @@ impl Renamer {
                 //                (if (< t0 t1) (< t1 t2) #f))
                 // Bind all operands first to preserve left-to-right
                 // evaluation exactly once.
-                let temps: Vec<VarId> =
-                    (0..args.len()).map(|i| self.interner.fresh(format!("%cmp{i}"))).collect();
+                let temps: Vec<VarId> = (0..args.len())
+                    .map(|i| self.interner.fresh(format!("%cmp{i}")))
+                    .collect();
                 let mut cond = Expr::PrimApp(
                     prim,
                     vec![
@@ -200,8 +199,9 @@ impl Renamer {
             // Variadic primitives close over their binary form.
             PrimArity::FoldLeft { .. } | PrimArity::SubLike | PrimArity::Chain => 2,
         };
-        let params: Vec<VarId> =
-            (0..n).map(|i| self.interner.fresh(format!("%eta{i}"))).collect();
+        let params: Vec<VarId> = (0..n)
+            .map(|i| self.interner.fresh(format!("%eta{i}")))
+            .collect();
         Expr::Lambda(Lambda {
             params: params.clone(),
             body: Box::new(Expr::PrimApp(
@@ -227,9 +227,7 @@ impl Renamer {
                     Some(slot) => Ok(Expr::Global(*slot)),
                     None => match Prim::lookup(name) {
                         Some((p, ar)) => Ok(self.eta_expand(p, ar)),
-                        None => Err(RenameError::new(format!(
-                            "unbound variable `{name}`"
-                        ))),
+                        None => Err(RenameError::new(format!("unbound variable `{name}`"))),
                     },
                 },
             },
@@ -246,9 +244,7 @@ impl Renamer {
                     },
                 }
             }
-            Expr::GlobalSet(g, rhs) => {
-                Ok(Expr::GlobalSet(*g, Box::new(self.rename(rhs)?)))
-            }
+            Expr::GlobalSet(g, rhs) => Ok(Expr::GlobalSet(*g, Box::new(self.rename(rhs)?))),
             Expr::If(c, t, e) => Ok(Expr::If(
                 Box::new(self.rename(c)?),
                 Box::new(self.rename(t)?),
@@ -265,8 +261,7 @@ impl Renamer {
                     .iter()
                     .map(|(_, rhs)| self.rename(rhs))
                     .collect::<Result<_>>()?;
-                let ids: Vec<VarId> =
-                    bindings.iter().map(|(n, _)| self.bind(n)).collect();
+                let ids: Vec<VarId> = bindings.iter().map(|(n, _)| self.bind(n)).collect();
                 let body = self.rename(body);
                 for (n, _) in bindings {
                     self.unbind(n);
@@ -279,8 +274,7 @@ impl Renamer {
             Expr::Letrec(bindings, body) => {
                 let names: Vec<&String> = bindings.iter().map(|(n, _)| n).collect();
                 Self::check_distinct(&names, "letrec binding")?;
-                let ids: Vec<VarId> =
-                    bindings.iter().map(|(n, _)| self.bind(n)).collect();
+                let ids: Vec<VarId> = bindings.iter().map(|(n, _)| self.bind(n)).collect();
                 let result = (|| {
                     let lams: Vec<Lambda<VarId>> = bindings
                         .iter()
@@ -302,10 +296,8 @@ impl Renamer {
                 if let Expr::Var(name) = head.as_ref() {
                     if self.lookup(name).is_none() {
                         if let Some((p, ar)) = Prim::lookup(name) {
-                            let args: Vec<Expr<VarId>> = args
-                                .iter()
-                                .map(|a| self.rename(a))
-                                .collect::<Result<_>>()?;
+                            let args: Vec<Expr<VarId>> =
+                                args.iter().map(|a| self.rename(a)).collect::<Result<_>>()?;
                             return self.prim_app(p, ar, name, args);
                         }
                     }
@@ -337,9 +329,13 @@ mod tests {
     #[test]
     fn shadowing() {
         let e = rn("(let ((x 1)) (let ((x x)) x))").unwrap();
-        let Expr::Let(outer, body) = e else { panic!("{e}") };
+        let Expr::Let(outer, body) = e else {
+            panic!("{e}")
+        };
         let outer_x = outer[0].0;
-        let Expr::Let(inner, inner_body) = *body else { panic!() };
+        let Expr::Let(inner, inner_body) = *body else {
+            panic!()
+        };
         let inner_x = inner[0].0;
         assert_ne!(outer_x, inner_x);
         assert_eq!(inner[0].1, Expr::Var(outer_x));
@@ -433,8 +429,7 @@ mod tests {
 
     #[test]
     fn lexical_bindings_shadow_globals() {
-        let surface =
-            desugar::expr(&parse_one("(let ((g1 5)) g1)").unwrap()).unwrap();
+        let surface = desugar::expr(&parse_one("(let ((g1 5)) g1)").unwrap()).unwrap();
         let mut r = Renamer::new();
         r.set_globals(&["g1".to_owned()]);
         let e = r.rename(&surface).unwrap();
@@ -443,8 +438,7 @@ mod tests {
 
     #[test]
     fn set_of_global_becomes_global_set() {
-        let surface =
-            desugar::expr(&parse_one("(set! g1 7)").unwrap()).unwrap();
+        let surface = desugar::expr(&parse_one("(set! g1 7)").unwrap()).unwrap();
         let mut r = Renamer::new();
         r.set_globals(&["g1".to_owned()]);
         let e = r.rename(&surface).unwrap();
@@ -463,7 +457,9 @@ mod tests {
     #[test]
     fn letrec_sees_itself() {
         let e = rn("(letrec ((f (lambda (n) (f n)))) (f 0))").unwrap();
-        let Expr::Letrec(bindings, _) = &e else { panic!() };
+        let Expr::Letrec(bindings, _) = &e else {
+            panic!()
+        };
         let f_id = bindings[0].0;
         let body_ref = bindings[0].1.body.to_string();
         assert!(body_ref.contains(&f_id.to_string()));

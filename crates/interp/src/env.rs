@@ -88,7 +88,9 @@ mod tests {
     #[test]
     fn shadowing_finds_innermost() {
         let x = VarId(0);
-        let env = Env::empty().bind(x, Value::Fixnum(1)).bind(x, Value::Fixnum(2));
+        let env = Env::empty()
+            .bind(x, Value::Fixnum(1))
+            .bind(x, Value::Fixnum(2));
         assert!(matches!(env.get(x), Some(Value::Fixnum(2))));
     }
 

@@ -20,7 +20,9 @@ pub struct InterpError {
 impl InterpError {
     /// Creates an error with the given message.
     pub fn new(message: impl Into<String>) -> InterpError {
-        InterpError { message: message.into() }
+        InterpError {
+            message: message.into(),
+        }
     }
 }
 
@@ -85,10 +87,9 @@ fn datum_to_value(d: &Datum) -> Value {
             .iter()
             .rev()
             .fold(Value::Nil, |acc, d| Value::cons(datum_to_value(d), acc)),
-        Datum::Improper(items, tail) => items.iter().rev().fold(
-            datum_to_value(tail),
-            |acc, d| Value::cons(datum_to_value(d), acc),
-        ),
+        Datum::Improper(items, tail) => items.iter().rev().fold(datum_to_value(tail), |acc, d| {
+            Value::cons(datum_to_value(d), acc)
+        }),
         Datum::Vector(items) => Value::Vector(Rc::new(RefCell::new(
             items.iter().map(datum_to_value).collect(),
         ))),
@@ -122,10 +123,7 @@ pub fn lower(e: &Expr<VarId>) -> IExpr {
         Expr::If(c, t, el) => Node::If(lower(c), lower(t), lower(el)),
         Expr::Seq(es) => Node::Seq(es.iter().map(lower).collect()),
         Expr::Lambda(l) => lower_lambda(l),
-        Expr::Let(bs, b) => Node::Let(
-            bs.iter().map(|(v, e)| (*v, lower(e))).collect(),
-            lower(b),
-        ),
+        Expr::Let(bs, b) => Node::Let(bs.iter().map(|(v, e)| (*v, lower(e))).collect(), lower(b)),
         Expr::Letrec(bs, b) => Node::Letrec(
             bs.iter()
                 .map(|(v, l)| (*v, Rc::new(lower_lambda(l))))
@@ -133,9 +131,7 @@ pub fn lower(e: &Expr<VarId>) -> IExpr {
             lower(b),
         ),
         Expr::App(f, args) => Node::App(lower(f), args.iter().map(lower).collect()),
-        Expr::PrimApp(p, args) => {
-            Node::PrimApp(*p, args.iter().map(lower).collect())
-        }
+        Expr::PrimApp(p, args) => Node::PrimApp(*p, args.iter().map(lower).collect()),
     })
 }
 
@@ -170,7 +166,12 @@ pub struct Interp {
 impl Interp {
     /// Creates an interpreter with the given step budget.
     pub fn new(fuel: u64) -> Interp {
-        Interp { fuel, steps: 0, output: String::new(), globals: Vec::new() }
+        Interp {
+            fuel,
+            steps: 0,
+            output: String::new(),
+            globals: Vec::new(),
+        }
     }
 
     /// Reserves `n` global locations (initialized to the unspecified
@@ -211,24 +212,23 @@ impl Interp {
             match &*expr {
                 Node::Const(v) => return Ok(v.clone()),
                 Node::Var(v) => {
-                    return env.get(*v).ok_or_else(|| {
-                        InterpError::new(format!("unbound variable {v}"))
-                    })
+                    return env
+                        .get(*v)
+                        .ok_or_else(|| InterpError::new(format!("unbound variable {v}")))
                 }
                 Node::Global(g) => {
                     return self
                         .globals
                         .get(*g as usize)
                         .cloned()
-                        .ok_or_else(|| {
-                            InterpError::new(format!("global {g} out of range"))
-                        })
+                        .ok_or_else(|| InterpError::new(format!("global {g} out of range")))
                 }
                 Node::GlobalSet(g, rhs) => {
                     let val = self.eval(rhs.clone(), env.clone())?;
-                    let slot = self.globals.get_mut(*g as usize).ok_or_else(|| {
-                        InterpError::new(format!("global {g} out of range"))
-                    })?;
+                    let slot = self
+                        .globals
+                        .get_mut(*g as usize)
+                        .ok_or_else(|| InterpError::new(format!("global {g} out of range")))?;
                     *slot = val;
                     return Ok(Value::Void);
                 }
@@ -241,7 +241,11 @@ impl Interp {
                 }
                 Node::If(c, t, e) => {
                     let cond = self.eval(c.clone(), env.clone())?;
-                    expr = if cond.is_truthy() { t.clone() } else { e.clone() };
+                    expr = if cond.is_truthy() {
+                        t.clone()
+                    } else {
+                        e.clone()
+                    };
                 }
                 Node::Seq(es) => {
                     let (last, init) = es.split_last().expect("non-empty seq");
@@ -425,16 +429,25 @@ impl Interp {
                 if n < 0 {
                     return Err(InterpError::new("make-vector: negative length"));
                 }
-                let fill = if p == MakeVectorFill { a1() } else { Value::Fixnum(0) };
+                let fill = if p == MakeVectorFill {
+                    a1()
+                } else {
+                    Value::Fixnum(0)
+                };
                 Value::Vector(Rc::new(RefCell::new(vec![fill; n as usize])))
             }
             VectorRef => {
                 let v = vector(&a0(), p)?;
                 let i = fixnum(&a1(), p)?;
                 let v = v.borrow();
-                v.get(usize::try_from(i).ok().filter(|&i| i < v.len()).ok_or_else(
-                    || InterpError::new(format!("vector-ref: index {i} out of range")),
-                )?)
+                v.get(
+                    usize::try_from(i)
+                        .ok()
+                        .filter(|&i| i < v.len())
+                        .ok_or_else(|| {
+                            InterpError::new(format!("vector-ref: index {i} out of range"))
+                        })?,
+                )
                 .cloned()
                 .expect("bounds checked")
             }
@@ -445,20 +458,19 @@ impl Interp {
                 let mut v = v.borrow_mut();
                 let len = v.len();
                 let slot = v
-                    .get_mut(usize::try_from(i).ok().filter(|&i| i < len).ok_or_else(
-                        || {
-                            InterpError::new(format!(
-                                "vector-set!: index {i} out of range"
-                            ))
-                        },
-                    )?)
+                    .get_mut(
+                        usize::try_from(i)
+                            .ok()
+                            .filter(|&i| i < len)
+                            .ok_or_else(|| {
+                                InterpError::new(format!("vector-set!: index {i} out of range"))
+                            })?,
+                    )
                     .expect("bounds checked");
                 *slot = x;
                 Value::Void
             }
-            VectorLength => {
-                Value::Fixnum(vector(&a0(), p)?.borrow().len() as i64)
-            }
+            VectorLength => Value::Fixnum(vector(&a0(), p)?.borrow().len() as i64),
             StringLength => match a0() {
                 Value::Str(s) => Value::Fixnum(s.chars().count() as i64),
                 other => {
@@ -579,10 +591,7 @@ mod tests {
 
     #[test]
     fn mutation() {
-        assert_eq!(
-            value("(let ((p (cons 1 2))) (set-car! p 9) (car p))"),
-            "9"
-        );
+        assert_eq!(value("(let ((p (cons 1 2))) (set-car! p 9) (car p))"), "9");
         assert_eq!(
             value("(let ((x 0)) (set! x (+ x 1)) (set! x (+ x 1)) x)"),
             "2"
@@ -634,8 +643,10 @@ mod tests {
 
     #[test]
     fn output_buffering() {
-        assert_eq!(output("(display 1) (display 'two) (newline) (write \"x\")"),
-                   "1two\n\"x\"");
+        assert_eq!(
+            output("(display 1) (display 'two) (newline) (write \"x\")"),
+            "1two\n\"x\""
+        );
     }
 
     #[test]
@@ -656,10 +667,7 @@ mod tests {
     #[test]
     fn quoted_data_is_shared() {
         // The same quote expression evaluates to the same object.
-        assert_eq!(
-            value("(define (f) '(a)) (eq? (f) (f))"),
-            "#t"
-        );
+        assert_eq!(value("(define (f) '(a)) (eq? (f) (f))"), "#t");
     }
 
     #[test]
@@ -695,8 +703,10 @@ mod tests {
     fn deep_structures_render() {
         // 200-deep nested list builds and prints without issue.
         assert_eq!(
-            value("(define (nest n) (if (zero? n) '() (list (nest (- n 1)))))
-                   (length (nest 200))"),
+            value(
+                "(define (nest n) (if (zero? n) '() (list (nest (- n 1)))))
+                   (length (nest 200))"
+            ),
             "1"
         );
     }

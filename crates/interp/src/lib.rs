@@ -54,8 +54,8 @@ pub fn run_source(src: &str, fuel: u64) -> Result<Outcome, InterpError> {
 ///
 /// Same as [`run_source`].
 pub fn run_source_converted(src: &str, fuel: u64) -> Result<Outcome, InterpError> {
-    let (core, _names, n_globals) = pipeline::front_to_core_full(src)
-        .map_err(|e| InterpError::new(e.to_string()))?;
+    let (core, _names, n_globals) =
+        pipeline::front_to_core_full(src).map_err(|e| InterpError::new(e.to_string()))?;
     let mut interp = Interp::new(fuel).with_globals(n_globals);
     interp.run(&core)
 }

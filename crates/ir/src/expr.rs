@@ -291,7 +291,11 @@ mod tests {
     use super::*;
 
     fn call(tail: bool) -> Expr {
-        Expr::Call { callee: Callee::Direct(FuncId(0)), args: vec![], tail }
+        Expr::Call {
+            callee: Callee::Direct(FuncId(0)),
+            args: vec![],
+            tail,
+        }
     }
 
     #[test]

@@ -86,15 +86,9 @@ fn eval_prim(p: Prim, args: &[Expr]) -> Option<Const> {
             _ => return None,
         },
         IsEq | IsEqv => match (&args[0], &args[1]) {
-            (Expr::Const(Const::Fixnum(x)), Expr::Const(Const::Fixnum(y))) => {
-                Const::Bool(x == y)
-            }
-            (Expr::Const(Const::Symbol(x)), Expr::Const(Const::Symbol(y))) => {
-                Const::Bool(x == y)
-            }
-            (Expr::Const(Const::Bool(x)), Expr::Const(Const::Bool(y))) => {
-                Const::Bool(x == y)
-            }
+            (Expr::Const(Const::Fixnum(x)), Expr::Const(Const::Fixnum(y))) => Const::Bool(x == y),
+            (Expr::Const(Const::Symbol(x)), Expr::Const(Const::Symbol(y))) => Const::Bool(x == y),
+            (Expr::Const(Const::Bool(x)), Expr::Const(Const::Bool(y))) => Const::Bool(x == y),
             (Expr::Const(Const::Nil), Expr::Const(Const::Nil)) => Const::Bool(true),
             _ => return None,
         },
@@ -134,9 +128,7 @@ impl Folder {
     fn fold(&mut self, e: Expr) -> Expr {
         match e {
             Expr::Const(_) | Expr::Var(_) | Expr::FreeRef(_) | Expr::Global(_) => e,
-            Expr::GlobalSet(g, rhs) => {
-                Expr::GlobalSet(g, Box::new(self.fold(*rhs)))
-            }
+            Expr::GlobalSet(g, rhs) => Expr::GlobalSet(g, Box::new(self.fold(*rhs))),
             Expr::If(c, t, el) => {
                 let c = self.fold(*c);
                 if let Expr::Const(k) = &c {
@@ -176,8 +168,7 @@ impl Folder {
                 body: Box::new(self.fold(*body)),
             },
             Expr::PrimApp(p, args) => {
-                let args: Vec<Expr> =
-                    args.into_iter().map(|a| self.fold(a)).collect();
+                let args: Vec<Expr> = args.into_iter().map(|a| self.fold(a)).collect();
                 if args.iter().all(|a| matches!(a, Expr::Const(_))) {
                     if let Some(c) = eval_prim(p, &args) {
                         self.stats.prims_folded += 1;
@@ -189,9 +180,7 @@ impl Folder {
             Expr::Call { callee, args, tail } => Expr::Call {
                 callee: match callee {
                     Callee::Direct(f) => Callee::Direct(f),
-                    Callee::KnownClosure(f, e) => {
-                        Callee::KnownClosure(f, Box::new(self.fold(*e)))
-                    }
+                    Callee::KnownClosure(f, e) => Callee::KnownClosure(f, Box::new(self.fold(*e))),
                     Callee::Computed(e) => Callee::Computed(Box::new(self.fold(*e))),
                 },
                 args: args.into_iter().map(|a| self.fold(a)).collect(),
@@ -212,7 +201,9 @@ impl Folder {
 
 /// Folds one function, returning statistics.
 pub fn fold_func(func: &mut Func) -> FoldStats {
-    let mut folder = Folder { stats: FoldStats::default() };
+    let mut folder = Folder {
+        stats: FoldStats::default(),
+    };
     let body = std::mem::replace(&mut func.body, Expr::Const(Const::Void));
     func.body = folder.fold(body);
     folder.stats
@@ -266,19 +257,13 @@ mod tests {
     #[test]
     fn overflow_not_folded() {
         let max = i64::MAX;
-        let (body, _) = folded(
-            &format!("(define (f) (+ {max} 1)) (f)"),
-            "f",
-        );
+        let (body, _) = folded(&format!("(define (f) (+ {max} 1)) (f)"), "f");
         assert!(body.to_string().contains("%+"), "{body}");
     }
 
     #[test]
     fn heap_identity_not_decided() {
-        let (body, _) = folded(
-            "(define (f) (eq? \"a\" \"a\")) (f)",
-            "f",
-        );
+        let (body, _) = folded("(define (f) (eq? \"a\" \"a\")) (f)", "f");
         assert!(body.to_string().contains("eq?"), "{body}");
     }
 
@@ -292,18 +277,14 @@ mod tests {
 
     #[test]
     fn effect_free_seq_elements_drop() {
-        let (body, stats) =
-            folded("(define (f x) (begin x 1 (+ x 1))) (f 3)", "f");
+        let (body, stats) = folded("(define (f x) (begin x 1 (+ x 1))) (f 3)", "f");
         assert_eq!(body.to_string(), "(%+ x0 1)");
         assert_eq!(stats.seq_dropped, 2);
     }
 
     #[test]
     fn effects_preserved() {
-        let (body, _) = folded(
-            "(define (f x) (begin (display x) (+ 1 2))) (f 3)",
-            "f",
-        );
+        let (body, _) = folded("(define (f x) (begin (display x) (+ 1 2))) (f 3)", "f");
         assert!(body.to_string().contains("display"), "{body}");
         assert!(body.to_string().contains('3'), "folded sum remains");
     }

@@ -6,8 +6,8 @@
 
 use std::collections::HashMap;
 
-use lesgs_frontend::{CExpr, ClosedFunc, ClosedProgram, VarId};
 use lesgs_frontend::Callee as FCallee;
+use lesgs_frontend::{CExpr, ClosedFunc, ClosedProgram, VarId};
 
 use crate::expr::{Callee, Expr, Func, LocalId, Program};
 
@@ -34,9 +34,7 @@ impl FnLower<'_> {
             CExpr::Local(v) => Expr::Var(self.local(*v)),
             CExpr::FreeRef(i) => Expr::FreeRef(*i),
             CExpr::Global(g) => Expr::Global(*g),
-            CExpr::GlobalSet(g, rhs) => {
-                Expr::GlobalSet(*g, Box::new(self.expr(rhs)))
-            }
+            CExpr::GlobalSet(g, rhs) => Expr::GlobalSet(*g, Box::new(self.expr(rhs))),
             CExpr::If(c, t, el) => Expr::If(
                 Box::new(self.expr(c)),
                 Box::new(self.expr(t)),
@@ -58,9 +56,7 @@ impl FnLower<'_> {
             CExpr::Call { callee, args, tail } => Expr::Call {
                 callee: match callee {
                     FCallee::Direct(f) => Callee::Direct(*f),
-                    FCallee::KnownClosure(f, e) => {
-                        Callee::KnownClosure(*f, Box::new(self.expr(e)))
-                    }
+                    FCallee::KnownClosure(f, e) => Callee::KnownClosure(*f, Box::new(self.expr(e))),
                     FCallee::Computed(e) => Callee::Computed(Box::new(self.expr(e))),
                 },
                 args: args.iter().map(|a| self.expr(a)).collect(),
@@ -165,7 +161,11 @@ mod tests {
     #[test]
     fn free_refs_survive() {
         let p = lower("(define (f a) (lambda (x) (+ x a))) ((f 1) 2)");
-        let lam = p.funcs.iter().find(|f| f.name.starts_with("lambda@")).unwrap();
+        let lam = p
+            .funcs
+            .iter()
+            .find(|f| f.name.starts_with("lambda@"))
+            .unwrap();
         assert_eq!(lam.n_free, 1);
         assert!(lam.body.to_string().contains("(free 0)"));
     }

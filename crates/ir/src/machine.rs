@@ -122,13 +122,19 @@ pub struct MachineConfig {
 impl MachineConfig {
     /// The paper's headline configuration: six argument registers.
     pub fn six_registers() -> MachineConfig {
-        MachineConfig { num_arg_regs: MAX_ARG_REGS, reg_homes: true }
+        MachineConfig {
+            num_arg_regs: MAX_ARG_REGS,
+            reg_homes: true,
+        }
     }
 
     /// The Table 3 baseline: no argument registers, all variables on
     /// the stack.
     pub fn baseline() -> MachineConfig {
-        MachineConfig { num_arg_regs: 0, reg_homes: false }
+        MachineConfig {
+            num_arg_regs: 0,
+            reg_homes: false,
+        }
     }
 
     /// A configuration with `c` argument registers (register homes
@@ -138,8 +144,14 @@ impl MachineConfig {
     ///
     /// Panics if `c > MAX_ARG_REGS`.
     pub fn with_arg_regs(c: usize) -> MachineConfig {
-        assert!(c <= MAX_ARG_REGS, "at most {MAX_ARG_REGS} argument registers");
-        MachineConfig { num_arg_regs: c, reg_homes: c > 0 }
+        assert!(
+            c <= MAX_ARG_REGS,
+            "at most {MAX_ARG_REGS} argument registers"
+        );
+        MachineConfig {
+            num_arg_regs: c,
+            reg_homes: c > 0,
+        }
     }
 
     /// The set of registers the save/restore analysis manages: `ret`,

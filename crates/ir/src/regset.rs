@@ -76,7 +76,9 @@ impl RegSet {
 
     /// Iterates registers in ascending index order.
     pub fn iter(self) -> impl Iterator<Item = Reg> {
-        (0..64u8).filter(move |i| self.0 & (1u64 << i) != 0).map(Reg)
+        (0..64u8)
+            .filter(move |i| self.0 & (1u64 << i) != 0)
+            .map(Reg)
     }
 }
 

@@ -196,10 +196,7 @@ mod tests {
         assert_eq!(Datum::symbol("x").as_symbol(), Some("x"));
         assert_eq!(Datum::Fixnum(1).as_symbol(), None);
         assert!(Datum::nil().as_slice().unwrap().is_empty());
-        assert_eq!(
-            Datum::Fixnum(7).quoted().to_string(),
-            "(quote 7)"
-        );
+        assert_eq!(Datum::Fixnum(7).quoted().to_string(), "(quote 7)");
     }
 
     #[test]

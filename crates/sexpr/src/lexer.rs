@@ -91,7 +91,12 @@ fn is_symbol_char(b: u8) -> bool {
 impl<'a> Lexer<'a> {
     /// Creates a lexer over `src`.
     pub fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -127,7 +132,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> LexError {
-        LexError { message: message.into(), line: self.line }
+        LexError {
+            message: message.into(),
+            line: self.line,
+        }
     }
 
     fn take_symbol_text(&mut self) -> &'a str {
@@ -153,10 +161,7 @@ impl<'a> Lexer<'a> {
                     Some(b'\\') => out.push('\\'),
                     Some(b'"') => out.push('"'),
                     Some(c) => {
-                        return Err(self.err(format!(
-                            "unknown string escape `\\{}`",
-                            c as char
-                        )))
+                        return Err(self.err(format!("unknown string escape `\\{}`", c as char)))
                     }
                     None => return Err(self.err("unterminated string escape")),
                 },
@@ -318,10 +323,7 @@ mod tests {
     fn strings() {
         assert_eq!(
             kinds(r#""a\nb" "q\"q""#),
-            vec![
-                TokenKind::Str("a\nb".into()),
-                TokenKind::Str("q\"q".into()),
-            ]
+            vec![TokenKind::Str("a\nb".into()), TokenKind::Str("q\"q".into()),]
         );
     }
 

@@ -16,7 +16,10 @@ pub struct ParseError {
 
 impl ParseError {
     fn new(message: impl Into<String>, line: Option<usize>) -> ParseError {
-        ParseError { message: message.into(), line }
+        ParseError {
+            message: message.into(),
+            line,
+        }
     }
 }
 
@@ -47,9 +50,8 @@ impl<'a> Reader<'a> {
     }
 
     fn require_token(&mut self, context: &str) -> Result<Token, ParseError> {
-        self.next_token()?.ok_or_else(|| {
-            ParseError::new(format!("unexpected end of input {context}"), None)
-        })
+        self.next_token()?
+            .ok_or_else(|| ParseError::new(format!("unexpected end of input {context}"), None))
     }
 
     fn read_datum(&mut self, tok: Token) -> Result<Datum, ParseError> {
@@ -68,12 +70,8 @@ impl<'a> Reader<'a> {
             TokenKind::Quote => self.read_prefixed("quote", line),
             TokenKind::Quasiquote => self.read_prefixed("quasiquote", line),
             TokenKind::Unquote => self.read_prefixed("unquote", line),
-            TokenKind::RParen => {
-                Err(ParseError::new("unexpected `)`", Some(line)))
-            }
-            TokenKind::Dot => {
-                Err(ParseError::new("unexpected `.`", Some(line)))
-            }
+            TokenKind::RParen => Err(ParseError::new("unexpected `)`", Some(line))),
+            TokenKind::Dot => Err(ParseError::new("unexpected `.`", Some(line))),
         }
     }
 
@@ -87,10 +85,7 @@ impl<'a> Reader<'a> {
         let mut items = Vec::new();
         loop {
             let tok = self.next_token()?.ok_or_else(|| {
-                ParseError::new(
-                    format!("unclosed list opened on line {open_line}"),
-                    None,
-                )
+                ParseError::new(format!("unclosed list opened on line {open_line}"), None)
             })?;
             if tok.kind == TokenKind::RParen {
                 return Ok(items);
@@ -103,10 +98,7 @@ impl<'a> Reader<'a> {
         let mut items = Vec::new();
         loop {
             let tok = self.next_token()?.ok_or_else(|| {
-                ParseError::new(
-                    format!("unclosed list opened on line {open_line}"),
-                    None,
-                )
+                ParseError::new(format!("unclosed list opened on line {open_line}"), None)
             })?;
             match tok.kind {
                 TokenKind::RParen => return Ok(Datum::List(items)),
@@ -161,7 +153,9 @@ impl<'a> Reader<'a> {
 /// # Ok::<(), lesgs_sexpr::ParseError>(())
 /// ```
 pub fn parse(src: &str) -> Result<Vec<Datum>, ParseError> {
-    let mut reader = Reader { tokens: Lexer::new(src).peekable() };
+    let mut reader = Reader {
+        tokens: Lexer::new(src).peekable(),
+    };
     let mut out = Vec::new();
     while let Some(tok) = reader.next_token()? {
         out.push(reader.read_datum(tok)?);

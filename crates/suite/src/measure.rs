@@ -50,8 +50,7 @@ pub fn measure_with_cost(
         fuel: 4_000_000_000,
         ..CompilerConfig::default()
     };
-    let compiled =
-        compile(bench.source(scale), &config).map_err(|e| e.to_string())?;
+    let compiled = compile(bench.source(scale), &config).map_err(|e| e.to_string())?;
     let out = compiled.run(&config).map_err(|e| e.to_string())?;
     if let (Scale::Standard, Some(expected)) = (scale, bench.expected) {
         if out.value != expected {

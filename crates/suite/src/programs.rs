@@ -415,7 +415,8 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "takr",
-            description: "tak split across 100 procedures (as in Gabriel); diverse static call graph",
+            description:
+                "tak split across 100 procedures (as in Gabriel); diverse static call graph",
             standard: takr(18, 12, 6, 100),
             small: takr(8, 4, 2, 20),
             expected: Some("7"),

@@ -28,7 +28,10 @@ pub struct VmError {
 impl VmError {
     /// Creates an error.
     pub fn new(message: impl Into<String>) -> VmError {
-        VmError { message: message.into(), at: None }
+        VmError {
+            message: message.into(),
+            at: None,
+        }
     }
 }
 
@@ -91,10 +94,9 @@ fn datum_to_value(d: &Datum) -> Value {
             .iter()
             .rev()
             .fold(Value::Nil, |acc, d| Value::cons(datum_to_value(d), acc)),
-        Datum::Improper(items, tail) => items
-            .iter()
-            .rev()
-            .fold(datum_to_value(tail), |acc, d| Value::cons(datum_to_value(d), acc)),
+        Datum::Improper(items, tail) => items.iter().rev().fold(datum_to_value(tail), |acc, d| {
+            Value::cons(datum_to_value(d), acc)
+        }),
         Datum::Vector(items) => Value::Vector(Rc::new(RefCell::new(
             items.iter().map(datum_to_value).collect(),
         ))),
@@ -209,7 +211,10 @@ impl<'a> Machine<'a> {
             top.made_call = true;
         }
         self.stats.calls += 1;
-        self.shadow.push(Activation { func: callee, made_call: false });
+        self.shadow.push(Activation {
+            func: callee,
+            made_call: false,
+        });
     }
 
     fn classify(&self, a: &Activation) -> ActivationClass {
@@ -234,10 +239,7 @@ impl<'a> Machine<'a> {
             CallTarget::Func(f) => Ok(f),
             CallTarget::ClosureCp => match self.read(CP) {
                 Value::Closure(c) => Ok(c.func),
-                other => Err(self.err(format!(
-                    "call of non-procedure `{}`",
-                    other.write_string()
-                ))),
+                other => Err(self.err(format!("call of non-procedure `{}`", other.write_string()))),
             },
         }
     }
@@ -267,7 +269,10 @@ impl<'a> Machine<'a> {
     /// the instruction budget.
     pub fn run(mut self) -> Result<VmOutcome> {
         // Bootstrap: the entry function's frame starts at 0.
-        self.shadow.push(Activation { func: self.func, made_call: false });
+        self.shadow.push(Activation {
+            func: self.func,
+            made_call: false,
+        });
         self.poison(self.func);
         loop {
             if self.stats.instructions >= self.max_instructions {
@@ -313,18 +318,20 @@ impl<'a> Machine<'a> {
                     self.stack_store(slot, v);
                 }
                 Instr::Prim { op, dst, args } => {
-                    let vals: Vec<Value> =
-                        args.iter().map(|r| self.read(*r)).collect();
+                    let vals: Vec<Value> = args.iter().map(|r| self.read(*r)).collect();
                     let loaded = self.apply_prim(op, vals, dst)?;
                     if op.touches_memory() {
                         self.stats.heap_ops += 1;
-                        self.stats.cycles +=
-                            self.cost.mem_cost - self.cost.instr_cost;
+                        self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
                     }
                     let _ = loaded;
                 }
                 Instr::Jump { target } => self.pc = target,
-                Instr::BranchFalse { src, target, likely } => {
+                Instr::BranchFalse {
+                    src,
+                    target,
+                    likely,
+                } => {
                     self.stats.branches += 1;
                     let v = self.read(src);
                     let fallthrough = v.is_truthy();
@@ -338,7 +345,11 @@ impl<'a> Machine<'a> {
                         self.pc = target;
                     }
                 }
-                Instr::BranchTrue { src, target, likely } => {
+                Instr::BranchTrue {
+                    src,
+                    target,
+                    likely,
+                } => {
                     self.stats.branches += 1;
                     let v = self.read(src);
                     let fallthrough = !v.is_truthy();
@@ -351,9 +362,16 @@ impl<'a> Machine<'a> {
                         self.pc = target;
                     }
                 }
-                Instr::Call { target, frame_advance } => {
+                Instr::Call {
+                    target,
+                    frame_advance,
+                } => {
                     let callee = self.call_target(target)?;
-                    let ra = RetAddr { func: self.func, pc: self.pc, fp: self.fp };
+                    let ra = RetAddr {
+                        func: self.func,
+                        pc: self.pc,
+                        fp: self.fp,
+                    };
                     self.write(RET, Value::RetAddr(ra));
                     self.fp += frame_advance;
                     self.func = callee;
@@ -368,22 +386,20 @@ impl<'a> Machine<'a> {
                     self.pc = 0;
                     // A tail call is a jump: same activation, same fp.
                 }
-                Instr::Return => {
-                    match self.read(RET) {
-                        Value::RetAddr(ra) => {
-                            self.leave_activation();
-                            self.func = ra.func;
-                            self.pc = ra.pc;
-                            self.fp = ra.fp;
-                        }
-                        other => {
-                            return Err(self.err(format!(
-                                "return through non-address `{}`",
-                                other.write_string()
-                            )))
-                        }
+                Instr::Return => match self.read(RET) {
+                    Value::RetAddr(ra) => {
+                        self.leave_activation();
+                        self.func = ra.func;
+                        self.pc = ra.pc;
+                        self.fp = ra.fp;
                     }
-                }
+                    other => {
+                        return Err(self.err(format!(
+                            "return through non-address `{}`",
+                            other.write_string()
+                        )))
+                    }
+                },
                 Instr::AllocClosure { dst, func, n_free } => {
                     self.stats.heap_ops += 1;
                     self.stats.closures_allocated += 1;
@@ -403,10 +419,9 @@ impl<'a> Machine<'a> {
                             c.free.borrow_mut()[index as usize] = v;
                         }
                         other => {
-                            return Err(self.err(format!(
-                                "closure-set! on `{}`",
-                                other.write_string()
-                            )))
+                            return Err(
+                                self.err(format!("closure-set! on `{}`", other.write_string()))
+                            )
                         }
                     }
                 }
@@ -481,10 +496,9 @@ impl<'a> Machine<'a> {
                 match $v {
                     Value::Pair(p) => p.clone(),
                     other => {
-                        return Err(self.err(format!(
-                            "{p}: expected pair, got {}",
-                            other.write_string()
-                        )))
+                        return Err(
+                            self.err(format!("{p}: expected pair, got {}", other.write_string()))
+                        )
                     }
                 }
             };
@@ -522,12 +536,8 @@ impl<'a> Machine<'a> {
                             return Err(self.err(format!("{p}: division by zero")));
                         }
                         match p {
-                            Quotient => {
-                                a.checked_div(b).ok_or_else(|| overflow(self))?
-                            }
-                            Remainder => {
-                                a.checked_rem(b).ok_or_else(|| overflow(self))?
-                            }
+                            Quotient => a.checked_div(b).ok_or_else(|| overflow(self))?,
+                            Remainder => a.checked_rem(b).ok_or_else(|| overflow(self))?,
                             _ => ((a % b) + b) % b,
                         }
                     }
@@ -535,13 +545,19 @@ impl<'a> Machine<'a> {
                 Value::Fixnum(r)
             }
             Abs => Value::Fixnum(
-                fixnum!(&args[0]).checked_abs().ok_or_else(|| overflow(self))?,
+                fixnum!(&args[0])
+                    .checked_abs()
+                    .ok_or_else(|| overflow(self))?,
             ),
             Add1 => Value::Fixnum(
-                fixnum!(&args[0]).checked_add(1).ok_or_else(|| overflow(self))?,
+                fixnum!(&args[0])
+                    .checked_add(1)
+                    .ok_or_else(|| overflow(self))?,
             ),
             Sub1 => Value::Fixnum(
-                fixnum!(&args[0]).checked_sub(1).ok_or_else(|| overflow(self))?,
+                fixnum!(&args[0])
+                    .checked_sub(1)
+                    .ok_or_else(|| overflow(self))?,
             ),
             IsZero => Value::Bool(fixnum!(&args[0]) == 0),
             IsPositive => Value::Bool(fixnum!(&args[0]) > 0),
@@ -612,11 +628,7 @@ impl<'a> Machine<'a> {
                 let idx = usize::try_from(i).ok().filter(|&i| i < v.len());
                 match idx {
                     Some(i) => v[i].clone(),
-                    None => {
-                        return Err(self.err(format!(
-                            "vector-ref: index {i} out of range"
-                        )))
-                    }
+                    None => return Err(self.err(format!("vector-ref: index {i} out of range"))),
                 }
             }
             VectorSet => {
@@ -627,11 +639,7 @@ impl<'a> Machine<'a> {
                 let len = v.len();
                 match usize::try_from(i).ok().filter(|&i| i < len) {
                     Some(i) => v[i] = x,
-                    None => {
-                        return Err(self.err(format!(
-                            "vector-set!: index {i} out of range"
-                        )))
-                    }
+                    None => return Err(self.err(format!("vector-set!: index {i} out of range"))),
                 }
                 Value::Void
             }
@@ -666,12 +674,7 @@ impl<'a> Machine<'a> {
                 self.output.push('\n');
                 Value::Void
             }
-            Error => {
-                return Err(self.err(format!(
-                    "error: {}",
-                    args[0].display_string()
-                )))
-            }
+            Error => return Err(self.err(format!("error: {}", args[0].display_string()))),
             Void => Value::Void,
             MakeCell => Value::Cell(Rc::new(RefCell::new(args[0].clone()))),
             CellRef => {
@@ -679,10 +682,9 @@ impl<'a> Machine<'a> {
                 match &args[0] {
                     Value::Cell(c) => c.borrow().clone(),
                     other => {
-                        return Err(self.err(format!(
-                            "unbox: expected box, got {}",
-                            other.write_string()
-                        )))
+                        return Err(
+                            self.err(format!("unbox: expected box, got {}", other.write_string()))
+                        )
                     }
                 }
             }
@@ -714,8 +716,8 @@ impl<'a> Machine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::program::{VmFunc, VmProgram};
     use crate::instr::SlotClass;
+    use crate::program::{VmFunc, VmProgram};
     use lesgs_ir::machine::{arg_reg, scratch_reg};
 
     /// Hand-assembled program: computes (2 + 3) * 7 via a helper call.
@@ -728,7 +730,11 @@ mod tests {
             id: FuncId(0),
             name: "add".into(),
             code: vec![
-                Instr::Prim { op: Prim::Add, dst: RV, args: vec![a0, a1] },
+                Instr::Prim {
+                    op: Prim::Add,
+                    dst: RV,
+                    args: vec![a0, a1],
+                },
                 Instr::Return,
             ],
             frame_size: 0,
@@ -741,13 +747,37 @@ mod tests {
             id: FuncId(1),
             name: "main".into(),
             code: vec![
-                Instr::StackStore { slot: 0, src: RET, class: SlotClass::Save },
-                Instr::LoadImm { dst: a0, imm: Imm::Fixnum(2) },
-                Instr::LoadImm { dst: a1, imm: Imm::Fixnum(3) },
-                Instr::Call { target: CallTarget::Func(FuncId(0)), frame_advance: 1 },
-                Instr::StackLoad { dst: RET, slot: 0, class: SlotClass::Save },
-                Instr::LoadImm { dst: s0, imm: Imm::Fixnum(7) },
-                Instr::Prim { op: Prim::Mul, dst: RV, args: vec![RV, s0] },
+                Instr::StackStore {
+                    slot: 0,
+                    src: RET,
+                    class: SlotClass::Save,
+                },
+                Instr::LoadImm {
+                    dst: a0,
+                    imm: Imm::Fixnum(2),
+                },
+                Instr::LoadImm {
+                    dst: a1,
+                    imm: Imm::Fixnum(3),
+                },
+                Instr::Call {
+                    target: CallTarget::Func(FuncId(0)),
+                    frame_advance: 1,
+                },
+                Instr::StackLoad {
+                    dst: RET,
+                    slot: 0,
+                    class: SlotClass::Save,
+                },
+                Instr::LoadImm {
+                    dst: s0,
+                    imm: Imm::Fixnum(7),
+                },
+                Instr::Prim {
+                    op: Prim::Mul,
+                    dst: RV,
+                    args: vec![RV, s0],
+                },
                 Instr::Return,
             ],
             frame_size: 1,
@@ -760,7 +790,10 @@ mod tests {
             id: FuncId(2),
             name: "entry".into(),
             code: vec![
-                Instr::Call { target: CallTarget::Func(FuncId(1)), frame_advance: 0 },
+                Instr::Call {
+                    target: CallTarget::Func(FuncId(1)),
+                    frame_advance: 0,
+                },
                 Instr::Halt,
             ],
             frame_size: 0,
@@ -788,10 +821,7 @@ mod tests {
         assert_eq!(out.stats.saves(), 1);
         assert_eq!(out.stats.restores(), 1);
         // add is a syntactic leaf activation.
-        assert_eq!(
-            out.stats.activations[&ActivationClass::SyntacticLeaf],
-            1
-        );
+        assert_eq!(out.stats.activations[&ActivationClass::SyntacticLeaf], 1);
     }
 
     #[test]
@@ -802,10 +832,25 @@ mod tests {
             id: FuncId(0),
             name: "entry".into(),
             code: vec![
-                Instr::LoadImm { dst: a0, imm: Imm::Fixnum(5) },
-                Instr::StackStore { slot: 0, src: a0, class: SlotClass::Temp },
-                Instr::StackLoad { dst: a0, slot: 0, class: SlotClass::Temp },
-                Instr::Prim { op: Prim::Add1, dst: RV, args: vec![a0] },
+                Instr::LoadImm {
+                    dst: a0,
+                    imm: Imm::Fixnum(5),
+                },
+                Instr::StackStore {
+                    slot: 0,
+                    src: a0,
+                    class: SlotClass::Temp,
+                },
+                Instr::StackLoad {
+                    dst: a0,
+                    slot: 0,
+                    class: SlotClass::Temp,
+                },
+                Instr::Prim {
+                    op: Prim::Add1,
+                    dst: RV,
+                    args: vec![a0],
+                },
                 Instr::Halt,
             ],
             frame_size: 1,
@@ -813,7 +858,12 @@ mod tests {
             syntactic_leaf: true,
             call_inevitable: false,
         };
-        let p = VmProgram { funcs: vec![f], entry: FuncId(0), constants: vec![], n_globals: 0 };
+        let p = VmProgram {
+            funcs: vec![f],
+            entry: FuncId(0),
+            constants: vec![],
+            n_globals: 0,
+        };
         let out = Machine::new(&p, CostModel::alpha_like()).run().unwrap();
         assert_eq!(out.value, "6");
         assert!(out.stats.stall_cycles > 0, "{:?}", out.stats);
@@ -827,7 +877,11 @@ mod tests {
             id: FuncId(0),
             name: "entry".into(),
             code: vec![
-                Instr::StackLoad { dst: RV, slot: 3, class: SlotClass::Spill },
+                Instr::StackLoad {
+                    dst: RV,
+                    slot: 3,
+                    class: SlotClass::Spill,
+                },
                 Instr::Halt,
             ],
             frame_size: 4,
@@ -835,7 +889,12 @@ mod tests {
             syntactic_leaf: true,
             call_inevitable: false,
         };
-        let p = VmProgram { funcs: vec![f], entry: FuncId(0), constants: vec![], n_globals: 0 };
+        let p = VmProgram {
+            funcs: vec![f],
+            entry: FuncId(0),
+            constants: vec![],
+            n_globals: 0,
+        };
         let err = Machine::new(&p, CostModel::unit()).run().unwrap_err();
         assert!(err.message.contains("uninitialized"));
     }
@@ -851,7 +910,12 @@ mod tests {
             syntactic_leaf: true,
             call_inevitable: false,
         };
-        let p = VmProgram { funcs: vec![f], entry: FuncId(0), constants: vec![], n_globals: 0 };
+        let p = VmProgram {
+            funcs: vec![f],
+            entry: FuncId(0),
+            constants: vec![],
+            n_globals: 0,
+        };
         let err = Machine::new(&p, CostModel::unit())
             .with_fuel(100)
             .run()
@@ -866,10 +930,17 @@ mod tests {
             id: FuncId(0),
             name: "entry".into(),
             code: vec![
-                Instr::LoadImm { dst: a0, imm: Imm::Fixnum(41) },
+                Instr::LoadImm {
+                    dst: a0,
+                    imm: Imm::Fixnum(41),
+                },
                 Instr::StoreGlobal { index: 1, src: a0 },
                 Instr::LoadGlobal { dst: RV, index: 1 },
-                Instr::Prim { op: Prim::Add1, dst: RV, args: vec![RV] },
+                Instr::Prim {
+                    op: Prim::Add1,
+                    dst: RV,
+                    args: vec![RV],
+                },
                 Instr::Halt,
             ],
             frame_size: 0,
@@ -919,9 +990,19 @@ mod tests {
                 id: FuncId(0),
                 name: "entry".into(),
                 code: vec![
-                    Instr::LoadImm { dst: RV, imm: Imm::Bool(true) },
-                    Instr::BranchFalse { src: RV, target: 3, likely },
-                    Instr::LoadImm { dst: RV, imm: Imm::Fixnum(1) },
+                    Instr::LoadImm {
+                        dst: RV,
+                        imm: Imm::Bool(true),
+                    },
+                    Instr::BranchFalse {
+                        src: RV,
+                        target: 3,
+                        likely,
+                    },
+                    Instr::LoadImm {
+                        dst: RV,
+                        imm: Imm::Fixnum(1),
+                    },
                     Instr::Halt,
                 ],
                 frame_size: 0,
@@ -929,9 +1010,16 @@ mod tests {
                 syntactic_leaf: true,
                 call_inevitable: false,
             };
-            let p =
-                VmProgram { funcs: vec![f], entry: FuncId(0), constants: vec![], n_globals: 0 };
-            Machine::new(&p, CostModel::alpha_like()).run().unwrap().stats
+            let p = VmProgram {
+                funcs: vec![f],
+                entry: FuncId(0),
+                constants: vec![],
+                n_globals: 0,
+            };
+            Machine::new(&p, CostModel::alpha_like())
+                .run()
+                .unwrap()
+                .stats
         };
         assert_eq!(mk(None).mispredicts, 0);
         assert_eq!(mk(Some(true)).mispredicts, 0);

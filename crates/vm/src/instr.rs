@@ -219,21 +219,32 @@ impl fmt::Display for Instr {
                 write!(f, ")")
             }
             Instr::Jump { target } => write!(f, "jump {target}"),
-            Instr::BranchFalse { src, target, likely } => {
+            Instr::BranchFalse {
+                src,
+                target,
+                likely,
+            } => {
                 write!(f, "brfalse {src} -> {target}")?;
                 if let Some(l) = likely {
                     write!(f, " ;likely={l}")?;
                 }
                 Ok(())
             }
-            Instr::BranchTrue { src, target, likely } => {
+            Instr::BranchTrue {
+                src,
+                target,
+                likely,
+            } => {
                 write!(f, "brtrue {src} -> {target}")?;
                 if let Some(l) = likely {
                     write!(f, " ;likely={l}")?;
                 }
                 Ok(())
             }
-            Instr::Call { target, frame_advance } => {
+            Instr::Call {
+                target,
+                frame_advance,
+            } => {
                 write!(f, "call {target:?} (+{frame_advance})")
             }
             Instr::TailCall { target } => write!(f, "tailcall {target:?}"),

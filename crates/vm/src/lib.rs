@@ -16,6 +16,7 @@ pub mod instr;
 pub mod program;
 pub mod stats;
 pub mod value;
+pub mod verify;
 
 pub use cost::CostModel;
 pub use exec::{Machine, VmError, VmOutcome};
@@ -23,3 +24,4 @@ pub use instr::{CallTarget, Imm, Instr, SlotClass};
 pub use program::{VmFunc, VmProgram};
 pub use stats::{ActivationClass, RunStats};
 pub use value::Value;
+pub use verify::{verify_bytecode, BytecodeError, BytecodeErrorKind};

@@ -79,8 +79,7 @@ impl RunStats {
     /// Total stack references (loads + stores), the paper's headline
     /// metric for Table 3.
     pub fn stack_refs(&self) -> u64 {
-        self.stack_loads.values().sum::<u64>()
-            + self.stack_stores.values().sum::<u64>()
+        self.stack_loads.values().sum::<u64>() + self.stack_stores.values().sum::<u64>()
     }
 
     /// Save-slot stores.

@@ -104,8 +104,7 @@ impl Value {
                 }
                 let a = a.borrow();
                 let b = b.borrow();
-                a.len() == b.len()
-                    && a.iter().zip(b.iter()).all(|(x, y)| x.eq_structural(y))
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.eq_structural(y))
             }
             (Value::Str(a), Value::Str(b)) => a == b,
             _ => self.eq_ptr(other),

@@ -13,7 +13,10 @@ fn show_allocated(src: &str, name: &str) {
     println!("  source: {}", src.lines().next().unwrap_or("").trim());
     for save in [SaveStrategy::Lazy, SaveStrategy::Early, SaveStrategy::Late] {
         let ir = lower_program(&pipeline::front_to_closed(src).expect("compiles"));
-        let cfg = AllocConfig { save, ..AllocConfig::paper_default() };
+        let cfg = AllocConfig {
+            save,
+            ..AllocConfig::paper_default()
+        };
         let allocated = allocate_program(&ir, &cfg);
         let f = allocated
             .funcs
@@ -37,7 +40,10 @@ fn main() {
     println!("  revised algorithm S_t[A]         = {st}");
     println!("  revised algorithm S_f[A]         = {sf}");
     println!("  save set          S_t ∩ S_f      = {}", save_set(&outer));
-    println!("  inner if's save set              = {}\n", save_set(&inner));
+    println!(
+        "  inner if's save set              = {}\n",
+        save_set(&inner)
+    );
 
     println!("== Save placement on real functions ==\n");
     println!("factorial — the base case is call-free, so lazy placement");

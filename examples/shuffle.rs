@@ -3,7 +3,9 @@
 //! Run with: `cargo run --example shuffle`
 
 use lesgs::allocator::alloc::ArgRef;
-use lesgs::allocator::shuffle::{fixed_order, greedy, optimal_temp_count, NodeSpec, Problem, Target};
+use lesgs::allocator::shuffle::{
+    fixed_order, greedy, optimal_temp_count, NodeSpec, Problem, Target,
+};
 use lesgs::ir::machine::arg_reg;
 use lesgs::ir::RegSet;
 
@@ -44,7 +46,10 @@ fn main() {
         nodes: vec![spec(0, 0, &[1]), spec(1, 1, &[0])],
         temp_regs: RegSet::single(arg_reg(2)),
     };
-    show("f(y, x) — a genuine swap; one temporary is unavoidable", &swap);
+    show(
+        "f(y, x) — a genuine swap; one temporary is unavoidable",
+        &swap,
+    );
 
     // §2.3: "the call f(x+y, y+1, y+z), where x is in register a1, y in
     // a2, z in a3, can be set up without shuffling by evaluating y+1
@@ -67,5 +72,8 @@ fn main() {
         nodes: vec![spec(0, 0, &[1]), spec(1, 1, &[2]), spec(2, 2, &[0])],
         temp_regs: RegSet::single(arg_reg(3)),
     };
-    show("three-register rotation — one temp breaks the cycle", &rotation);
+    show(
+        "three-register rotation — one temp breaks the cycle",
+        &rotation,
+    );
 }

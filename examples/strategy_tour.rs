@@ -12,11 +12,17 @@ fn main() {
         ("lazy/eager".into(), AllocConfig::paper_default()),
         (
             "early/eager".into(),
-            AllocConfig { save: SaveStrategy::Early, ..AllocConfig::paper_default() },
+            AllocConfig {
+                save: SaveStrategy::Early,
+                ..AllocConfig::paper_default()
+            },
         ),
         (
             "late/eager".into(),
-            AllocConfig { save: SaveStrategy::Late, ..AllocConfig::paper_default() },
+            AllocConfig {
+                save: SaveStrategy::Late,
+                ..AllocConfig::paper_default()
+            },
         ),
         (
             "lazy/lazy".into(),

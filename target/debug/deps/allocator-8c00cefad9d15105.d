@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/allocator-8c00cefad9d15105.d: crates/bench/benches/allocator.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballocator-8c00cefad9d15105.rmeta: crates/bench/benches/allocator.rs Cargo.toml
+
+crates/bench/benches/allocator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

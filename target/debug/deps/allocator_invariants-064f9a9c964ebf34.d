@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/allocator_invariants-064f9a9c964ebf34.d: tests/allocator_invariants.rs
+
+/root/repo/target/debug/deps/allocator_invariants-064f9a9c964ebf34: tests/allocator_invariants.rs
+
+tests/allocator_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/allocator_invariants-db98f1a4226a1662.d: tests/allocator_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballocator_invariants-db98f1a4226a1662.rmeta: tests/allocator_invariants.rs Cargo.toml
+
+tests/allocator_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/branch_prediction-486fc6519dff4013.d: crates/bench/src/bin/branch_prediction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbranch_prediction-486fc6519dff4013.rmeta: crates/bench/src/bin/branch_prediction.rs Cargo.toml
+
+crates/bench/src/bin/branch_prediction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

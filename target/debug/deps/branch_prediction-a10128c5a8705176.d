@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/branch_prediction-a10128c5a8705176.d: crates/bench/src/bin/branch_prediction.rs
+
+/root/repo/target/debug/deps/branch_prediction-a10128c5a8705176: crates/bench/src/bin/branch_prediction.rs
+
+crates/bench/src/bin/branch_prediction.rs:

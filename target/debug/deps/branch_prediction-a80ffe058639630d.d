@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/branch_prediction-a80ffe058639630d.d: crates/bench/src/bin/branch_prediction.rs
+
+/root/repo/target/debug/deps/branch_prediction-a80ffe058639630d: crates/bench/src/bin/branch_prediction.rs
+
+crates/bench/src/bin/branch_prediction.rs:

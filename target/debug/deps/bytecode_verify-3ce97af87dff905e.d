@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytecode_verify-3ce97af87dff905e.d: tests/bytecode_verify.rs
+
+/root/repo/target/debug/deps/bytecode_verify-3ce97af87dff905e: tests/bytecode_verify.rs
+
+tests/bytecode_verify.rs:

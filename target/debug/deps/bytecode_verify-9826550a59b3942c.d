@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytecode_verify-9826550a59b3942c.d: tests/bytecode_verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytecode_verify-9826550a59b3942c.rmeta: tests/bytecode_verify.rs Cargo.toml
+
+tests/bytecode_verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

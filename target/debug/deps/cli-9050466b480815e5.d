@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-9050466b480815e5.d: crates/compiler/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-9050466b480815e5.rmeta: crates/compiler/tests/cli.rs Cargo.toml
+
+crates/compiler/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_lesgsc=placeholder:lesgsc
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

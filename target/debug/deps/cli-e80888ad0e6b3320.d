@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-e80888ad0e6b3320.d: crates/compiler/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-e80888ad0e6b3320: crates/compiler/tests/cli.rs
+
+crates/compiler/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_lesgsc=/root/repo/target/debug/lesgsc

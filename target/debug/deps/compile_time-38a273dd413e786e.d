@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compile_time-38a273dd413e786e.d: crates/bench/src/bin/compile_time.rs
+
+/root/repo/target/debug/deps/compile_time-38a273dd413e786e: crates/bench/src/bin/compile_time.rs
+
+crates/bench/src/bin/compile_time.rs:

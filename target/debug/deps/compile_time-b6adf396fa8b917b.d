@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compile_time-b6adf396fa8b917b.d: crates/bench/src/bin/compile_time.rs
+
+/root/repo/target/debug/deps/compile_time-b6adf396fa8b917b: crates/bench/src/bin/compile_time.rs
+
+crates/bench/src/bin/compile_time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compile_time-ca04c10698c20029.d: crates/bench/src/bin/compile_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompile_time-ca04c10698c20029.rmeta: crates/bench/src/bin/compile_time.rs Cargo.toml
+
+crates/bench/src/bin/compile_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

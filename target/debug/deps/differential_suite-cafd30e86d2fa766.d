@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential_suite-cafd30e86d2fa766.d: tests/differential_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential_suite-cafd30e86d2fa766.rmeta: tests/differential_suite.rs Cargo.toml
+
+tests/differential_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_suite-fc43c9c5c293ed23.d: tests/differential_suite.rs
+
+/root/repo/target/debug/deps/differential_suite-fc43c9c5c293ed23: tests/differential_suite.rs
+
+tests/differential_suite.rs:

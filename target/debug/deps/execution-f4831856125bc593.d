@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/execution-f4831856125bc593.d: crates/bench/benches/execution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecution-f4831856125bc593.rmeta: crates/bench/benches/execution.rs Cargo.toml
+
+crates/bench/benches/execution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-17e5066c6a0f331d.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-17e5066c6a0f331d: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

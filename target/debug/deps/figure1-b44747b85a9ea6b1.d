@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-b44747b85a9ea6b1.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-b44747b85a9ea6b1: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

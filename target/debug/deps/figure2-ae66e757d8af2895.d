@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-ae66e757d8af2895.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-ae66e757d8af2895: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-c62e7e6b6cc62f1e.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-c62e7e6b6cc62f1e: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

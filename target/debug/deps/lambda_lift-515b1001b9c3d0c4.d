@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lambda_lift-515b1001b9c3d0c4.d: crates/bench/src/bin/lambda_lift.rs
+
+/root/repo/target/debug/deps/lambda_lift-515b1001b9c3d0c4: crates/bench/src/bin/lambda_lift.rs
+
+crates/bench/src/bin/lambda_lift.rs:

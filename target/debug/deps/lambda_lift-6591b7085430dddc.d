@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lambda_lift-6591b7085430dddc.d: crates/bench/src/bin/lambda_lift.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblambda_lift-6591b7085430dddc.rmeta: crates/bench/src/bin/lambda_lift.rs Cargo.toml
+
+crates/bench/src/bin/lambda_lift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

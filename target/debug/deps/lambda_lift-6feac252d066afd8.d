@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lambda_lift-6feac252d066afd8.d: crates/bench/src/bin/lambda_lift.rs
+
+/root/repo/target/debug/deps/lambda_lift-6feac252d066afd8: crates/bench/src/bin/lambda_lift.rs
+
+crates/bench/src/bin/lambda_lift.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lambda_lift-f1c637e8e57be24d.d: crates/bench/src/bin/lambda_lift.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblambda_lift-f1c637e8e57be24d.rmeta: crates/bench/src/bin/lambda_lift.rs Cargo.toml
+
+crates/bench/src/bin/lambda_lift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/latency_ablation-50b6a2fc0f9a2c3c.d: crates/bench/src/bin/latency_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblatency_ablation-50b6a2fc0f9a2c3c.rmeta: crates/bench/src/bin/latency_ablation.rs Cargo.toml
+
+crates/bench/src/bin/latency_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/latency_ablation-aa1b886afc23697c.d: crates/bench/src/bin/latency_ablation.rs
+
+/root/repo/target/debug/deps/latency_ablation-aa1b886afc23697c: crates/bench/src/bin/latency_ablation.rs
+
+crates/bench/src/bin/latency_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/latency_ablation-d23f0c3334231bef.d: crates/bench/src/bin/latency_ablation.rs
+
+/root/repo/target/debug/deps/latency_ablation-d23f0c3334231bef: crates/bench/src/bin/latency_ablation.rs
+
+crates/bench/src/bin/latency_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/latency_ablation-da5522fdd29b81cb.d: crates/bench/src/bin/latency_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblatency_ablation-da5522fdd29b81cb.rmeta: crates/bench/src/bin/latency_ablation.rs Cargo.toml
+
+crates/bench/src/bin/latency_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lesgs-02aee165ed71fc16.d: src/lib.rs
+
+/root/repo/target/debug/deps/lesgs-02aee165ed71fc16: src/lib.rs
+
+src/lib.rs:

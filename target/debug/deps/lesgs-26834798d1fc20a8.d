@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lesgs-26834798d1fc20a8.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblesgs-26834798d1fc20a8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblesgs-26834798d1fc20a8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lesgs-a7137f61615a930f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblesgs-a7137f61615a930f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

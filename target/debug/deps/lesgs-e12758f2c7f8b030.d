@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lesgs-e12758f2c7f8b030.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblesgs-e12758f2c7f8b030.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

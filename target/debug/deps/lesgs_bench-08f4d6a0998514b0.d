@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lesgs_bench-08f4d6a0998514b0.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/lesgs_bench-08f4d6a0998514b0: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lesgs_bench-9542cd7ff0440ea2.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/liblesgs_bench-9542cd7ff0440ea2.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/liblesgs_bench-9542cd7ff0440ea2.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

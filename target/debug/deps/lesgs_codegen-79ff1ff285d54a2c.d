@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lesgs_codegen-79ff1ff285d54a2c.d: crates/codegen/src/lib.rs crates/codegen/src/peephole.rs
+
+/root/repo/target/debug/deps/liblesgs_codegen-79ff1ff285d54a2c.rlib: crates/codegen/src/lib.rs crates/codegen/src/peephole.rs
+
+/root/repo/target/debug/deps/liblesgs_codegen-79ff1ff285d54a2c.rmeta: crates/codegen/src/lib.rs crates/codegen/src/peephole.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/peephole.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lesgs_codegen-9f5bec77218cf57e.d: crates/codegen/src/lib.rs crates/codegen/src/peephole.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblesgs_codegen-9f5bec77218cf57e.rmeta: crates/codegen/src/lib.rs crates/codegen/src/peephole.rs Cargo.toml
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/peephole.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

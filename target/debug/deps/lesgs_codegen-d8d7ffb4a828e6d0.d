@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lesgs_codegen-d8d7ffb4a828e6d0.d: crates/codegen/src/lib.rs crates/codegen/src/peephole.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblesgs_codegen-d8d7ffb4a828e6d0.rmeta: crates/codegen/src/lib.rs crates/codegen/src/peephole.rs Cargo.toml
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/peephole.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lesgs_codegen-fe2f7242fd5544cf.d: crates/codegen/src/lib.rs crates/codegen/src/peephole.rs
+
+/root/repo/target/debug/deps/lesgs_codegen-fe2f7242fd5544cf: crates/codegen/src/lib.rs crates/codegen/src/peephole.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/peephole.rs:

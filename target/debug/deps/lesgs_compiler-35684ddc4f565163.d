@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lesgs_compiler-35684ddc4f565163.d: crates/compiler/src/lib.rs
+
+/root/repo/target/debug/deps/liblesgs_compiler-35684ddc4f565163.rlib: crates/compiler/src/lib.rs
+
+/root/repo/target/debug/deps/liblesgs_compiler-35684ddc4f565163.rmeta: crates/compiler/src/lib.rs
+
+crates/compiler/src/lib.rs:

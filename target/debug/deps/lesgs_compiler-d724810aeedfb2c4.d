@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lesgs_compiler-d724810aeedfb2c4.d: crates/compiler/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblesgs_compiler-d724810aeedfb2c4.rmeta: crates/compiler/src/lib.rs Cargo.toml
+
+crates/compiler/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

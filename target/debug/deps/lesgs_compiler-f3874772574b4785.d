@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lesgs_compiler-f3874772574b4785.d: crates/compiler/src/lib.rs
+
+/root/repo/target/debug/deps/lesgs_compiler-f3874772574b4785: crates/compiler/src/lib.rs
+
+crates/compiler/src/lib.rs:

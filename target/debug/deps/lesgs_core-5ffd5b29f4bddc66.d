@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/lesgs_core-5ffd5b29f4bddc66.d: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/calleesave.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/frame.rs crates/core/src/homes.rs crates/core/src/pass2.rs crates/core/src/savep.rs crates/core/src/shuffle.rs crates/core/src/stats.rs crates/core/src/toy.rs crates/core/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblesgs_core-5ffd5b29f4bddc66.rmeta: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/calleesave.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/frame.rs crates/core/src/homes.rs crates/core/src/pass2.rs crates/core/src/savep.rs crates/core/src/shuffle.rs crates/core/src/stats.rs crates/core/src/toy.rs crates/core/src/verify.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/alloc.rs:
+crates/core/src/calleesave.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/frame.rs:
+crates/core/src/homes.rs:
+crates/core/src/pass2.rs:
+crates/core/src/savep.rs:
+crates/core/src/shuffle.rs:
+crates/core/src/stats.rs:
+crates/core/src/toy.rs:
+crates/core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

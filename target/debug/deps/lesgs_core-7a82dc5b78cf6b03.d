@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/lesgs_core-7a82dc5b78cf6b03.d: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/calleesave.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/frame.rs crates/core/src/homes.rs crates/core/src/pass2.rs crates/core/src/savep.rs crates/core/src/shuffle.rs crates/core/src/stats.rs crates/core/src/toy.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/lesgs_core-7a82dc5b78cf6b03: crates/core/src/lib.rs crates/core/src/alloc.rs crates/core/src/calleesave.rs crates/core/src/config.rs crates/core/src/driver.rs crates/core/src/frame.rs crates/core/src/homes.rs crates/core/src/pass2.rs crates/core/src/savep.rs crates/core/src/shuffle.rs crates/core/src/stats.rs crates/core/src/toy.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alloc.rs:
+crates/core/src/calleesave.rs:
+crates/core/src/config.rs:
+crates/core/src/driver.rs:
+crates/core/src/frame.rs:
+crates/core/src/homes.rs:
+crates/core/src/pass2.rs:
+crates/core/src/savep.rs:
+crates/core/src/shuffle.rs:
+crates/core/src/stats.rs:
+crates/core/src/toy.rs:
+crates/core/src/verify.rs:

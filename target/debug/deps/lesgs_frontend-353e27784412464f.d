@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lesgs_frontend-353e27784412464f.d: crates/frontend/src/lib.rs crates/frontend/src/assignconv.rs crates/frontend/src/ast.rs crates/frontend/src/closure.rs crates/frontend/src/desugar.rs crates/frontend/src/lift.rs crates/frontend/src/names.rs crates/frontend/src/pipeline.rs crates/frontend/src/prim.rs crates/frontend/src/program.rs crates/frontend/src/rename.rs
+
+/root/repo/target/debug/deps/lesgs_frontend-353e27784412464f: crates/frontend/src/lib.rs crates/frontend/src/assignconv.rs crates/frontend/src/ast.rs crates/frontend/src/closure.rs crates/frontend/src/desugar.rs crates/frontend/src/lift.rs crates/frontend/src/names.rs crates/frontend/src/pipeline.rs crates/frontend/src/prim.rs crates/frontend/src/program.rs crates/frontend/src/rename.rs
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/assignconv.rs:
+crates/frontend/src/ast.rs:
+crates/frontend/src/closure.rs:
+crates/frontend/src/desugar.rs:
+crates/frontend/src/lift.rs:
+crates/frontend/src/names.rs:
+crates/frontend/src/pipeline.rs:
+crates/frontend/src/prim.rs:
+crates/frontend/src/program.rs:
+crates/frontend/src/rename.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/lesgs_frontend-fc02c3a12d734138.d: crates/frontend/src/lib.rs crates/frontend/src/assignconv.rs crates/frontend/src/ast.rs crates/frontend/src/closure.rs crates/frontend/src/desugar.rs crates/frontend/src/lift.rs crates/frontend/src/names.rs crates/frontend/src/pipeline.rs crates/frontend/src/prim.rs crates/frontend/src/program.rs crates/frontend/src/rename.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblesgs_frontend-fc02c3a12d734138.rmeta: crates/frontend/src/lib.rs crates/frontend/src/assignconv.rs crates/frontend/src/ast.rs crates/frontend/src/closure.rs crates/frontend/src/desugar.rs crates/frontend/src/lift.rs crates/frontend/src/names.rs crates/frontend/src/pipeline.rs crates/frontend/src/prim.rs crates/frontend/src/program.rs crates/frontend/src/rename.rs Cargo.toml
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/assignconv.rs:
+crates/frontend/src/ast.rs:
+crates/frontend/src/closure.rs:
+crates/frontend/src/desugar.rs:
+crates/frontend/src/lift.rs:
+crates/frontend/src/names.rs:
+crates/frontend/src/pipeline.rs:
+crates/frontend/src/prim.rs:
+crates/frontend/src/program.rs:
+crates/frontend/src/rename.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lesgs_interp-3a0229e874e02df8.d: crates/interp/src/lib.rs crates/interp/src/env.rs crates/interp/src/eval.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/liblesgs_interp-3a0229e874e02df8.rlib: crates/interp/src/lib.rs crates/interp/src/env.rs crates/interp/src/eval.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/liblesgs_interp-3a0229e874e02df8.rmeta: crates/interp/src/lib.rs crates/interp/src/env.rs crates/interp/src/eval.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/env.rs:
+crates/interp/src/eval.rs:
+crates/interp/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lesgs_interp-5226ccfad1ff55d6.d: crates/interp/src/lib.rs crates/interp/src/env.rs crates/interp/src/eval.rs crates/interp/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblesgs_interp-5226ccfad1ff55d6.rmeta: crates/interp/src/lib.rs crates/interp/src/env.rs crates/interp/src/eval.rs crates/interp/src/value.rs Cargo.toml
+
+crates/interp/src/lib.rs:
+crates/interp/src/env.rs:
+crates/interp/src/eval.rs:
+crates/interp/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lesgs_interp-b0c311b5228b4057.d: crates/interp/src/lib.rs crates/interp/src/env.rs crates/interp/src/eval.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/lesgs_interp-b0c311b5228b4057: crates/interp/src/lib.rs crates/interp/src/env.rs crates/interp/src/eval.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/env.rs:
+crates/interp/src/eval.rs:
+crates/interp/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lesgs_ir-92384cb996d26afc.d: crates/ir/src/lib.rs crates/ir/src/expr.rs crates/ir/src/fold.rs crates/ir/src/lower.rs crates/ir/src/machine.rs crates/ir/src/regset.rs
+
+/root/repo/target/debug/deps/liblesgs_ir-92384cb996d26afc.rlib: crates/ir/src/lib.rs crates/ir/src/expr.rs crates/ir/src/fold.rs crates/ir/src/lower.rs crates/ir/src/machine.rs crates/ir/src/regset.rs
+
+/root/repo/target/debug/deps/liblesgs_ir-92384cb996d26afc.rmeta: crates/ir/src/lib.rs crates/ir/src/expr.rs crates/ir/src/fold.rs crates/ir/src/lower.rs crates/ir/src/machine.rs crates/ir/src/regset.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/fold.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/machine.rs:
+crates/ir/src/regset.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lesgs_ir-a117b775106d4f5e.d: crates/ir/src/lib.rs crates/ir/src/expr.rs crates/ir/src/fold.rs crates/ir/src/lower.rs crates/ir/src/machine.rs crates/ir/src/regset.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblesgs_ir-a117b775106d4f5e.rmeta: crates/ir/src/lib.rs crates/ir/src/expr.rs crates/ir/src/fold.rs crates/ir/src/lower.rs crates/ir/src/machine.rs crates/ir/src/regset.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/fold.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/machine.rs:
+crates/ir/src/regset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lesgs_ir-bdf39662ace27f0b.d: crates/ir/src/lib.rs crates/ir/src/expr.rs crates/ir/src/fold.rs crates/ir/src/lower.rs crates/ir/src/machine.rs crates/ir/src/regset.rs
+
+/root/repo/target/debug/deps/lesgs_ir-bdf39662ace27f0b: crates/ir/src/lib.rs crates/ir/src/expr.rs crates/ir/src/fold.rs crates/ir/src/lower.rs crates/ir/src/machine.rs crates/ir/src/regset.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/fold.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/machine.rs:
+crates/ir/src/regset.rs:

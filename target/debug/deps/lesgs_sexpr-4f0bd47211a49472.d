@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lesgs_sexpr-4f0bd47211a49472.d: crates/sexpr/src/lib.rs crates/sexpr/src/datum.rs crates/sexpr/src/lexer.rs crates/sexpr/src/reader.rs
+
+/root/repo/target/debug/deps/lesgs_sexpr-4f0bd47211a49472: crates/sexpr/src/lib.rs crates/sexpr/src/datum.rs crates/sexpr/src/lexer.rs crates/sexpr/src/reader.rs
+
+crates/sexpr/src/lib.rs:
+crates/sexpr/src/datum.rs:
+crates/sexpr/src/lexer.rs:
+crates/sexpr/src/reader.rs:

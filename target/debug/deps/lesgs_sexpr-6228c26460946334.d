@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lesgs_sexpr-6228c26460946334.d: crates/sexpr/src/lib.rs crates/sexpr/src/datum.rs crates/sexpr/src/lexer.rs crates/sexpr/src/reader.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblesgs_sexpr-6228c26460946334.rmeta: crates/sexpr/src/lib.rs crates/sexpr/src/datum.rs crates/sexpr/src/lexer.rs crates/sexpr/src/reader.rs Cargo.toml
+
+crates/sexpr/src/lib.rs:
+crates/sexpr/src/datum.rs:
+crates/sexpr/src/lexer.rs:
+crates/sexpr/src/reader.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

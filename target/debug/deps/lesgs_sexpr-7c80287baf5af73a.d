@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lesgs_sexpr-7c80287baf5af73a.d: crates/sexpr/src/lib.rs crates/sexpr/src/datum.rs crates/sexpr/src/lexer.rs crates/sexpr/src/reader.rs
+
+/root/repo/target/debug/deps/liblesgs_sexpr-7c80287baf5af73a.rlib: crates/sexpr/src/lib.rs crates/sexpr/src/datum.rs crates/sexpr/src/lexer.rs crates/sexpr/src/reader.rs
+
+/root/repo/target/debug/deps/liblesgs_sexpr-7c80287baf5af73a.rmeta: crates/sexpr/src/lib.rs crates/sexpr/src/datum.rs crates/sexpr/src/lexer.rs crates/sexpr/src/reader.rs
+
+crates/sexpr/src/lib.rs:
+crates/sexpr/src/datum.rs:
+crates/sexpr/src/lexer.rs:
+crates/sexpr/src/reader.rs:

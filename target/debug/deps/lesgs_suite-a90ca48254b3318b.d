@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lesgs_suite-a90ca48254b3318b.d: crates/suite/src/lib.rs crates/suite/src/measure.rs crates/suite/src/programs.rs crates/suite/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblesgs_suite-a90ca48254b3318b.rmeta: crates/suite/src/lib.rs crates/suite/src/measure.rs crates/suite/src/programs.rs crates/suite/src/tables.rs Cargo.toml
+
+crates/suite/src/lib.rs:
+crates/suite/src/measure.rs:
+crates/suite/src/programs.rs:
+crates/suite/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lesgs_suite-d817bf350ea52b56.d: crates/suite/src/lib.rs crates/suite/src/measure.rs crates/suite/src/programs.rs crates/suite/src/tables.rs
+
+/root/repo/target/debug/deps/lesgs_suite-d817bf350ea52b56: crates/suite/src/lib.rs crates/suite/src/measure.rs crates/suite/src/programs.rs crates/suite/src/tables.rs
+
+crates/suite/src/lib.rs:
+crates/suite/src/measure.rs:
+crates/suite/src/programs.rs:
+crates/suite/src/tables.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lesgs_suite-ef931222e6114bff.d: crates/suite/src/lib.rs crates/suite/src/measure.rs crates/suite/src/programs.rs crates/suite/src/tables.rs
+
+/root/repo/target/debug/deps/liblesgs_suite-ef931222e6114bff.rlib: crates/suite/src/lib.rs crates/suite/src/measure.rs crates/suite/src/programs.rs crates/suite/src/tables.rs
+
+/root/repo/target/debug/deps/liblesgs_suite-ef931222e6114bff.rmeta: crates/suite/src/lib.rs crates/suite/src/measure.rs crates/suite/src/programs.rs crates/suite/src/tables.rs
+
+crates/suite/src/lib.rs:
+crates/suite/src/measure.rs:
+crates/suite/src/programs.rs:
+crates/suite/src/tables.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lesgs_testkit-6f1dfc843774d38b.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/liblesgs_testkit-6f1dfc843774d38b.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/liblesgs_testkit-6f1dfc843774d38b.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

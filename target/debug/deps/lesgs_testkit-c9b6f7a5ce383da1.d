@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lesgs_testkit-c9b6f7a5ce383da1.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/lesgs_testkit-c9b6f7a5ce383da1: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lesgs_testkit-f25557fe3e2bcaa7.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblesgs_testkit-f25557fe3e2bcaa7.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lesgs_testkit-f813ac279416ad47.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblesgs_testkit-f813ac279416ad47.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

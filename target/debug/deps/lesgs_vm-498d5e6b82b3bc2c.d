@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lesgs_vm-498d5e6b82b3bc2c.d: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/exec.rs crates/vm/src/instr.rs crates/vm/src/program.rs crates/vm/src/stats.rs crates/vm/src/value.rs crates/vm/src/verify.rs
+
+/root/repo/target/debug/deps/lesgs_vm-498d5e6b82b3bc2c: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/exec.rs crates/vm/src/instr.rs crates/vm/src/program.rs crates/vm/src/stats.rs crates/vm/src/value.rs crates/vm/src/verify.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/cost.rs:
+crates/vm/src/exec.rs:
+crates/vm/src/instr.rs:
+crates/vm/src/program.rs:
+crates/vm/src/stats.rs:
+crates/vm/src/value.rs:
+crates/vm/src/verify.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lesgs_vm-b8abdeb96b70324f.d: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/exec.rs crates/vm/src/instr.rs crates/vm/src/program.rs crates/vm/src/stats.rs crates/vm/src/value.rs crates/vm/src/verify.rs
+
+/root/repo/target/debug/deps/liblesgs_vm-b8abdeb96b70324f.rlib: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/exec.rs crates/vm/src/instr.rs crates/vm/src/program.rs crates/vm/src/stats.rs crates/vm/src/value.rs crates/vm/src/verify.rs
+
+/root/repo/target/debug/deps/liblesgs_vm-b8abdeb96b70324f.rmeta: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/exec.rs crates/vm/src/instr.rs crates/vm/src/program.rs crates/vm/src/stats.rs crates/vm/src/value.rs crates/vm/src/verify.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/cost.rs:
+crates/vm/src/exec.rs:
+crates/vm/src/instr.rs:
+crates/vm/src/program.rs:
+crates/vm/src/stats.rs:
+crates/vm/src/value.rs:
+crates/vm/src/verify.rs:

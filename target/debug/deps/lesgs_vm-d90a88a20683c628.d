@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lesgs_vm-d90a88a20683c628.d: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/exec.rs crates/vm/src/instr.rs crates/vm/src/program.rs crates/vm/src/stats.rs crates/vm/src/value.rs crates/vm/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblesgs_vm-d90a88a20683c628.rmeta: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/exec.rs crates/vm/src/instr.rs crates/vm/src/program.rs crates/vm/src/stats.rs crates/vm/src/value.rs crates/vm/src/verify.rs Cargo.toml
+
+crates/vm/src/lib.rs:
+crates/vm/src/cost.rs:
+crates/vm/src/exec.rs:
+crates/vm/src/instr.rs:
+crates/vm/src/program.rs:
+crates/vm/src/stats.rs:
+crates/vm/src/value.rs:
+crates/vm/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lesgsc-3a2fed7c3a8d5f71.d: crates/compiler/src/bin/lesgsc.rs
+
+/root/repo/target/debug/deps/lesgsc-3a2fed7c3a8d5f71: crates/compiler/src/bin/lesgsc.rs
+
+crates/compiler/src/bin/lesgsc.rs:

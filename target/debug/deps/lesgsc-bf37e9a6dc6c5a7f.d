@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lesgsc-bf37e9a6dc6c5a7f.d: crates/compiler/src/bin/lesgsc.rs
+
+/root/repo/target/debug/deps/lesgsc-bf37e9a6dc6c5a7f: crates/compiler/src/bin/lesgsc.rs
+
+crates/compiler/src/bin/lesgsc.rs:

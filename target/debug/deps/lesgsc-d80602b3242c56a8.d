@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lesgsc-d80602b3242c56a8.d: crates/compiler/src/bin/lesgsc.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblesgsc-d80602b3242c56a8.rmeta: crates/compiler/src/bin/lesgsc.rs Cargo.toml
+
+crates/compiler/src/bin/lesgsc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-4fcf27b4071afcdd.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-4fcf27b4071afcdd: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_worked_example-a2a30a5cbc1b4c13.d: tests/paper_worked_example.rs
+
+/root/repo/target/debug/deps/paper_worked_example-a2a30a5cbc1b4c13: tests/paper_worked_example.rs
+
+tests/paper_worked_example.rs:

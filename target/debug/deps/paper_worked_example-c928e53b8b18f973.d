@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_worked_example-c928e53b8b18f973.d: tests/paper_worked_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_worked_example-c928e53b8b18f973.rmeta: tests/paper_worked_example.rs Cargo.toml
+
+tests/paper_worked_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

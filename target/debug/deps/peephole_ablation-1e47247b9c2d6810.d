@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/peephole_ablation-1e47247b9c2d6810.d: crates/bench/src/bin/peephole_ablation.rs
+
+/root/repo/target/debug/deps/peephole_ablation-1e47247b9c2d6810: crates/bench/src/bin/peephole_ablation.rs
+
+crates/bench/src/bin/peephole_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/peephole_ablation-36b213149459221b.d: crates/bench/src/bin/peephole_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeephole_ablation-36b213149459221b.rmeta: crates/bench/src/bin/peephole_ablation.rs Cargo.toml
+
+crates/bench/src/bin/peephole_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/peephole_ablation-fce5472b9ec37493.d: crates/bench/src/bin/peephole_ablation.rs
+
+/root/repo/target/debug/deps/peephole_ablation-fce5472b9ec37493: crates/bench/src/bin/peephole_ablation.rs
+
+crates/bench/src/bin/peephole_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/random_programs-4d25e723c6aef189.d: tests/random_programs.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandom_programs-4d25e723c6aef189.rmeta: tests/random_programs.rs Cargo.toml
+
+tests/random_programs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_programs-d31cadc359c8f12a.d: tests/random_programs.rs
+
+/root/repo/target/debug/deps/random_programs-d31cadc359c8f12a: tests/random_programs.rs
+
+tests/random_programs.rs:

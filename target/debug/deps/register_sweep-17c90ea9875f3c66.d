@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/register_sweep-17c90ea9875f3c66.d: crates/bench/src/bin/register_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregister_sweep-17c90ea9875f3c66.rmeta: crates/bench/src/bin/register_sweep.rs Cargo.toml
+
+crates/bench/src/bin/register_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

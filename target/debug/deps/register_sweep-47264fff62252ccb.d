@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/register_sweep-47264fff62252ccb.d: crates/bench/src/bin/register_sweep.rs
+
+/root/repo/target/debug/deps/register_sweep-47264fff62252ccb: crates/bench/src/bin/register_sweep.rs
+
+crates/bench/src/bin/register_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/register_sweep-a6e9cfbe3802c0ec.d: crates/bench/src/bin/register_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregister_sweep-a6e9cfbe3802c0ec.rmeta: crates/bench/src/bin/register_sweep.rs Cargo.toml
+
+crates/bench/src/bin/register_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/register_sweep-aeda7b2ed26a160c.d: crates/bench/src/bin/register_sweep.rs
+
+/root/repo/target/debug/deps/register_sweep-aeda7b2ed26a160c: crates/bench/src/bin/register_sweep.rs
+
+crates/bench/src/bin/register_sweep.rs:

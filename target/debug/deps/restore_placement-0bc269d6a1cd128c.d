@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/restore_placement-0bc269d6a1cd128c.d: crates/core/tests/restore_placement.rs
+
+/root/repo/target/debug/deps/restore_placement-0bc269d6a1cd128c: crates/core/tests/restore_placement.rs
+
+crates/core/tests/restore_placement.rs:

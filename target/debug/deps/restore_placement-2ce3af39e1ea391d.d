@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/restore_placement-2ce3af39e1ea391d.d: crates/core/tests/restore_placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/librestore_placement-2ce3af39e1ea391d.rmeta: crates/core/tests/restore_placement.rs Cargo.toml
+
+crates/core/tests/restore_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

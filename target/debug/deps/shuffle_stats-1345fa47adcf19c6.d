@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shuffle_stats-1345fa47adcf19c6.d: crates/bench/src/bin/shuffle_stats.rs
+
+/root/repo/target/debug/deps/shuffle_stats-1345fa47adcf19c6: crates/bench/src/bin/shuffle_stats.rs
+
+crates/bench/src/bin/shuffle_stats.rs:

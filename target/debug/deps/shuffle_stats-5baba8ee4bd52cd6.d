@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shuffle_stats-5baba8ee4bd52cd6.d: crates/bench/src/bin/shuffle_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshuffle_stats-5baba8ee4bd52cd6.rmeta: crates/bench/src/bin/shuffle_stats.rs Cargo.toml
+
+crates/bench/src/bin/shuffle_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

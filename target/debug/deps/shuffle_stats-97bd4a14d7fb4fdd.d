@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shuffle_stats-97bd4a14d7fb4fdd.d: crates/bench/src/bin/shuffle_stats.rs
+
+/root/repo/target/debug/deps/shuffle_stats-97bd4a14d7fb4fdd: crates/bench/src/bin/shuffle_stats.rs
+
+crates/bench/src/bin/shuffle_stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/static_verify-17055d58b1c1fc2e.d: tests/static_verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstatic_verify-17055d58b1c1fc2e.rmeta: tests/static_verify.rs Cargo.toml
+
+tests/static_verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

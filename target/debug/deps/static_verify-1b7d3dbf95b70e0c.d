@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/static_verify-1b7d3dbf95b70e0c.d: tests/static_verify.rs
+
+/root/repo/target/debug/deps/static_verify-1b7d3dbf95b70e0c: tests/static_verify.rs
+
+tests/static_verify.rs:

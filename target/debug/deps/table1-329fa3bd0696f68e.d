@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-329fa3bd0696f68e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-329fa3bd0696f68e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

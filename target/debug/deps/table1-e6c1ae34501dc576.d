@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e6c1ae34501dc576.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e6c1ae34501dc576: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

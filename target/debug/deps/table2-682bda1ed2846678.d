@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-682bda1ed2846678.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-682bda1ed2846678: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-a23f3bcbbd8c0342.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-a23f3bcbbd8c0342: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

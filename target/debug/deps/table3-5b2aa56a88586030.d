@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-5b2aa56a88586030.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-5b2aa56a88586030: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-9e1fc70d1d06a355.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-9e1fc70d1d06a355: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-5884c3b063e1eea3.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-5884c3b063e1eea3: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

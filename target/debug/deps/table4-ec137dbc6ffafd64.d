@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-ec137dbc6ffafd64.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-ec137dbc6ffafd64: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

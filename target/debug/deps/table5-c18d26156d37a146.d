@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-c18d26156d37a146.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-c18d26156d37a146: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

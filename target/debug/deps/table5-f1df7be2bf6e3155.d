@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-f1df7be2bf6e3155.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-f1df7be2bf6e3155: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/value_rendering-5a3c0a58506f2040.d: tests/value_rendering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalue_rendering-5a3c0a58506f2040.rmeta: tests/value_rendering.rs Cargo.toml
+
+tests/value_rendering.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/value_rendering-73d43e0d8589bd87.d: tests/value_rendering.rs
+
+/root/repo/target/debug/deps/value_rendering-73d43e0d8589bd87: tests/value_rendering.rs
+
+tests/value_rendering.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

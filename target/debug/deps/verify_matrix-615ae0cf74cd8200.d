@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify_matrix-615ae0cf74cd8200.d: crates/suite/tests/verify_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify_matrix-615ae0cf74cd8200.rmeta: crates/suite/tests/verify_matrix.rs Cargo.toml
+
+crates/suite/tests/verify_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_matrix-9ff945e17574f857.d: crates/suite/tests/verify_matrix.rs
+
+/root/repo/target/debug/deps/verify_matrix-9ff945e17574f857: crates/suite/tests/verify_matrix.rs
+
+crates/suite/tests/verify_matrix.rs:

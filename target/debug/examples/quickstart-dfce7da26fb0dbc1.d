@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-dfce7da26fb0dbc1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-dfce7da26fb0dbc1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/save_placement-569e33225291d895.d: examples/save_placement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsave_placement-569e33225291d895.rmeta: examples/save_placement.rs Cargo.toml
+
+examples/save_placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

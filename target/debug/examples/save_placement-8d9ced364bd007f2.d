@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/save_placement-8d9ced364bd007f2.d: examples/save_placement.rs
+
+/root/repo/target/debug/examples/save_placement-8d9ced364bd007f2: examples/save_placement.rs
+
+examples/save_placement.rs:

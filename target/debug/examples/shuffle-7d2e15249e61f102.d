@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shuffle-7d2e15249e61f102.d: examples/shuffle.rs
+
+/root/repo/target/debug/examples/shuffle-7d2e15249e61f102: examples/shuffle.rs
+
+examples/shuffle.rs:

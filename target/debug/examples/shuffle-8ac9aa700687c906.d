@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/shuffle-8ac9aa700687c906.d: examples/shuffle.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshuffle-8ac9aa700687c906.rmeta: examples/shuffle.rs Cargo.toml
+
+examples/shuffle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

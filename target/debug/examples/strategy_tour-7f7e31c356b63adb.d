@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strategy_tour-7f7e31c356b63adb.d: examples/strategy_tour.rs
+
+/root/repo/target/debug/examples/strategy_tour-7f7e31c356b63adb: examples/strategy_tour.rs
+
+examples/strategy_tour.rs:

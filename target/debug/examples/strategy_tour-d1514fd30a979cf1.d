@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/strategy_tour-d1514fd30a979cf1.d: examples/strategy_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstrategy_tour-d1514fd30a979cf1.rmeta: examples/strategy_tour.rs Cargo.toml
+
+examples/strategy_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/debug/liblesgs_sexpr.rlib: /root/repo/crates/sexpr/src/datum.rs /root/repo/crates/sexpr/src/lexer.rs /root/repo/crates/sexpr/src/lib.rs /root/repo/crates/sexpr/src/reader.rs

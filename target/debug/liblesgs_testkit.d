@@ -1,0 +1,1 @@
+/root/repo/target/debug/liblesgs_testkit.rlib: /root/repo/crates/testkit/src/lib.rs

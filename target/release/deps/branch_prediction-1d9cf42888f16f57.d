@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/branch_prediction-1d9cf42888f16f57.d: crates/bench/src/bin/branch_prediction.rs
+
+/root/repo/target/release/deps/branch_prediction-1d9cf42888f16f57: crates/bench/src/bin/branch_prediction.rs
+
+crates/bench/src/bin/branch_prediction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/branch_prediction-9dab1f1498dd2caf.d: crates/bench/src/bin/branch_prediction.rs
+
+/root/repo/target/release/deps/branch_prediction-9dab1f1498dd2caf: crates/bench/src/bin/branch_prediction.rs
+
+crates/bench/src/bin/branch_prediction.rs:

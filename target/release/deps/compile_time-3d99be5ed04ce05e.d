@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compile_time-3d99be5ed04ce05e.d: crates/bench/src/bin/compile_time.rs
+
+/root/repo/target/release/deps/compile_time-3d99be5ed04ce05e: crates/bench/src/bin/compile_time.rs
+
+crates/bench/src/bin/compile_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compile_time-87c16952173e7d3a.d: crates/bench/src/bin/compile_time.rs
+
+/root/repo/target/release/deps/compile_time-87c16952173e7d3a: crates/bench/src/bin/compile_time.rs
+
+crates/bench/src/bin/compile_time.rs:

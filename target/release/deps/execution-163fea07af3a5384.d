@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/execution-163fea07af3a5384.d: crates/bench/benches/execution.rs
+
+/root/repo/target/release/deps/execution-163fea07af3a5384: crates/bench/benches/execution.rs
+
+crates/bench/benches/execution.rs:

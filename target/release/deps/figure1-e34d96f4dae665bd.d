@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure1-e34d96f4dae665bd.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/release/deps/figure1-e34d96f4dae665bd: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

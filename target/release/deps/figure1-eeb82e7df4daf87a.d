@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure1-eeb82e7df4daf87a.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/release/deps/figure1-eeb82e7df4daf87a: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

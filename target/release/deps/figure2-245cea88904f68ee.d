@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-245cea88904f68ee.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-245cea88904f68ee: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

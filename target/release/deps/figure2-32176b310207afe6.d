@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-32176b310207afe6.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-32176b310207afe6: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

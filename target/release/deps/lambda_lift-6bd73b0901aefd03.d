@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lambda_lift-6bd73b0901aefd03.d: crates/bench/src/bin/lambda_lift.rs
+
+/root/repo/target/release/deps/lambda_lift-6bd73b0901aefd03: crates/bench/src/bin/lambda_lift.rs
+
+crates/bench/src/bin/lambda_lift.rs:

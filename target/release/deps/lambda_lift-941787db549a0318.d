@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lambda_lift-941787db549a0318.d: crates/bench/src/bin/lambda_lift.rs
+
+/root/repo/target/release/deps/lambda_lift-941787db549a0318: crates/bench/src/bin/lambda_lift.rs
+
+crates/bench/src/bin/lambda_lift.rs:

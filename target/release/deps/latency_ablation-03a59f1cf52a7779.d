@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/latency_ablation-03a59f1cf52a7779.d: crates/bench/src/bin/latency_ablation.rs
+
+/root/repo/target/release/deps/latency_ablation-03a59f1cf52a7779: crates/bench/src/bin/latency_ablation.rs
+
+crates/bench/src/bin/latency_ablation.rs:

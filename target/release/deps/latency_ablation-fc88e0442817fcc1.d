@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/latency_ablation-fc88e0442817fcc1.d: crates/bench/src/bin/latency_ablation.rs
+
+/root/repo/target/release/deps/latency_ablation-fc88e0442817fcc1: crates/bench/src/bin/latency_ablation.rs
+
+crates/bench/src/bin/latency_ablation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lesgs-b7b6a1f62595bd43.d: src/lib.rs
+
+/root/repo/target/release/deps/liblesgs-b7b6a1f62595bd43.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblesgs-b7b6a1f62595bd43.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lesgs_bench-22c9ca65f61cb186.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/liblesgs_bench-22c9ca65f61cb186.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/liblesgs_bench-22c9ca65f61cb186.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

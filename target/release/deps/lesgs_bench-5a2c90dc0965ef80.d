@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/lesgs_bench-5a2c90dc0965ef80.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/lesgs_bench-5a2c90dc0965ef80: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lesgs_bench-8f45243e2e91c994.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/liblesgs_bench-8f45243e2e91c994.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/liblesgs_bench-8f45243e2e91c994.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

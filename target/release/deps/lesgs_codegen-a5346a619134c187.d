@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lesgs_codegen-a5346a619134c187.d: crates/codegen/src/lib.rs crates/codegen/src/peephole.rs
+
+/root/repo/target/release/deps/liblesgs_codegen-a5346a619134c187.rlib: crates/codegen/src/lib.rs crates/codegen/src/peephole.rs
+
+/root/repo/target/release/deps/liblesgs_codegen-a5346a619134c187.rmeta: crates/codegen/src/lib.rs crates/codegen/src/peephole.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/peephole.rs:

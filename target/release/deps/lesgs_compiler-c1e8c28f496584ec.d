@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lesgs_compiler-c1e8c28f496584ec.d: crates/compiler/src/lib.rs
+
+/root/repo/target/release/deps/liblesgs_compiler-c1e8c28f496584ec.rlib: crates/compiler/src/lib.rs
+
+/root/repo/target/release/deps/liblesgs_compiler-c1e8c28f496584ec.rmeta: crates/compiler/src/lib.rs
+
+crates/compiler/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/lesgs_frontend-093971974a57ae23.d: crates/frontend/src/lib.rs crates/frontend/src/assignconv.rs crates/frontend/src/ast.rs crates/frontend/src/closure.rs crates/frontend/src/desugar.rs crates/frontend/src/lift.rs crates/frontend/src/names.rs crates/frontend/src/pipeline.rs crates/frontend/src/prim.rs crates/frontend/src/program.rs crates/frontend/src/rename.rs
+
+/root/repo/target/release/deps/liblesgs_frontend-093971974a57ae23.rlib: crates/frontend/src/lib.rs crates/frontend/src/assignconv.rs crates/frontend/src/ast.rs crates/frontend/src/closure.rs crates/frontend/src/desugar.rs crates/frontend/src/lift.rs crates/frontend/src/names.rs crates/frontend/src/pipeline.rs crates/frontend/src/prim.rs crates/frontend/src/program.rs crates/frontend/src/rename.rs
+
+/root/repo/target/release/deps/liblesgs_frontend-093971974a57ae23.rmeta: crates/frontend/src/lib.rs crates/frontend/src/assignconv.rs crates/frontend/src/ast.rs crates/frontend/src/closure.rs crates/frontend/src/desugar.rs crates/frontend/src/lift.rs crates/frontend/src/names.rs crates/frontend/src/pipeline.rs crates/frontend/src/prim.rs crates/frontend/src/program.rs crates/frontend/src/rename.rs
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/assignconv.rs:
+crates/frontend/src/ast.rs:
+crates/frontend/src/closure.rs:
+crates/frontend/src/desugar.rs:
+crates/frontend/src/lift.rs:
+crates/frontend/src/names.rs:
+crates/frontend/src/pipeline.rs:
+crates/frontend/src/prim.rs:
+crates/frontend/src/program.rs:
+crates/frontend/src/rename.rs:

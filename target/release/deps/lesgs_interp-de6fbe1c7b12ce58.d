@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lesgs_interp-de6fbe1c7b12ce58.d: crates/interp/src/lib.rs crates/interp/src/env.rs crates/interp/src/eval.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/liblesgs_interp-de6fbe1c7b12ce58.rlib: crates/interp/src/lib.rs crates/interp/src/env.rs crates/interp/src/eval.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/liblesgs_interp-de6fbe1c7b12ce58.rmeta: crates/interp/src/lib.rs crates/interp/src/env.rs crates/interp/src/eval.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/env.rs:
+crates/interp/src/eval.rs:
+crates/interp/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lesgs_ir-ba730c3a471543e6.d: crates/ir/src/lib.rs crates/ir/src/expr.rs crates/ir/src/fold.rs crates/ir/src/lower.rs crates/ir/src/machine.rs crates/ir/src/regset.rs
+
+/root/repo/target/release/deps/liblesgs_ir-ba730c3a471543e6.rlib: crates/ir/src/lib.rs crates/ir/src/expr.rs crates/ir/src/fold.rs crates/ir/src/lower.rs crates/ir/src/machine.rs crates/ir/src/regset.rs
+
+/root/repo/target/release/deps/liblesgs_ir-ba730c3a471543e6.rmeta: crates/ir/src/lib.rs crates/ir/src/expr.rs crates/ir/src/fold.rs crates/ir/src/lower.rs crates/ir/src/machine.rs crates/ir/src/regset.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/fold.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/machine.rs:
+crates/ir/src/regset.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lesgs_sexpr-29b043f0e2db6a7c.d: crates/sexpr/src/lib.rs crates/sexpr/src/datum.rs crates/sexpr/src/lexer.rs crates/sexpr/src/reader.rs
+
+/root/repo/target/release/deps/liblesgs_sexpr-29b043f0e2db6a7c.rlib: crates/sexpr/src/lib.rs crates/sexpr/src/datum.rs crates/sexpr/src/lexer.rs crates/sexpr/src/reader.rs
+
+/root/repo/target/release/deps/liblesgs_sexpr-29b043f0e2db6a7c.rmeta: crates/sexpr/src/lib.rs crates/sexpr/src/datum.rs crates/sexpr/src/lexer.rs crates/sexpr/src/reader.rs
+
+crates/sexpr/src/lib.rs:
+crates/sexpr/src/datum.rs:
+crates/sexpr/src/lexer.rs:
+crates/sexpr/src/reader.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lesgs_suite-8b5fac723a90fb6a.d: crates/suite/src/lib.rs crates/suite/src/measure.rs crates/suite/src/programs.rs crates/suite/src/tables.rs
+
+/root/repo/target/release/deps/liblesgs_suite-8b5fac723a90fb6a.rlib: crates/suite/src/lib.rs crates/suite/src/measure.rs crates/suite/src/programs.rs crates/suite/src/tables.rs
+
+/root/repo/target/release/deps/liblesgs_suite-8b5fac723a90fb6a.rmeta: crates/suite/src/lib.rs crates/suite/src/measure.rs crates/suite/src/programs.rs crates/suite/src/tables.rs
+
+crates/suite/src/lib.rs:
+crates/suite/src/measure.rs:
+crates/suite/src/programs.rs:
+crates/suite/src/tables.rs:

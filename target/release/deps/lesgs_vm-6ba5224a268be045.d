@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lesgs_vm-6ba5224a268be045.d: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/exec.rs crates/vm/src/instr.rs crates/vm/src/program.rs crates/vm/src/stats.rs crates/vm/src/value.rs crates/vm/src/verify.rs
+
+/root/repo/target/release/deps/liblesgs_vm-6ba5224a268be045.rlib: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/exec.rs crates/vm/src/instr.rs crates/vm/src/program.rs crates/vm/src/stats.rs crates/vm/src/value.rs crates/vm/src/verify.rs
+
+/root/repo/target/release/deps/liblesgs_vm-6ba5224a268be045.rmeta: crates/vm/src/lib.rs crates/vm/src/cost.rs crates/vm/src/exec.rs crates/vm/src/instr.rs crates/vm/src/program.rs crates/vm/src/stats.rs crates/vm/src/value.rs crates/vm/src/verify.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/cost.rs:
+crates/vm/src/exec.rs:
+crates/vm/src/instr.rs:
+crates/vm/src/program.rs:
+crates/vm/src/stats.rs:
+crates/vm/src/value.rs:
+crates/vm/src/verify.rs:

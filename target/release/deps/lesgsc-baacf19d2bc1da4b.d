@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lesgsc-baacf19d2bc1da4b.d: crates/compiler/src/bin/lesgsc.rs
+
+/root/repo/target/release/deps/lesgsc-baacf19d2bc1da4b: crates/compiler/src/bin/lesgsc.rs
+
+crates/compiler/src/bin/lesgsc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/peephole_ablation-2449ed52515cfa33.d: crates/bench/src/bin/peephole_ablation.rs
+
+/root/repo/target/release/deps/peephole_ablation-2449ed52515cfa33: crates/bench/src/bin/peephole_ablation.rs
+
+crates/bench/src/bin/peephole_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/peephole_ablation-7481c50222d74816.d: crates/bench/src/bin/peephole_ablation.rs
+
+/root/repo/target/release/deps/peephole_ablation-7481c50222d74816: crates/bench/src/bin/peephole_ablation.rs
+
+crates/bench/src/bin/peephole_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/register_sweep-3ce9dd25f62d43ea.d: crates/bench/src/bin/register_sweep.rs
+
+/root/repo/target/release/deps/register_sweep-3ce9dd25f62d43ea: crates/bench/src/bin/register_sweep.rs
+
+crates/bench/src/bin/register_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/register_sweep-967b922191b8fbd0.d: crates/bench/src/bin/register_sweep.rs
+
+/root/repo/target/release/deps/register_sweep-967b922191b8fbd0: crates/bench/src/bin/register_sweep.rs
+
+crates/bench/src/bin/register_sweep.rs:

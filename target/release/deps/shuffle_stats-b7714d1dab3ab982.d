@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shuffle_stats-b7714d1dab3ab982.d: crates/bench/src/bin/shuffle_stats.rs
+
+/root/repo/target/release/deps/shuffle_stats-b7714d1dab3ab982: crates/bench/src/bin/shuffle_stats.rs
+
+crates/bench/src/bin/shuffle_stats.rs:

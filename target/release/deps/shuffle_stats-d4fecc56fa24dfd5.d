@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shuffle_stats-d4fecc56fa24dfd5.d: crates/bench/src/bin/shuffle_stats.rs
+
+/root/repo/target/release/deps/shuffle_stats-d4fecc56fa24dfd5: crates/bench/src/bin/shuffle_stats.rs
+
+crates/bench/src/bin/shuffle_stats.rs:

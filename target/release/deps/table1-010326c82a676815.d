@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-010326c82a676815.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-010326c82a676815: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-4ec2c1cf53ad4b19.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-4ec2c1cf53ad4b19: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-15b93e1c7c50cb03.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-15b93e1c7c50cb03: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-1a3dbe7434965ad4.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-1a3dbe7434965ad4: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

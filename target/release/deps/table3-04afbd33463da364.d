@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-04afbd33463da364.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-04afbd33463da364: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

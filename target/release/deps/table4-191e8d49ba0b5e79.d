@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-191e8d49ba0b5e79.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-191e8d49ba0b5e79: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

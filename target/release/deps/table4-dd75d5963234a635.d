@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-dd75d5963234a635.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-dd75d5963234a635: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-ce19ba7dfe6c3961.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-ce19ba7dfe6c3961: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

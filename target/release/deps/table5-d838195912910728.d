@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-d838195912910728.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-d838195912910728: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

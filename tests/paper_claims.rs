@@ -38,8 +38,14 @@ fn effective_leaves_dominate_syntactic_leaves() {
         eff > syn,
         "effective leaves ({eff:.2}) must exceed syntactic leaves ({syn:.2})"
     );
-    assert!(syn < 1.0 / 3.0 + 0.05, "syntactic leaves around or under one third");
-    assert!(eff > 0.35, "a large share of activations are effective leaves");
+    assert!(
+        syn < 1.0 / 3.0 + 0.05,
+        "syntactic leaves around or under one third"
+    );
+    assert!(
+        eff > 0.35,
+        "a large share of activations are effective leaves"
+    );
 }
 
 /// Table 3's ordering: lazy saves beat both the early and the late
@@ -50,7 +56,10 @@ fn lazy_beats_early_and_late_on_average() {
     for b in all_benchmarks() {
         let base = measure(&b, Scale::Small, &AllocConfig::baseline()).unwrap();
         for save in [SaveStrategy::Lazy, SaveStrategy::Early, SaveStrategy::Late] {
-            let cfg = AllocConfig { save, ..AllocConfig::paper_default() };
+            let cfg = AllocConfig {
+                save,
+                ..AllocConfig::paper_default()
+            };
             let opt = measure(&b, Scale::Small, &cfg).unwrap();
             assert_eq!(base.value, opt.value, "{} {save:?}", b.name);
             let m = Measurement::compare(&base, &opt);
@@ -67,10 +76,30 @@ fn lazy_beats_early_and_late_on_average() {
     let lazy = get("Lazy");
     let early = get("Early");
     let late = get("Late");
-    assert!(lazy.0 >= early.0, "lazy stack-ref {} >= early {}", lazy.0, early.0);
-    assert!(lazy.0 >= late.0, "lazy stack-ref {} >= late {}", lazy.0, late.0);
-    assert!(lazy.1 >= early.1, "lazy speedup {} >= early {}", lazy.1, early.1);
-    assert!(lazy.1 >= late.1, "lazy speedup {} >= late {}", lazy.1, late.1);
+    assert!(
+        lazy.0 >= early.0,
+        "lazy stack-ref {} >= early {}",
+        lazy.0,
+        early.0
+    );
+    assert!(
+        lazy.0 >= late.0,
+        "lazy stack-ref {} >= late {}",
+        lazy.0,
+        late.0
+    );
+    assert!(
+        lazy.1 >= early.1,
+        "lazy speedup {} >= early {}",
+        lazy.1,
+        early.1
+    );
+    assert!(
+        lazy.1 >= late.1,
+        "lazy speedup {} >= late {}",
+        lazy.1,
+        late.1
+    );
 }
 
 /// §2.2: eager restores run about as fast as lazy restores — the
@@ -80,8 +109,7 @@ fn eager_restores_competitive_with_lazy() {
     use lesgs::allocator::RestoreStrategy;
     let mut ratios = Vec::new();
     for b in all_benchmarks() {
-        let eager =
-            measure(&b, Scale::Small, &AllocConfig::paper_default()).unwrap();
+        let eager = measure(&b, Scale::Small, &AllocConfig::paper_default()).unwrap();
         let lazy = measure(
             &b,
             Scale::Small,
@@ -108,8 +136,7 @@ fn greedy_shuffling_nearly_always_optimal() {
     let mut sites = 0usize;
     let mut matches = 0usize;
     for b in all_benchmarks() {
-        let compiled =
-            lesgs::compiler::compile(b.source(Scale::Standard), &cfg).unwrap();
+        let compiled = lesgs::compiler::compile(b.source(Scale::Standard), &cfg).unwrap();
         let s = compiled.shuffle_stats();
         sites += s.call_sites;
         matches += s.sites_greedy_optimal;

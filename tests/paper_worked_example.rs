@@ -68,7 +68,10 @@ fn restores(f: &AllocatedFunc) -> Vec<RegSet> {
 #[test]
 fn every_path_calls_so_x_saves_at_the_top() {
     let f = allocated_f();
-    assert!(f.call_inevitable, "both outcomes of the inner if lead to a call");
+    assert!(
+        f.call_inevitable,
+        "both outcomes of the inner if lead to a call"
+    );
     let AExpr::Save { regs, .. } = &f.body else {
         panic!("body root must be a save: {}", f.body);
     };
@@ -83,8 +86,7 @@ fn y_saves_only_in_the_branch_that_needs_it() {
     // Exactly two save sites survive pass 2: the body root and the
     // inner branch around the first call.
     assert_eq!(all.len(), 2, "{}", f.body);
-    let inner: Vec<&RegSet> =
-        all.iter().filter(|r| r.contains(arg_reg(1))).collect();
+    let inner: Vec<&RegSet> = all.iter().filter(|r| r.contains(arg_reg(1))).collect();
     assert_eq!(inner.len(), 1, "y saved exactly once: {all:?}");
     // Pass 2 eliminated x from the inner save ("When a save that is
     // already in the save set is encountered, it is eliminated").
@@ -124,10 +126,6 @@ fn the_example_computes_correctly_under_every_strategy() {
                         (g x))
                     x))
                (list (f 3 4) (f 2 9))";
-    lesgs::compiler::differential_check(
-        src,
-        &lesgs::compiler::config_matrix(),
-        10_000_000,
-    )
-    .unwrap();
+    lesgs::compiler::differential_check(src, &lesgs::compiler::config_matrix(), 10_000_000)
+        .unwrap();
 }

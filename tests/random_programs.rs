@@ -3,11 +3,10 @@
 //! reference interpreter and in the compiled VM under a spread of
 //! allocator configurations.
 
-use proptest::prelude::*;
-
 use lesgs::allocator::{AllocConfig, SaveStrategy, ShuffleStrategy};
 use lesgs::compiler::differential_check;
 use lesgs::ir::MachineConfig;
+use lesgs_testkit::{run_cases, Rng};
 
 /// Fixed helper procedures callable from generated code; all total.
 const HELPERS: &str = "
@@ -37,70 +36,58 @@ fn configs() -> Vec<AllocConfig> {
 }
 
 /// Generates an expression using only the variables in `vars`.
-fn arb_expr(depth: u32, vars: Vec<String>) -> BoxedStrategy<String> {
-    // Every generated expression is numeric, so programs are total
-    // and type-correct by construction; booleans only appear inside
-    // predicate positions ((odd? _), (even? _), (< _ _)).
-    let leaf = {
-        let vars = vars.clone();
-        prop_oneof![
-            (-9i64..=9).prop_map(|n| n.to_string()),
-            proptest::sample::select(
-                vars.iter().cloned().chain(["0".to_owned()]).collect::<Vec<_>>()
-            ),
-        ]
+///
+/// Every generated expression is numeric, so programs are total and
+/// type-correct by construction; booleans only appear inside predicate
+/// positions (`(odd? _)`, `(even? _)`, `(< _ _)`).
+fn gen_expr(rng: &mut Rng, depth: u32, vars: &[String]) -> String {
+    let leaf = |rng: &mut Rng| {
+        if vars.is_empty() || rng.chance(1, 2) {
+            rng.range_i64(-9, 9).to_string()
+        } else {
+            vars[rng.below(vars.len())].clone()
+        }
     };
     if depth == 0 {
-        return leaf.boxed();
+        return leaf(rng);
     }
-    let sub = {
-        let vars = vars.clone();
-        move || arb_expr(depth - 1, vars.clone())
-    };
-    let fresh = format!("v{depth}");
-    let let_vars = {
-        let mut vs = vars.clone();
-        vs.push(fresh.clone());
-        vs
-    };
-    prop_oneof![
-        3 => leaf,
-        2 => (sub(), sub()).prop_map(|(a, b)| format!("(+ {a} {b})")),
-        2 => (sub(), sub()).prop_map(|(a, b)| format!("(- {a} {b})")),
-        1 => (sub(), sub())
-            .prop_map(|(a, b)| format!("(remainder (* {a} {b}) 10007)")),
-        2 => (sub(), sub(), sub())
-            .prop_map(|(c, t, e)| format!("(if (odd? {c}) {t} {e})")),
-        1 => (sub(), sub(), sub())
-            .prop_map(|(c, t, e)| format!("(if (and (< {c} {t}) (< {t} {e})) {c} {e})")),
-        2 => (sub(), arb_expr(depth - 1, let_vars.clone())).prop_map(
-            move |(rhs, body)| format!("(let (({fresh} {rhs})) {body})")
-        ),
-        1 => sub().prop_map(|a| format!("(dbl {a})")),
-        1 => sub().prop_map(|a| format!("(count (remainder {a} 7))")),
-        2 => (sub(), sub(), sub())
-            .prop_map(|(a, b, c)| format!("(sum3 {a} {b} {c})")),
-        1 => (sub(), sub(), sub())
-            .prop_map(|(p, a, b)| format!("(pick (even? {p}) {a} {b})")),
-        1 => (sub(), sub())
-            .prop_map(|(a, b)| format!("((lambda (q r) (- r q)) {a} {b})")),
-    ]
-    .boxed()
+    let sub = |rng: &mut Rng| gen_expr(rng, depth - 1, vars);
+    match rng.weighted(&[3, 2, 2, 1, 2, 1, 2, 1, 1, 2, 1, 1]) {
+        0 => leaf(rng),
+        1 => format!("(+ {} {})", sub(rng), sub(rng)),
+        2 => format!("(- {} {})", sub(rng), sub(rng)),
+        3 => format!("(remainder (* {} {}) 10007)", sub(rng), sub(rng)),
+        4 => format!("(if (odd? {}) {} {})", sub(rng), sub(rng), sub(rng)),
+        5 => {
+            let (c, t, e) = (sub(rng), sub(rng), sub(rng));
+            format!("(if (and (< {c} {t}) (< {t} {e})) {c} {e})")
+        }
+        6 => {
+            let fresh = format!("v{depth}");
+            let rhs = sub(rng);
+            let mut inner = vars.to_vec();
+            inner.push(fresh.clone());
+            let body = gen_expr(rng, depth - 1, &inner);
+            format!("(let (({fresh} {rhs})) {body})")
+        }
+        7 => format!("(dbl {})", sub(rng)),
+        8 => format!("(count (remainder {} 7))", sub(rng)),
+        9 => format!("(sum3 {} {} {})", sub(rng), sub(rng), sub(rng)),
+        10 => format!("(pick (even? {}) {} {})", sub(rng), sub(rng), sub(rng)),
+        _ => format!("((lambda (q r) (- r q)) {} {})", sub(rng), sub(rng)),
+    }
 }
 
-fn arb_program() -> impl Strategy<Value = String> {
-    arb_expr(4, vec![]).prop_map(|e| format!("{HELPERS}\n{e}"))
+fn gen_program(rng: &mut Rng) -> String {
+    format!("{HELPERS}\n{}", gen_expr(rng, 4, &[]))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 96,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn random_programs_compile_and_agree(src in arb_program()) {
-        differential_check(&src, &configs(), 2_000_000)
+#[test]
+fn random_programs_compile_and_agree() {
+    let configs = configs();
+    run_cases(96, |rng| {
+        let src = gen_program(rng);
+        differential_check(&src, &configs, 2_000_000)
             .unwrap_or_else(|e| panic!("{e}\nprogram:\n{src}"));
-    }
+    });
 }

@@ -14,11 +14,7 @@ fn every_configuration_verifies_statically() {
             let compiled = compile(b.source(Scale::Small), &cfg)
                 .unwrap_or_else(|e| panic!("{} {alloc:?}: {e}", b.name));
             let errors = verify_program(&compiled.allocated);
-            assert!(
-                errors.is_empty(),
-                "{} under {alloc:?}: {errors:?}",
-                b.name
-            );
+            assert!(errors.is_empty(), "{} under {alloc:?}: {errors:?}", b.name);
         }
     }
 }
@@ -33,7 +29,9 @@ fn saved_registers_all_have_save_slots() {
         let compiled = compile(b.source(Scale::Small), &cfg).unwrap();
         for f in &compiled.allocated.funcs {
             f.body.visit(&mut |e| match e {
-                AExpr::Save { regs, exit_restore, .. } => {
+                AExpr::Save {
+                    regs, exit_restore, ..
+                } => {
                     for r in regs.iter().chain(exit_restore.iter()) {
                         assert!(
                             f.frame.save_regs.contains(r),

@@ -3,64 +3,92 @@
 //! renderings agree on every datum. This property test hammers that
 //! agreement through the whole pipeline with quoted random data.
 
-use proptest::prelude::*;
+use lesgs_testkit::{run_cases, Rng};
 
-/// Generates a printable datum expression.
-fn arb_datum(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        (-999i64..=999).prop_map(|n| n.to_string()),
-        Just("#t".to_owned()),
-        Just("#f".to_owned()),
-        "[a-z][a-z0-9-]{0,6}".prop_map(|s| s),
-        Just("()".to_owned()),
-        prop_oneof![Just("#\\a"), Just("#\\space"), Just("#\\newline")]
-            .prop_map(|s| s.to_owned()),
-        "[ a-zA-Z0-9]{0,8}".prop_map(|s| format!("\"{s}\"")),
-    ];
-    if depth == 0 {
-        return leaf.boxed();
+fn gen_symbol(rng: &mut Rng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+    let mut s = String::new();
+    s.push(*rng.pick(FIRST) as char);
+    for _ in 0..rng.below(7) {
+        s.push(*rng.pick(REST) as char);
     }
-    prop_oneof![
-        3 => leaf,
-        2 => proptest::collection::vec(arb_datum(depth - 1), 0..4)
-            .prop_map(|items| format!("({})", items.join(" "))),
-        1 => proptest::collection::vec(arb_datum(depth - 1), 0..4)
-            .prop_map(|items| format!("#({})", items.join(" "))),
-        1 => (arb_datum(depth - 1), arb_datum(depth - 1))
-            .prop_map(|(a, b)| format!("({a} . {b})")),
-    ]
-    .boxed()
+    s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+fn gen_string(rng: &mut Rng) -> String {
+    const CHARS: &[u8] = b" abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    let body: String = (0..rng.below(9))
+        .map(|_| *rng.pick(CHARS) as char)
+        .collect();
+    format!("\"{body}\"")
+}
 
-    /// Quoted data renders identically through the interpreter and the
-    /// compiled VM, in both display and write styles.
-    #[test]
-    fn quoted_data_renders_identically(d in arb_datum(3)) {
+/// Generates a printable datum expression.
+fn gen_datum(rng: &mut Rng, depth: u32) -> String {
+    let leaf = |rng: &mut Rng| match rng.below(7) {
+        0 => rng.range_i64(-999, 999).to_string(),
+        1 => "#t".to_owned(),
+        2 => "#f".to_owned(),
+        3 => gen_symbol(rng),
+        4 => "()".to_owned(),
+        5 => (*rng.pick(&["#\\a", "#\\space", "#\\newline"])).to_owned(),
+        _ => gen_string(rng),
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.weighted(&[3, 2, 1, 1]) {
+        0 => leaf(rng),
+        1 => {
+            let items: Vec<String> = (0..rng.below(4))
+                .map(|_| gen_datum(rng, depth - 1))
+                .collect();
+            format!("({})", items.join(" "))
+        }
+        2 => {
+            let items: Vec<String> = (0..rng.below(4))
+                .map(|_| gen_datum(rng, depth - 1))
+                .collect();
+            format!("#({})", items.join(" "))
+        }
+        _ => {
+            let a = gen_datum(rng, depth - 1);
+            let b = gen_datum(rng, depth - 1);
+            format!("({a} . {b})")
+        }
+    }
+}
+
+/// Quoted data renders identically through the interpreter and the
+/// compiled VM, in both display and write styles.
+#[test]
+fn quoted_data_renders_identically() {
+    run_cases(64, |rng| {
+        let d = gen_datum(rng, 3);
         let src = format!("(display '{d}) (newline) (write '{d}) '{d}");
-        let oracle = lesgs::interp::run_source(&src, 1_000_000)
-            .expect("interpreter accepts the datum");
+        let oracle =
+            lesgs::interp::run_source(&src, 1_000_000).expect("interpreter accepts the datum");
         let cfg = lesgs::compiler::CompilerConfig {
             poison: true,
             ..Default::default()
         };
-        let vm = lesgs::compiler::run_source(&src, &cfg)
-            .expect("compiler accepts the datum");
-        prop_assert_eq!(&vm.output, &oracle.output, "display/write of {}", d);
-        prop_assert_eq!(&vm.value, &oracle.value, "final value of {}", d);
-    }
+        let vm = lesgs::compiler::run_source(&src, &cfg).expect("compiler accepts the datum");
+        assert_eq!(&vm.output, &oracle.output, "display/write of {d}");
+        assert_eq!(&vm.value, &oracle.value, "final value of {d}");
+    });
+}
 
-    /// The reader round-trips its own printer output for quoted data.
-    #[test]
-    fn reader_roundtrips_printed_data(d in arb_datum(3)) {
+/// The reader round-trips its own printer output for quoted data.
+#[test]
+fn reader_roundtrips_printed_data() {
+    run_cases(64, |rng| {
+        let d = gen_datum(rng, 3);
         let parsed = lesgs::sexpr::parse_one(&d).expect("generated datum parses");
         let printed = parsed.to_string();
-        let reparsed = lesgs::sexpr::parse_one(&printed)
-            .expect("printed datum parses");
-        prop_assert_eq!(parsed, reparsed);
-    }
+        let reparsed = lesgs::sexpr::parse_one(&printed).expect("printed datum parses");
+        assert_eq!(parsed, reparsed);
+    });
 }
 
 #[test]
@@ -68,11 +96,7 @@ fn shipped_scheme_examples_pass_differential_check() {
     for file in ["tak.scm", "counter.scm", "sieve.scm"] {
         let path = format!("{}/scheme-examples/{file}", env!("CARGO_MANIFEST_DIR"));
         let src = std::fs::read_to_string(&path).unwrap();
-        lesgs::compiler::differential_check(
-            &src,
-            &lesgs::compiler::config_matrix(),
-            200_000_000,
-        )
-        .unwrap_or_else(|e| panic!("{file}: {e}"));
+        lesgs::compiler::differential_check(&src, &lesgs::compiler::config_matrix(), 200_000_000)
+            .unwrap_or_else(|e| panic!("{file}: {e}"));
     }
 }
