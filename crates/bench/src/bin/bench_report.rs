@@ -1,0 +1,90 @@
+//! `bench-report` — machine-readable results for the whole suite.
+//!
+//! Runs every suite benchmark under the no-register baseline and the
+//! full-optimization (paper-default) configuration and writes one JSON
+//! document in the shared report schema (see `lesgs_bench::report` and
+//! OBSERVABILITY.md) to `BENCH_report.json`:
+//!
+//! ```text
+//! cargo run --release -p lesgs-bench --bin bench-report            # standard scale
+//! cargo run --release -p lesgs-bench --bin bench-report -- --small # CI-fast subset
+//! cargo run --release -p lesgs-bench --bin bench-report -- --out=path.json
+//! ```
+//!
+//! The `runs` array holds one structured record per benchmark ×
+//! configuration with the full `vm.*`/`alloc.*` counter sets; the
+//! `comparisons` table summarizes the headline stack-reference
+//! reduction and speedup of full optimization over the baseline.
+
+use lesgs_bench::report::{run_record, Report};
+use lesgs_bench::{mean, run_benchmark, scale_from_args};
+use lesgs_core::AllocConfig;
+use lesgs_suite::all_benchmarks;
+use lesgs_suite::measure::Measurement;
+use lesgs_suite::tables::{pct, Table};
+
+fn out_path() -> String {
+    for a in std::env::args() {
+        if let Some(p) = a.strip_prefix("--out=") {
+            return p.to_owned();
+        }
+    }
+    "BENCH_report.json".to_owned()
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let path = out_path();
+
+    let mut report = Report::new("bench-report", "Full-suite benchmark report", scale);
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "base stack refs".into(),
+        "opt stack refs".into(),
+        "stack-ref reduction".into(),
+        "base cycles".into(),
+        "opt cycles".into(),
+        "speedup".into(),
+    ]);
+    let mut reductions = Vec::new();
+    let mut speedups = Vec::new();
+
+    for b in all_benchmarks() {
+        let base = run_benchmark(&b, scale, &AllocConfig::baseline());
+        let opt = run_benchmark(&b, scale, &AllocConfig::paper_default());
+        assert_eq!(base.value, opt.value, "{}: configs must agree", b.name);
+        let m = Measurement::compare(&base, &opt);
+        reductions.push(m.stack_ref_reduction());
+        speedups.push(m.speedup_percent());
+        table.row(vec![
+            b.name.to_owned(),
+            m.base_stack_refs.to_string(),
+            m.opt_stack_refs.to_string(),
+            pct(m.stack_ref_reduction()),
+            m.base_cycles.to_string(),
+            m.opt_cycles.to_string(),
+            pct(m.speedup_percent()),
+        ]);
+        report.add_run(run_record("baseline", &base));
+        report.add_run(run_record("paper_default", &opt));
+        eprintln!("{}: done", b.name);
+    }
+    table.row(vec![
+        "Average".into(),
+        String::new(),
+        String::new(),
+        pct(mean(&reductions)),
+        String::new(),
+        String::new(),
+        pct(mean(&speedups)),
+    ]);
+    report.add_table("comparisons", &table);
+    report.note(
+        "Full optimization (lazy saves, eager restores, greedy shuffling, six \
+         argument registers) vs the no-register baseline.",
+    );
+
+    println!("{table}");
+    std::fs::write(&path, report.to_json().pretty()).unwrap_or_else(|e| panic!("{path}: {e}"));
+    println!("wrote {path}");
+}

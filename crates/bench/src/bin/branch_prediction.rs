@@ -2,6 +2,7 @@
 //! more likely than paths with calls. Preliminary experiments suggest
 //! that this results in a small (2–3%) but consistent improvement."
 
+use lesgs_bench::report::Report;
 use lesgs_bench::{mean, run_benchmark, scale_from_args};
 use lesgs_core::AllocConfig;
 use lesgs_suite::all_benchmarks;
@@ -74,4 +75,17 @@ fn main() {
         base.stats.mispredicts,
         pred.stats.mispredicts,
     );
+
+    let mut report = Report::new(
+        "branch_prediction",
+        "Call-free-path static branch prediction",
+        scale,
+    );
+    report.add_table("prediction", &t);
+    report.note("Paper: small (2-3%) but consistent improvement.");
+    report.note(&format!(
+        "inverted tak: {} -> {} cycles, mispredicts {} -> {}",
+        base.stats.cycles, pred.stats.cycles, base.stats.mispredicts, pred.stats.mispredicts
+    ));
+    report.emit();
 }

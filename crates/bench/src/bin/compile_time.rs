@@ -1,6 +1,7 @@
 //! §4 compile-time share — "register allocation accounts for an average
 //! of 7% of overall compile time."
 
+use lesgs_bench::report::Report;
 use lesgs_compiler::{compile_timed, CompilerConfig};
 use lesgs_suite::all_benchmarks;
 use lesgs_suite::programs::Scale;
@@ -44,4 +45,16 @@ fn main() {
         "Average allocation share: {} (paper: ~7% of overall compile time).",
         frac_pct(avg)
     );
+
+    let mut report = Report::new(
+        "compile_time",
+        "Allocation share of compile time",
+        Scale::Standard,
+    );
+    report.add_table("phase_times", &t);
+    report.note(&format!(
+        "Average allocation share: {} (paper: ~7%).",
+        frac_pct(avg)
+    ));
+    report.emit();
 }

@@ -3,11 +3,14 @@
 //! their `if`-expansions (the full machine-checked proof is the
 //! property suite in `lesgs-core::toy`).
 
+use lesgs_bench::report::Report;
 use lesgs_core::toy::{figure1, s_revised, save_set, Toy};
 use lesgs_ir::machine::arg_reg;
 use lesgs_ir::RegSet;
+use lesgs_suite::tables::Table;
+use lesgs_suite::Scale;
 
-fn show(name: &str, derived: (RegSet, RegSet), expanded: &Toy) {
+fn show(table: &mut Table, name: &str, derived: (RegSet, RegSet), expanded: &Toy) {
     let direct = s_revised(expanded);
     println!(
         "{name:<22} S_t = {:<12} S_f = {:<12} (if-expansion: S_t = {}, S_f = {})",
@@ -20,6 +23,11 @@ fn show(name: &str, derived: (RegSet, RegSet), expanded: &Toy) {
         derived, direct,
         "Figure 1 equation must match the expansion"
     );
+    table.row(vec![
+        name.to_owned(),
+        derived.0.to_string(),
+        derived.1.to_string(),
+    ]);
 }
 
 fn main() {
@@ -29,12 +37,20 @@ fn main() {
 
     println!("Figure 1: derived save-placement equations (checked against if-expansions)\n");
 
+    let mut table = Table::new(vec!["form".into(), "S_t".into(), "S_f".into()]);
+
     let e = Toy::seq(call.clone(), x.clone());
-    show("(not E)", figure1::s_not(&e), &Toy::not(e.clone()));
+    show(
+        &mut table,
+        "(not E)",
+        figure1::s_not(&e),
+        &Toy::not(e.clone()),
+    );
 
     let a = Toy::if_(x.clone(), call.clone(), Toy::False);
     let b = call.clone();
     show(
+        &mut table,
         "(and E1 E2)",
         figure1::s_and(&a, &b),
         &Toy::and(a.clone(), b.clone()),
@@ -42,6 +58,7 @@ fn main() {
 
     let c = Toy::if_(x.clone(), Toy::True, call.clone());
     show(
+        &mut table,
         "(or E1 E2)",
         figure1::s_or(&c, &x),
         &Toy::or(c.clone(), x.clone()),
@@ -62,4 +79,13 @@ fn main() {
     assert_eq!(save_set(&inner), RegSet::EMPTY);
     assert_eq!(save_set(&outer), live);
     println!("\nAll Figure 1 equations verified.");
+
+    let mut report = Report::new(
+        "figure1",
+        "Derived save-placement equations",
+        Scale::Standard,
+    );
+    report.add_table("equations", &table);
+    report.note("Each derived (S_t, S_f) pair matches its if-expansion.");
+    report.emit();
 }

@@ -6,6 +6,7 @@
 //! lifted arity still fits the argument registers, so it can only
 //! remove closure allocations and `cp` traffic.
 
+use lesgs_bench::report::Report;
 use lesgs_bench::{mean, scale_from_args};
 use lesgs_compiler::{run_source, CompilerConfig};
 use lesgs_suite::all_benchmarks;
@@ -55,4 +56,9 @@ fn main() {
          regresses — the \"appropriate set of heuristics\" the paper asks for.",
         mean(&improvements)
     );
+
+    let mut report = Report::new("lambda_lift", "Selective lambda lifting ablation", scale);
+    report.add_table("lifting", &t);
+    report.note(&format!("Mean improvement: {:+.1}%.", mean(&improvements)));
+    report.emit();
 }

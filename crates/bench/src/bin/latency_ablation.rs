@@ -10,6 +10,7 @@
 //! cost here — region-exit restores at save-region boundaries, Figure
 //! 2c — so eager leads even at zero latency.)
 
+use lesgs_bench::report::Report;
 use lesgs_bench::{geometric_mean, lazy_restore_config, scale_from_args};
 use lesgs_core::AllocConfig;
 use lesgs_suite::all_benchmarks;
@@ -58,4 +59,13 @@ fn main() {
          each use — the §2.2 effect, isolated. The strategy decision is\n\
          a property of the memory system, as the paper argues."
     );
+
+    let mut report = Report::new(
+        "latency_ablation",
+        "Restore-strategy gap vs load latency",
+        scale,
+    );
+    report.add_table("latency_sweep", &t);
+    report.note("The eager-vs-lazy gap grows monotonically with load latency (§2.2).");
+    report.emit();
 }

@@ -5,6 +5,7 @@
 //! forwarding of the code generator's temporaries) so the table
 //! harnesses' numbers can be interpreted.
 
+use lesgs_bench::report::Report;
 use lesgs_bench::{mean, scale_from_args};
 use lesgs_compiler::{run_source, CompilerConfig};
 use lesgs_suite::all_benchmarks;
@@ -48,4 +49,13 @@ fn main() {
     println!("Backend ablation: peephole optimizer ({scale:?} scale)");
     println!("{t}");
     println!("Mean improvement: {:+.1}%.", mean(&improvements));
+
+    let mut report = Report::new(
+        "peephole_ablation",
+        "Peephole optimizer contribution",
+        scale,
+    );
+    report.add_table("peephole", &t);
+    report.note(&format!("Mean improvement: {:+.1}%.", mean(&improvements)));
+    report.emit();
 }

@@ -6,6 +6,7 @@
 //! six of the 20,245 call sites, and in these six it required only one
 //! extra temporary location."
 
+use lesgs_bench::report::Report;
 use lesgs_compiler::{compile, CompilerConfig};
 use lesgs_suite::all_benchmarks;
 use lesgs_suite::programs::Scale;
@@ -79,4 +80,13 @@ fn main() {
         total_greedy,
         total_optimal,
     );
+
+    let mut report = Report::new(
+        "shuffle_stats",
+        "Greedy shuffling statistics",
+        Scale::Standard,
+    );
+    report.add_table("shuffle", &t);
+    report.note("Paper: 7% of call sites had cycles; greedy optimal at nearly all sites.");
+    report.emit();
 }

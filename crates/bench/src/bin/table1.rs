@@ -1,7 +1,8 @@
 //! Table 1 — benchmark descriptions (our suite's analogue).
 
-use lesgs_suite::all_benchmarks;
+use lesgs_bench::report::Report;
 use lesgs_suite::tables::Table;
+use lesgs_suite::{all_benchmarks, Scale};
 
 fn main() {
     let mut t = Table::new(vec![
@@ -25,4 +26,9 @@ fn main() {
          SoftScheme) cannot be run here; the Gabriel-style kernels above\n\
          plus the extra call-heavy workloads stand in (see DESIGN.md)."
     );
+
+    let mut report = Report::new("table1", "Benchmark suite", Scale::Standard);
+    report.add_table("benchmarks", &t);
+    report.note("Gabriel-style kernels stand in for the paper's large programs.");
+    report.emit();
 }

@@ -7,6 +7,7 @@
 //! often on call-free paths; late saves redundantly on multi-call
 //! paths.
 
+use lesgs_bench::report::Report;
 use lesgs_bench::{mean, run_benchmark, save_strategies, scale_from_args};
 use lesgs_core::AllocConfig;
 use lesgs_suite::all_benchmarks;
@@ -60,4 +61,9 @@ fn main() {
         "Paper averages: lazy 72%/43%, early 58%/32%, late 65%/36%.\n\
          Expected shape: lazy >= late >= early on stack refs; lazy best on speedup."
     );
+
+    let mut report = Report::new("table3", "Save-strategy reductions vs baseline", scale);
+    report.add_table("save_strategies", &table);
+    report.note("Paper averages: lazy 72%/43%, early 58%/32%, late 65%/36%.");
+    report.emit();
 }

@@ -6,6 +6,7 @@
 //! caller-save lazy fastest overall (speedups of 91%, 60%, 55% over the
 //! respective early versions).
 
+use lesgs_bench::report::{run_record, Report};
 use lesgs_bench::{callee_save_config, run_benchmark, scale_from_args};
 use lesgs_core::config::SaveStrategy;
 use lesgs_core::AllocConfig;
@@ -78,4 +79,13 @@ fn main() {
     .min_by_key(|(_, c)| *c)
     .expect("non-empty");
     println!("Fastest here: {} ({} cycles).", fastest.0, fastest.1);
+
+    let mut report = Report::new("table5", "tak: early vs lazy under both disciplines", scale);
+    report.add_table("disciplines", &t);
+    report.add_run(run_record("callee_early", &callee_early));
+    report.add_run(run_record("callee_lazy", &callee_lazy));
+    report.add_run(run_record("caller_early", &caller_early));
+    report.add_run(run_record("caller_lazy", &caller_lazy));
+    report.note("Paper: lazy speeds up cc 91%, gcc 60%; caller-save lazy fastest (55%).");
+    report.emit();
 }

@@ -5,6 +5,7 @@
 //! common runners.
 
 pub mod harness;
+pub mod report;
 
 use lesgs_core::config::{Discipline, RestoreStrategy, SaveStrategy};
 use lesgs_core::AllocConfig;

@@ -1,0 +1,232 @@
+//! The shared JSON report schema emitted by every experiment harness.
+//!
+//! Each binary in `src/bin/` prints its human-readable table as before
+//! and *additionally* writes the same data as a JSON document when
+//! `--json` (default file `<experiment>_report.json`) or
+//! `--json=<path>` is passed. The `bench-report` binary aggregates
+//! structured per-run records for the whole suite into
+//! `BENCH_report.json`. The schema is documented in OBSERVABILITY.md
+//! ("Benchmark report schema").
+//!
+//! Layout of a report document:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "tool": "lesgs-bench",
+//!   "experiment": "table3",
+//!   "title": "...",
+//!   "scale": "standard",
+//!   "tables": [ {"name": "...", "columns": [...], "rows": [[...]]} ],
+//!   "runs": [ {"benchmark": "tak", "config": "paper_default",
+//!              "value": "7", "metrics": {"counters": {...},
+//!              "gauges": {...}}} ],
+//!   "notes": ["..."]
+//! }
+//! ```
+//!
+//! `tables` mirrors the rendered text tables cell-for-cell (all cells
+//! are strings, exactly as printed). `runs` carries the raw counters a
+//! downstream tool would want instead of re-parsing formatted cells;
+//! it is only populated by harnesses that deal in whole benchmark runs.
+
+use lesgs_metrics::{Json, Registry};
+use lesgs_suite::tables::Table;
+use lesgs_suite::{BenchmarkRun, Scale};
+
+/// Version of the report document layout. Bump on breaking changes to
+/// field names or nesting (adding fields is not breaking).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One experiment's results in the shared schema.
+#[derive(Debug, Clone)]
+pub struct Report {
+    experiment: String,
+    title: String,
+    scale: String,
+    tables: Vec<(String, Vec<String>, Vec<Vec<String>>)>,
+    runs: Vec<Json>,
+    notes: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report for the named experiment (the binary name, e.g.
+    /// `"table3"`).
+    pub fn new(experiment: &str, title: &str, scale: Scale) -> Report {
+        Report {
+            experiment: experiment.to_owned(),
+            title: title.to_owned(),
+            scale: scale_name(scale).to_owned(),
+            tables: Vec::new(),
+            runs: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a rendered table under `name` (cells kept verbatim).
+    pub fn add_table(&mut self, name: &str, table: &Table) {
+        self.tables.push((
+            name.to_owned(),
+            table.headers().to_vec(),
+            table.rows().to_vec(),
+        ));
+    }
+
+    /// Adds a structured per-run record (see [`run_record`]).
+    pub fn add_run(&mut self, record: Json) {
+        self.runs.push(record);
+    }
+
+    /// Appends a free-form note (paper numbers, expected shapes).
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_owned());
+    }
+
+    /// Serializes the report.
+    pub fn to_json(&self) -> Json {
+        let tables = self
+            .tables
+            .iter()
+            .map(|(name, columns, rows)| {
+                Json::object([
+                    ("name", Json::from(name.as_str())),
+                    (
+                        "columns",
+                        Json::array(columns.iter().map(|c| Json::from(c.as_str()))),
+                    ),
+                    (
+                        "rows",
+                        Json::array(
+                            rows.iter()
+                                .map(|r| Json::array(r.iter().map(|c| Json::from(c.as_str())))),
+                        ),
+                    ),
+                ])
+            })
+            .collect::<Vec<_>>();
+        Json::object([
+            ("schema_version", Json::UInt(SCHEMA_VERSION)),
+            ("tool", Json::from("lesgs-bench")),
+            ("experiment", Json::from(self.experiment.as_str())),
+            ("title", Json::from(self.title.as_str())),
+            ("scale", Json::from(self.scale.as_str())),
+            ("tables", Json::array(tables)),
+            ("runs", Json::array(self.runs.iter().cloned())),
+            (
+                "notes",
+                Json::array(self.notes.iter().map(|n| Json::from(n.as_str()))),
+            ),
+        ])
+    }
+
+    /// Honors the conventional `--json[=path]` flag: bare `--json`
+    /// writes `<experiment>_report.json` in the working directory;
+    /// `--json=<path>` writes to the given file. The human-readable
+    /// tables stay on stdout either way. Without the flag this is a
+    /// no-op, so every harness calls it unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the output file cannot be written — a harness has
+    /// no useful way to continue.
+    pub fn emit(&self) {
+        let Some(path) = self.json_destination() else {
+            return;
+        };
+        std::fs::write(&path, self.to_json().pretty()).unwrap_or_else(|e| panic!("{path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    /// The file `--json[=path]` asked for, if any.
+    fn json_destination(&self) -> Option<String> {
+        for a in std::env::args() {
+            if a == "--json" {
+                return Some(format!("{}_report.json", self.experiment));
+            }
+            if let Some(path) = a.strip_prefix("--json=") {
+                return Some(path.to_owned());
+            }
+        }
+        None
+    }
+}
+
+/// Stable lower-case name for a scale.
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Small => "small",
+        Scale::Standard => "standard",
+    }
+}
+
+/// Builds the structured record for one benchmark run under one named
+/// configuration: the full `vm.*` and `alloc.*` counter/gauge sets
+/// from the metrics registry, plus the program's final value.
+/// Deterministic (no wall times), so records are golden-testable.
+pub fn run_record(config: &str, run: &BenchmarkRun) -> Json {
+    let mut reg = Registry::new();
+    run.stats.record(&mut reg);
+    run.shuffle.record(&mut reg);
+    Json::object([
+        ("benchmark", Json::from(run.name.as_str())),
+        ("config", Json::from(config)),
+        ("value", Json::from(run.value.as_str())),
+        ("metrics", reg.to_json(false)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lesgs_core::AllocConfig;
+    use lesgs_metrics::parse_json;
+    use lesgs_suite::programs::benchmark;
+
+    #[test]
+    fn report_round_trips_through_the_parser() {
+        let mut t = Table::new(vec!["benchmark".into(), "refs".into()]);
+        t.row(vec!["tak".into(), "123".into()]);
+        let mut r = Report::new("table3", "Save strategies", Scale::Small);
+        r.add_table("main", &t);
+        r.note("paper: lazy 72%/43%");
+        let text = r.to_json().pretty();
+        let doc = parse_json(&text).expect("valid JSON");
+        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(
+            doc.get("experiment").and_then(|v| v.as_str()),
+            Some("table3")
+        );
+        assert_eq!(doc.get("scale").and_then(|v| v.as_str()), Some("small"));
+        let tables = doc
+            .get("tables")
+            .and_then(|t| t.as_array())
+            .expect("tables");
+        assert_eq!(tables.len(), 1);
+        assert_eq!(
+            tables[0]
+                .get("columns")
+                .and_then(|c| c.as_array())
+                .map(|c| c.len()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn run_record_is_deterministic() {
+        let b = benchmark("tak").expect("tak exists");
+        let cfg = AllocConfig::paper_default();
+        let a = lesgs_suite::measure(&b, Scale::Small, &cfg).expect("runs");
+        let b2 = lesgs_suite::measure(&b, Scale::Small, &cfg).expect("runs");
+        assert_eq!(
+            run_record("paper_default", &a).pretty(),
+            run_record("paper_default", &b2).pretty()
+        );
+        let rec = run_record("paper_default", &a);
+        let counters = rec
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .expect("counters");
+        assert!(counters.get("vm.instructions").and_then(|v| v.as_u64()) > Some(0));
+        assert!(counters.get("alloc.call_sites").is_some());
+    }
+}

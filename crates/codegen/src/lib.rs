@@ -735,18 +735,39 @@ pub fn compile_program(program: &AllocatedProgram) -> VmProgram {
 /// Compiles with explicit control over the peephole optimizer (used by
 /// the ablation harness).
 pub fn compile_program_opts(program: &AllocatedProgram, run_peephole: bool) -> VmProgram {
+    compile_program_observed(program, run_peephole, &mut lesgs_metrics::Registry::new())
+}
+
+/// Like [`compile_program_opts`], timing emission and peephole
+/// optimization per function (`pass.emit`, `pass.peephole`) and
+/// recording the size counters `codegen.funcs`,
+/// `codegen.instrs_emitted` (before peephole), `codegen.instrs`
+/// (final), and `codegen.instrs_removed` into `reg`.
+pub fn compile_program_observed(
+    program: &AllocatedProgram,
+    run_peephole: bool,
+    reg: &mut lesgs_metrics::Registry,
+) -> VmProgram {
     let mut constants = Vec::new();
     let mut funcs: Vec<VmFunc> = program
         .funcs
         .iter()
         .map(|f| {
-            let mut vf = compile_func(f, &mut constants);
+            let mut vf = reg.time("pass.emit", || compile_func(f, &mut constants));
+            reg.inc("codegen.instrs_emitted", vf.code.len() as u64);
             if run_peephole {
-                peephole::peephole_to_fixpoint(&mut vf);
+                let before = vf.code.len() as u64;
+                reg.time("pass.peephole", || peephole::peephole_to_fixpoint(&mut vf));
+                reg.inc(
+                    "codegen.instrs_removed",
+                    before.saturating_sub(vf.code.len() as u64),
+                );
             }
+            reg.inc("codegen.instrs", vf.code.len() as u64);
             vf
         })
         .collect();
+    reg.inc("codegen.funcs", funcs.len() as u64);
     let entry_id = FuncId(funcs.len() as u32);
     funcs.push(VmFunc {
         id: entry_id,

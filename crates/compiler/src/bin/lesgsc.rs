@@ -1,7 +1,7 @@
 //! `lesgsc` — command-line driver for the lesgs mini-Scheme compiler.
 //!
 //! ```text
-//! lesgsc run      [options] <file.scm|->   compile and execute
+//! lesgsc run      [options] <file.scm|->   compile and execute (default command)
 //! lesgsc stats    [options] <file.scm|->   execute and dump instrumentation
 //! lesgsc dis      [options] <file.scm|->   disassemble generated VM code
 //! lesgsc ir       [options] <file.scm|->   dump the allocated IR
@@ -18,46 +18,75 @@
 //!   --lift                      enable selective lambda lifting (§6)
 //!   --verify-bytecode           abstract-interpret the generated code and
 //!                               reject save/restore or frame violations
+//!   --profile                   print the metrics registry as a table (stderr)
+//!   --profile=json              print the profile as JSON on stdout (the
+//!                               program's own output moves to stderr)
+//!   --profile-out <file>        write the JSON profile to <file>
+//!   --trace                     log pass boundaries and VM call events
 //!   --fuel <n>                  VM instruction budget
 //!   -e <expr>                   use <expr> as the program text
 //! ```
+//!
+//! The profile schema and every metric name are documented in
+//! OBSERVABILITY.md at the repository root.
 
 use std::io::Read;
 use std::process::ExitCode;
 
-use lesgs_compiler::{compile, config_matrix, differential_check, CompilerConfig};
+use lesgs_compiler::{compile_observed, config_matrix, differential_check, CompilerConfig};
 use lesgs_core::config::{Discipline, RestoreStrategy, SaveStrategy, ShuffleStrategy};
 use lesgs_core::AllocConfig;
 use lesgs_ir::MachineConfig;
+use lesgs_metrics::{Json, Registry};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProfileMode {
+    Off,
+    Human,
+    Json,
+}
 
 struct Options {
     command: String,
     source: String,
     config: CompilerConfig,
     verify_bytecode: bool,
+    profile: ProfileMode,
+    profile_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lesgsc <run|stats|dis|ir|interp|check> [options] <file.scm|->\n\
+        "usage: lesgsc [run|stats|dis|ir|interp|check] [options] <file.scm|->\n\
          options: --save lazy|early|late  --restore eager|lazy\n\
          \x20        --shuffle greedy|fixed  --callee-save  --regs <0..6>\n\
          \x20        --branch-prediction  --lift  --verify-bytecode\n\
+         \x20        --profile[=json]  --profile-out <file>  --trace\n\
          \x20        --fuel <n>  -e <expr>"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut args = std::env::args().skip(1);
-    let command = args.next().unwrap_or_else(|| usage());
-    if !["run", "stats", "dis", "ir", "interp", "check"].contains(&command.as_str()) {
-        usage();
-    }
+    let mut args = std::env::args().skip(1).peekable();
+    // The command is optional; a leading option or path means `run`.
+    let command = match args.peek() {
+        None => usage(),
+        Some(first)
+            if ["run", "stats", "dis", "ir", "interp", "check"].contains(&first.as_str()) =>
+        {
+            args.next().expect("peeked")
+        }
+        Some(first) if first == "--help" || first == "-h" => usage(),
+        Some(_) => "run".to_owned(),
+    };
     let mut alloc = AllocConfig::paper_default();
     let mut fuel = 0u64;
     let mut lambda_lift = false;
     let mut verify_bytecode = false;
+    let mut profile = ProfileMode::Off;
+    let mut profile_out: Option<String> = None;
+    let mut trace = false;
     let mut source: Option<String> = None;
     while let Some(a) = args.next() {
         let mut value = |what: &str| {
@@ -91,6 +120,15 @@ fn parse_args() -> Result<Options, String> {
             "--branch-prediction" => alloc.branch_prediction = true,
             "--lift" => lambda_lift = true,
             "--verify-bytecode" => verify_bytecode = true,
+            "--profile" => profile = ProfileMode::Human,
+            "--profile=json" => profile = ProfileMode::Json,
+            "--profile-out" => {
+                profile_out = Some(value("--profile-out")?);
+                if profile == ProfileMode::Off {
+                    profile = ProfileMode::Json;
+                }
+            }
+            "--trace" => trace = true,
             "--regs" => {
                 let n: usize = value("--regs")?
                     .parse()
@@ -120,6 +158,12 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     let source = source.ok_or_else(|| "no program given".to_owned())?;
+    if profile == ProfileMode::Json
+        && profile_out.is_none()
+        && !["run", "stats"].contains(&command.as_str())
+    {
+        return Err("--profile=json needs `run` or `stats` (or --profile-out <file>)".to_owned());
+    }
     Ok(Options {
         command,
         source,
@@ -127,10 +171,50 @@ fn parse_args() -> Result<Options, String> {
             alloc,
             fuel,
             lambda_lift,
+            trace,
             ..CompilerConfig::default()
         },
         verify_bytecode,
+        profile,
+        profile_out,
     })
+}
+
+/// Assembles the `--profile` JSON document (schema in OBSERVABILITY.md).
+fn profile_document(
+    command: &str,
+    value: Option<&str>,
+    output: Option<&str>,
+    reg: &Registry,
+) -> Json {
+    let mut doc = Json::object([
+        ("schema_version", Json::UInt(1)),
+        ("tool", Json::from("lesgsc")),
+        ("command", Json::from(command)),
+    ]);
+    if let Some(v) = value {
+        doc.push_field("value", Json::from(v));
+    }
+    if let Some(o) = output {
+        doc.push_field("output", Json::from(o));
+    }
+    doc.push_field("metrics", reg.to_json(true));
+    doc
+}
+
+/// Emits the profile in the requested mode. Returns an error message on
+/// I/O failure.
+fn emit_profile(opts: &Options, doc: &Json, reg: &Registry) -> Result<(), String> {
+    if let Some(path) = &opts.profile_out {
+        std::fs::write(path, doc.pretty()).map_err(|e| format!("{path}: {e}"))?;
+        return Ok(());
+    }
+    match opts.profile {
+        ProfileMode::Off => {}
+        ProfileMode::Human => eprint!("{}", reg.render_table()),
+        ProfileMode::Json => print!("{}", doc.pretty()),
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -181,8 +265,9 @@ fn main() -> ExitCode {
             }
         }
         cmd => {
-            let compiled = match compile(&opts.source, &opts.config) {
-                Ok(c) => c,
+            let mut reg = Registry::new();
+            let compiled = match compile_observed(&opts.source, &opts.config, &mut reg) {
+                Ok((c, _times)) => c,
                 Err(e) => return fail(e.to_string()),
             };
             if opts.verify_bytecode {
@@ -202,6 +287,10 @@ fn main() -> ExitCode {
             match cmd {
                 "dis" => {
                     print!("{}", compiled.vm.disassemble());
+                    let doc = profile_document(cmd, None, None, &reg);
+                    if let Err(e) = emit_profile(&opts, &doc, &reg) {
+                        return fail(e);
+                    }
                     ExitCode::SUCCESS
                 }
                 "ir" => {
@@ -212,12 +301,25 @@ fn main() -> ExitCode {
                         );
                         println!("  {}", f.body);
                     }
+                    let doc = profile_document(cmd, None, None, &reg);
+                    if let Err(e) = emit_profile(&opts, &doc, &reg) {
+                        return fail(e);
+                    }
                     ExitCode::SUCCESS
                 }
                 "run" | "stats" => match compiled.run(&opts.config) {
                     Ok(out) => {
-                        print!("{}", out.output);
-                        println!("{}", out.value);
+                        // In pure-JSON mode the program's own output
+                        // moves to stderr so stdout is one document.
+                        let json_on_stdout =
+                            opts.profile == ProfileMode::Json && opts.profile_out.is_none();
+                        if json_on_stdout {
+                            eprint!("{}", out.output);
+                            eprintln!("{}", out.value);
+                        } else {
+                            print!("{}", out.output);
+                            println!("{}", out.value);
+                        }
                         if cmd == "stats" {
                             let s = &out.stats;
                             eprintln!("instructions:  {}", s.instructions);
@@ -240,6 +342,11 @@ fn main() -> ExitCode {
                                 st.greedy_temps,
                                 st.optimal_temps
                             );
+                        }
+                        out.stats.record(&mut reg);
+                        let doc = profile_document(cmd, Some(&out.value), Some(&out.output), &reg);
+                        if let Err(e) = emit_profile(&opts, &doc, &reg) {
+                            return fail(e);
                         }
                         ExitCode::SUCCESS
                     }

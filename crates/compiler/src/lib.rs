@@ -20,9 +20,10 @@
 
 use std::time::{Duration, Instant};
 
-use lesgs_core::{allocate_program, AllocConfig, AllocatedProgram};
+use lesgs_core::{driver::allocate_program_observed, AllocConfig, AllocatedProgram};
 use lesgs_frontend::pipeline;
 use lesgs_ir::{lower_program, Program};
+use lesgs_metrics::{ratio, Registry};
 use lesgs_vm::{CostModel, Machine, VmOutcome, VmProgram};
 
 /// Complete compiler + execution configuration.
@@ -43,6 +44,9 @@ pub struct CompilerConfig {
     pub no_peephole: bool,
     /// Disable IR constant folding (on by default).
     pub no_fold: bool,
+    /// Log pass boundaries (compile time) and call events (run time)
+    /// to stderr — the `lesgsc --trace` switch.
+    pub trace: bool,
 }
 
 impl CompilerConfig {
@@ -89,7 +93,9 @@ impl Compiled {
     ///
     /// VM runtime errors or budget exhaustion.
     pub fn run(&self, config: &CompilerConfig) -> Result<VmOutcome, lesgs_vm::VmError> {
-        let mut m = Machine::new(&self.vm, config.cost).with_poison(config.poison);
+        let mut m = Machine::new(&self.vm, config.cost)
+            .with_poison(config.poison)
+            .with_trace(config.trace);
         if config.fuel > 0 {
             m = m.with_fuel(config.fuel);
         }
@@ -121,14 +127,14 @@ impl PhaseTimes {
         self.frontend + self.allocation + self.codegen
     }
 
-    /// Fraction of compile time spent in register allocation.
+    /// Fraction of compile time spent in register allocation (`0.0`
+    /// when nothing was timed).
     pub fn allocation_fraction(&self) -> f64 {
-        let t = self.total().as_secs_f64();
-        if t == 0.0 {
-            0.0
-        } else {
-            self.allocation.as_secs_f64() / t
-        }
+        ratio(
+            self.allocation.as_secs_f64(),
+            self.total().as_secs_f64(),
+            0.0,
+        )
     }
 }
 
@@ -141,36 +147,68 @@ pub fn compile_timed(
     src: &str,
     config: &CompilerConfig,
 ) -> Result<(Compiled, PhaseTimes), CompileError> {
+    compile_observed(src, config, &mut Registry::new())
+}
+
+/// Compiles `src` with full observability: every pipeline pass records
+/// wall time and size metrics into `reg` (the `pass.*`, `frontend.*`,
+/// `ir.*`, `alloc.*`, and `codegen.*` instruments of OBSERVABILITY.md)
+/// plus the coarse `phase.*` spans behind [`PhaseTimes`]. With
+/// `config.trace`, every completed span also logs a `trace:` line.
+///
+/// This is the engine behind `lesgsc --profile`; [`compile_timed`] is
+/// the same code with a throwaway registry.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on any frontend failure.
+pub fn compile_observed(
+    src: &str,
+    config: &CompilerConfig,
+    reg: &mut Registry,
+) -> Result<(Compiled, PhaseTimes), CompileError> {
+    reg.set_trace(config.trace);
     let mut times = PhaseTimes::default();
 
     let t0 = Instant::now();
-    let closed = if config.lambda_lift {
-        pipeline::front_to_closed_lifted(
-            src,
-            lesgs_frontend::lift::LiftOptions {
-                max_params: config.alloc.machine.num_arg_regs.max(1),
-            },
-        )
-    } else {
-        pipeline::front_to_closed(src)
-    }
-    .map_err(|e| CompileError {
+    let frontend_span = reg.start_span("phase.frontend");
+    let lift = config
+        .lambda_lift
+        .then(|| lesgs_frontend::lift::LiftOptions {
+            max_params: config.alloc.machine.num_arg_regs.max(1),
+        });
+    let closed = pipeline::front_to_closed_observed(src, lift, reg).map_err(|e| CompileError {
         message: e.to_string(),
     })?;
-    let mut ir = lower_program(&closed);
+    let mut ir = reg.time("pass.lower", || lower_program(&closed));
+    reg.inc(
+        "ir.nodes",
+        ir.funcs.iter().map(|f| f.body.size()).sum::<usize>() as u64,
+    );
     if !config.no_fold {
-        lesgs_ir::fold::fold_program(&mut ir);
+        reg.time("pass.fold", || lesgs_ir::fold::fold_program(&mut ir));
     }
+    reg.inc(
+        "ir.nodes_final",
+        ir.funcs.iter().map(|f| f.body.size()).sum::<usize>() as u64,
+    );
+    reg.inc("ir.funcs", ir.funcs.len() as u64);
+    reg.end_span(frontend_span);
     times.frontend = t0.elapsed();
 
     let t1 = Instant::now();
-    let allocated = allocate_program(&ir, &config.alloc);
+    let alloc_span = reg.start_span("phase.alloc");
+    let allocated = allocate_program_observed(&ir, &config.alloc, reg);
+    reg.end_span(alloc_span);
     times.allocation = t1.elapsed();
 
     let t2 = Instant::now();
-    let vm = lesgs_codegen::compile_program_opts(&allocated, !config.no_peephole);
+    let codegen_span = reg.start_span("phase.codegen");
+    let vm = lesgs_codegen::compile_program_observed(&allocated, !config.no_peephole, reg);
+    reg.end_span(codegen_span);
     times.codegen = t2.elapsed();
 
+    reg.set_gauge("compile.alloc_fraction", times.allocation_fraction());
     Ok((Compiled { ir, allocated, vm }, times))
 }
 

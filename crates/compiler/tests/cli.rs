@@ -105,3 +105,93 @@ fn bad_flags_exit_with_usage_code() {
     assert!(!ok);
     assert!(stderr.contains("save strategy"), "{stderr}");
 }
+
+#[test]
+fn command_defaults_to_run() {
+    let (stdout, _, ok) = lesgsc(&["-e", "(+ 1 2)"]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "3");
+}
+
+#[test]
+fn profile_table_goes_to_stderr() {
+    let (stdout, stderr, ok) = lesgsc(&["run", "--profile", "-e", "(+ 40 2)"]);
+    assert!(ok, "{stderr}");
+    assert_eq!(stdout.trim(), "42");
+    for name in ["vm.instructions", "alloc.call_sites", "pass.parse.wall_ns"] {
+        assert!(stderr.contains(name), "missing {name} in {stderr}");
+    }
+}
+
+#[test]
+fn profile_json_is_one_valid_document_on_stdout() {
+    let (stdout, stderr, ok) = lesgsc(&[
+        "--profile=json",
+        "-e",
+        "(define (f n) (if (zero? n) 0 (+ 1 (f (- n 1))))) (f 5)",
+    ]);
+    assert!(ok, "{stderr}");
+    // The program's own value moved to stderr; stdout is pure JSON.
+    assert!(stderr.contains('5'), "{stderr}");
+    let doc = lesgs_metrics::parse_json(&stdout).expect("stdout parses as JSON");
+    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(doc.get("tool").and_then(|v| v.as_str()), Some("lesgsc"));
+    assert_eq!(doc.get("value").and_then(|v| v.as_str()), Some("5"));
+    let metrics = doc.get("metrics").expect("metrics");
+    let counters = metrics.get("counters").expect("counters");
+    // VM dynamic counters are present.
+    assert!(counters.get("vm.instructions").and_then(|v| v.as_u64()) > Some(0));
+    assert!(counters.get("vm.calls").is_some());
+    assert!(counters.get("alloc.save_sites").is_some());
+    assert!(counters.get("frontend.ast_nodes_in").is_some());
+    // Per-pass wall times are present as histograms.
+    let hists = metrics.get("histograms").expect("histograms");
+    for pass in [
+        "pass.parse.wall_ns",
+        "pass.homes.wall_ns",
+        "phase.codegen.wall_ns",
+    ] {
+        assert!(hists.get(pass).is_some(), "missing {pass}");
+    }
+}
+
+#[test]
+fn profile_json_works_on_example_files() {
+    let example = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scheme-examples/tak.scm");
+    let (stdout, stderr, ok) = lesgsc(&["--profile=json", example]);
+    assert!(ok, "{stderr}");
+    let doc = lesgs_metrics::parse_json(&stdout).expect("valid JSON");
+    let counters = doc
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .expect("counters");
+    assert!(counters.get("vm.stack_refs").is_some());
+}
+
+#[test]
+fn profile_out_writes_json_file() {
+    let path = std::env::temp_dir().join("lesgsc-profile-test.json");
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let (stdout, stderr, ok) = lesgsc(&["run", "--profile-out", path_s, "-e", "(* 6 7)"]);
+    assert!(ok, "{stderr}");
+    // With --profile-out, stdout keeps the program's value.
+    assert_eq!(stdout.trim(), "42");
+    let text = std::fs::read_to_string(&path).expect("profile file written");
+    std::fs::remove_file(&path).ok();
+    let doc = lesgs_metrics::parse_json(&text).expect("file parses as JSON");
+    assert_eq!(doc.get("value").and_then(|v| v.as_str()), Some("42"));
+}
+
+#[test]
+fn trace_logs_pass_boundaries_and_calls() {
+    let (_, stderr, ok) = lesgsc(&[
+        "run",
+        "--trace",
+        "-e",
+        "(define (g x) (* x x)) (define (f x) (g (+ x 1))) (f 2)",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("trace: pass.parse"), "{stderr}");
+    assert!(stderr.contains("trace: call"), "{stderr}");
+    assert!(stderr.contains("trace: return"), "{stderr}");
+}

@@ -1,5 +1,7 @@
 //! The allocation driver: homes → pass 1 → pass 2 per function.
 
+use lesgs_metrics::Registry;
+
 use lesgs_ir::Program;
 
 use crate::alloc::{AllocatedFunc, AllocatedProgram};
@@ -12,15 +14,28 @@ use crate::savep;
 
 /// Allocates one function under the caller-save discipline.
 pub fn allocate_func(func: &lesgs_ir::Func, cfg: &AllocConfig) -> AllocatedFunc {
+    allocate_func_observed(func, cfg, &mut Registry::new())
+}
+
+/// Like [`allocate_func`], timing each allocator pass into `reg`
+/// (`pass.homes`, `pass.savep`, `pass.pass2`, `pass.lazy_restores`, or
+/// `pass.calleesave` — one histogram sample per function).
+pub fn allocate_func_observed(
+    func: &lesgs_ir::Func,
+    cfg: &AllocConfig,
+    reg: &mut Registry,
+) -> AllocatedFunc {
     if cfg.discipline == Discipline::CalleeSave {
-        return calleesave::allocate_func(func, cfg);
+        return reg.time("pass.calleesave", || calleesave::allocate_func(func, cfg));
     }
-    let homes = homes::assign(func, &cfg.machine, cfg.discipline);
-    let r1 = savep::run(func, &homes, cfg);
-    let r2 = pass2::run(r1.body, cfg);
+    let homes = reg.time("pass.homes", || {
+        homes::assign(func, &cfg.machine, cfg.discipline)
+    });
+    let r1 = reg.time("pass.savep", || savep::run(func, &homes, cfg));
+    let r2 = reg.time("pass.pass2", || pass2::run(r1.body, cfg));
     let body = match cfg.restore {
         RestoreStrategy::Eager => r2.body,
-        RestoreStrategy::Lazy => pass2::lazy_restores(r2.body),
+        RestoreStrategy::Lazy => reg.time("pass.lazy_restores", || pass2::lazy_restores(r2.body)),
     };
     AllocatedFunc {
         id: func.id,
@@ -57,16 +72,29 @@ pub fn allocate_func(func: &lesgs_ir::Func, cfg: &AllocConfig) -> AllocatedFunc 
 /// assert_eq!(allocated.funcs.len(), ir.funcs.len());
 /// ```
 pub fn allocate_program(program: &Program, cfg: &AllocConfig) -> AllocatedProgram {
-    AllocatedProgram {
+    allocate_program_observed(program, cfg, &mut Registry::new())
+}
+
+/// Like [`allocate_program`], recording per-pass wall times and the
+/// static allocation counters (`alloc.*`, see OBSERVABILITY.md) into
+/// `reg`.
+pub fn allocate_program_observed(
+    program: &Program,
+    cfg: &AllocConfig,
+    reg: &mut Registry,
+) -> AllocatedProgram {
+    let allocated = AllocatedProgram {
         funcs: program
             .funcs
             .iter()
-            .map(|f| allocate_func(f, cfg))
+            .map(|f| allocate_func_observed(f, cfg, reg))
             .collect(),
         main: program.main,
         n_globals: program.n_globals,
         config: *cfg,
-    }
+    };
+    crate::stats::collect(&allocated).record(reg);
+    allocated
 }
 
 #[cfg(test)]

@@ -19,6 +19,8 @@
 //! saves, eager/lazy restores, greedy/fixed-order shuffling, and the
 //! caller-/callee-save disciplines of §2.4.
 
+#![warn(missing_docs)]
+
 pub mod alloc;
 pub mod calleesave;
 pub mod config;

@@ -1,8 +1,17 @@
 //! Convenience drivers running the full frontend.
+//!
+//! Every driver is a thin wrapper over [`front_to_closed_observed`],
+//! the instrumented pipeline that times each pass and counts AST sizes
+//! into a [`lesgs_metrics::Registry`] (see OBSERVABILITY.md for the
+//! instrument names). The plain entry points run the same code with a
+//! throwaway registry.
+
+use lesgs_metrics::Registry;
 
 use crate::assignconv;
 use crate::ast::Expr;
 use crate::closure::{self, ClosedProgram};
+use crate::lift::LiftOptions;
 use crate::names::{Interner, VarId};
 use crate::program::SurfaceProgram;
 use crate::rename::Renamer;
@@ -34,14 +43,7 @@ pub fn front_to_core(src: &str) -> Result<(Expr<VarId>, Interner), FrontError> {
 ///
 /// Returns [`FrontError`] on parse, desugar, or scoping failures.
 pub fn front_to_core_full(src: &str) -> Result<(Expr<VarId>, Interner, u32), FrontError> {
-    let program = SurfaceProgram::from_source(src)?;
-    let (assembled, globals) = program.assemble();
-    let mut renamer = Renamer::new();
-    renamer.set_globals(&globals);
-    let renamed = renamer.rename(&assembled)?;
-    let converted = assignconv::convert(&renamed, &mut renamer.interner);
-    debug_assert!(assignconv::is_assignment_free(&converted));
-    Ok((converted, renamer.interner, globals.len() as u32))
+    front_to_core_observed(src, None, &mut Registry::new())
 }
 
 /// Runs the full frontend, producing a closure-converted program.
@@ -50,8 +52,7 @@ pub fn front_to_core_full(src: &str) -> Result<(Expr<VarId>, Interner, u32), Fro
 ///
 /// Returns [`FrontError`] on parse, desugar, or scoping failures.
 pub fn front_to_closed(src: &str) -> Result<ClosedProgram, FrontError> {
-    let (core, interner, n_globals) = front_to_core_full(src)?;
-    Ok(closure::close_program(&core, interner, n_globals))
+    front_to_closed_observed(src, None, &mut Registry::new())
 }
 
 /// Like [`front_to_closed`], with selective lambda lifting (§6)
@@ -62,11 +63,59 @@ pub fn front_to_closed(src: &str) -> Result<ClosedProgram, FrontError> {
 /// Returns [`FrontError`] on parse, desugar, or scoping failures.
 pub fn front_to_closed_lifted(
     src: &str,
-    options: crate::lift::LiftOptions,
+    options: LiftOptions,
 ) -> Result<ClosedProgram, FrontError> {
-    let (mut core, mut interner, n_globals) = front_to_core_full(src)?;
-    crate::lift::lift(&mut core, &mut interner, options);
-    Ok(closure::close_program(&core, interner, n_globals))
+    front_to_closed_observed(src, Some(options), &mut Registry::new())
+}
+
+/// The instrumented frontend pipeline.
+///
+/// Each pass runs under a span recorded in `reg` (`pass.parse`,
+/// `pass.rename`, `pass.assignconv`, `pass.lift` when lifting,
+/// `pass.closure` — each as a `<name>.wall_ns` histogram), together
+/// with the size counters `frontend.ast_nodes_in` (core AST after
+/// renaming), `frontend.ast_nodes_out` (after assignment conversion
+/// and lifting), and `frontend.funcs` (closure-converted functions).
+///
+/// # Errors
+///
+/// Returns [`FrontError`] on parse, desugar, or scoping failures.
+pub fn front_to_closed_observed(
+    src: &str,
+    lift: Option<LiftOptions>,
+    reg: &mut Registry,
+) -> Result<ClosedProgram, FrontError> {
+    let (core, interner, n_globals) = front_to_core_observed(src, lift, reg)?;
+    let closed = reg.time("pass.closure", || {
+        closure::close_program(&core, interner, n_globals)
+    });
+    reg.inc("frontend.funcs", closed.funcs.len() as u64);
+    Ok(closed)
+}
+
+fn front_to_core_observed(
+    src: &str,
+    lift: Option<LiftOptions>,
+    reg: &mut Registry,
+) -> Result<(Expr<VarId>, Interner, u32), FrontError> {
+    let program = reg.time("pass.parse", || SurfaceProgram::from_source(src))?;
+    let (assembled, globals) = program.assemble();
+    let mut renamer = Renamer::new();
+    renamer.set_globals(&globals);
+    let renamed = reg.time("pass.rename", || renamer.rename(&assembled))?;
+    reg.inc("frontend.ast_nodes_in", renamed.size() as u64);
+    let mut converted = reg.time("pass.assignconv", || {
+        assignconv::convert(&renamed, &mut renamer.interner)
+    });
+    debug_assert!(assignconv::is_assignment_free(&converted));
+    let mut interner = renamer.interner;
+    if let Some(options) = lift {
+        reg.time("pass.lift", || {
+            crate::lift::lift(&mut converted, &mut interner, options)
+        });
+    }
+    reg.inc("frontend.ast_nodes_out", converted.size() as u64);
+    Ok((converted, interner, globals.len() as u32))
 }
 
 #[cfg(test)]
@@ -103,5 +152,39 @@ mod tests {
     fn prelude_functions_available() {
         let p = front_to_closed("(length (list 1 2 3))").unwrap();
         assert!(p.funcs.iter().any(|f| f.name == "length"));
+    }
+
+    #[test]
+    fn observed_pipeline_records_passes_and_sizes() {
+        let mut reg = Registry::new();
+        let p = front_to_closed_observed("(define (f x) (+ x 1)) (f 41)", None, &mut reg).unwrap();
+        assert!(p.funcs.iter().any(|f| f.name == "f"));
+        for pass in [
+            "pass.parse",
+            "pass.rename",
+            "pass.assignconv",
+            "pass.closure",
+        ] {
+            let h = reg
+                .histogram(&format!("{pass}.wall_ns"))
+                .unwrap_or_else(|| panic!("missing {pass}"));
+            assert_eq!(h.count, 1, "{pass}");
+        }
+        assert!(reg.counter("frontend.ast_nodes_in") > 0);
+        assert!(reg.counter("frontend.ast_nodes_out") > 0);
+        assert!(reg.counter("frontend.funcs") >= 2, "f + main");
+        assert!(
+            reg.histogram("pass.lift.wall_ns").is_none(),
+            "no lifting requested"
+        );
+    }
+
+    #[test]
+    fn observed_matches_plain_pipeline() {
+        let src = "(define (g x) (* x 3)) (g 5)";
+        let plain = front_to_closed(src).unwrap();
+        let observed = front_to_closed_observed(src, None, &mut Registry::new()).unwrap();
+        assert_eq!(plain.funcs.len(), observed.funcs.len());
+        assert_eq!(plain.n_globals, observed.n_globals);
     }
 }

@@ -3,6 +3,7 @@
 
 use lesgs_compiler::{compile, CompilerConfig};
 use lesgs_core::AllocConfig;
+use lesgs_metrics::ratio;
 use lesgs_vm::{CostModel, RunStats};
 
 use crate::programs::{Benchmark, Scale};
@@ -93,23 +94,17 @@ impl Measurement {
     }
 
     /// Percentage reduction in stack references (the paper's "stack
-    /// ref reduction" column).
+    /// ref reduction" column). A baseline with zero stack references
+    /// cannot be reduced: `0.0`.
     pub fn stack_ref_reduction(&self) -> f64 {
-        if self.base_stack_refs == 0 {
-            0.0
-        } else {
-            100.0 * (1.0 - self.opt_stack_refs as f64 / self.base_stack_refs as f64)
-        }
+        100.0 * (1.0 - ratio(self.opt_stack_refs as f64, self.base_stack_refs as f64, 1.0))
     }
 
     /// Percentage run-time improvement (the paper's "performance
-    /// increase" column): `base/opt - 1`.
+    /// increase" column): `base/opt - 1`. An empty optimized run is
+    /// treated as no improvement: `0.0`.
     pub fn speedup_percent(&self) -> f64 {
-        if self.opt_cycles == 0 {
-            0.0
-        } else {
-            100.0 * (self.base_cycles as f64 / self.opt_cycles as f64 - 1.0)
-        }
+        100.0 * (ratio(self.base_cycles as f64, self.opt_cycles as f64, 1.0) - 1.0)
     }
 }
 
@@ -136,6 +131,18 @@ mod tests {
         };
         assert!((m.stack_ref_reduction() - 72.0).abs() < 1e-9);
         assert!((m.speedup_percent() - 43.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparison_zero_denominators() {
+        let m = Measurement {
+            base_stack_refs: 0,
+            opt_stack_refs: 0,
+            base_cycles: 0,
+            opt_cycles: 0,
+        };
+        assert_eq!(m.stack_ref_reduction(), 0.0);
+        assert_eq!(m.speedup_percent(), 0.0);
     }
 
     #[test]

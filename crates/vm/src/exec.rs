@@ -70,6 +70,7 @@ pub struct Machine<'a> {
     cost: CostModel,
     max_instructions: u64,
     poison_frames: bool,
+    trace: bool,
     regs: Vec<Value>,
     ready: Vec<u64>,
     stack: Vec<Value>,
@@ -126,6 +127,7 @@ impl<'a> Machine<'a> {
             cost,
             max_instructions: 2_000_000_000,
             poison_frames: false,
+            trace: false,
             // Registers start as benign garbage (hardware registers
             // always hold *something*); uninitialized-read detection
             // applies to poisoned stack slots only.
@@ -155,6 +157,14 @@ impl<'a> Machine<'a> {
     #[must_use]
     pub fn with_poison(mut self, poison: bool) -> Machine<'a> {
         self.poison_frames = poison;
+        self
+    }
+
+    /// Enables call-event tracing: every call, tail call, and return
+    /// logs a `trace:` line to stderr (the `lesgsc --trace` backend).
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> Machine<'a> {
+        self.trace = trace;
         self
     }
 
@@ -211,6 +221,13 @@ impl<'a> Machine<'a> {
             top.made_call = true;
         }
         self.stats.calls += 1;
+        if self.trace {
+            eprintln!(
+                "trace: call {} depth={}",
+                self.program.func(callee).name,
+                self.shadow.len()
+            );
+        }
         self.shadow.push(Activation {
             func: callee,
             made_call: false,
@@ -230,6 +247,14 @@ impl<'a> Machine<'a> {
     fn leave_activation(&mut self) {
         if let Some(a) = self.shadow.pop() {
             let class = self.classify(&a);
+            if self.trace {
+                eprintln!(
+                    "trace: return {} class={} depth={}",
+                    self.program.func(a.func).name,
+                    class.key(),
+                    self.shadow.len()
+                );
+            }
             *self.stats.activations.entry(class).or_insert(0) += 1;
         }
     }
@@ -382,6 +407,13 @@ impl<'a> Machine<'a> {
                 Instr::TailCall { target } => {
                     let callee = self.call_target(target)?;
                     self.stats.tail_calls += 1;
+                    if self.trace {
+                        eprintln!(
+                            "trace: tail-call {} depth={}",
+                            self.program.func(callee).name,
+                            self.shadow.len()
+                        );
+                    }
                     self.func = callee;
                     self.pc = 0;
                     // A tail call is a jump: same activation, same fp.

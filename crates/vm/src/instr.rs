@@ -21,6 +21,18 @@ pub enum SlotClass {
     OutArg,
 }
 
+impl SlotClass {
+    /// All classes, in declaration order (used to export the full,
+    /// stable set of `vm.stack_*` counters even when zero).
+    pub const ALL: [SlotClass; 5] = [
+        SlotClass::Param,
+        SlotClass::Save,
+        SlotClass::Spill,
+        SlotClass::Temp,
+        SlotClass::OutArg,
+    ];
+}
+
 impl fmt::Display for SlotClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

@@ -10,6 +10,8 @@
 //! stall. The latency model is what makes the eager-vs-lazy restore
 //! trade-off of §2.2 observable.
 
+#![warn(missing_docs)]
+
 pub mod cost;
 pub mod exec;
 pub mod instr;

@@ -1,7 +1,15 @@
 //! Execution statistics — the quantities the paper's evaluation
 //! reports.
+//!
+//! [`RunStats`] is filled in by the executing [`crate::Machine`];
+//! [`RunStats::record`] exports every counter into a
+//! [`lesgs_metrics::Registry`] under the stable `vm.*` names
+//! documented in OBSERVABILITY.md. Derived fractions use
+//! [`lesgs_metrics::ratio`]: a fraction of zero activations is `0.0`.
 
 use std::collections::HashMap;
+
+use lesgs_metrics::{ratio, Registry};
 
 use crate::instr::SlotClass;
 
@@ -26,6 +34,16 @@ impl ActivationClass {
         ActivationClass::NonSyntacticInternal,
         ActivationClass::SyntacticInternal,
     ];
+
+    /// Stable snake_case key used in metric names and JSON reports.
+    pub fn key(self) -> &'static str {
+        match self {
+            ActivationClass::SyntacticLeaf => "syntactic_leaf",
+            ActivationClass::NonSyntacticLeaf => "non_syntactic_leaf",
+            ActivationClass::NonSyntacticInternal => "non_syntactic_internal",
+            ActivationClass::SyntacticInternal => "syntactic_internal",
+        }
+    }
 
     /// Short label used in tables.
     pub fn label(self) -> &'static str {
@@ -97,14 +115,62 @@ impl RunStats {
         self.activations.values().sum()
     }
 
-    /// Fraction of activations in a class.
+    /// Fraction of activations in a class (`0.0` when there were no
+    /// activations at all).
     pub fn activation_fraction(&self, class: ActivationClass) -> f64 {
-        let total = self.total_activations();
-        if total == 0 {
-            0.0
-        } else {
-            *self.activations.get(&class).unwrap_or(&0) as f64 / total as f64
+        ratio(
+            *self.activations.get(&class).unwrap_or(&0) as f64,
+            self.total_activations() as f64,
+            0.0,
+        )
+    }
+
+    /// Branch misprediction rate (`0.0` when no branches executed).
+    pub fn mispredict_rate(&self) -> f64 {
+        ratio(self.mispredicts as f64, self.branches as f64, 0.0)
+    }
+
+    /// Stall cycles per executed instruction (`0.0` for an empty run).
+    pub fn stalls_per_instruction(&self) -> f64 {
+        ratio(self.stall_cycles as f64, self.instructions as f64, 0.0)
+    }
+
+    /// Exports every counter into `reg` under the stable `vm.*` names
+    /// (the registry-backed dynamic counters behind `lesgsc
+    /// --profile`). All stack-reference classes and activation classes
+    /// are exported even when zero, so the key set is schema-stable.
+    pub fn record(&self, reg: &mut Registry) {
+        reg.inc("vm.instructions", self.instructions);
+        reg.inc("vm.cycles", self.cycles);
+        reg.inc("vm.stall_cycles", self.stall_cycles);
+        for class in SlotClass::ALL {
+            reg.inc(
+                &format!("vm.stack_loads.{class}"),
+                *self.stack_loads.get(&class).unwrap_or(&0),
+            );
+            reg.inc(
+                &format!("vm.stack_stores.{class}"),
+                *self.stack_stores.get(&class).unwrap_or(&0),
+            );
         }
+        reg.inc("vm.stack_refs", self.stack_refs());
+        reg.inc("vm.saves", self.saves());
+        reg.inc("vm.restores", self.restores());
+        reg.inc("vm.calls", self.calls);
+        reg.inc("vm.tail_calls", self.tail_calls);
+        for class in ActivationClass::ALL {
+            reg.inc(
+                &format!("vm.activations.{}", class.key()),
+                *self.activations.get(&class).unwrap_or(&0),
+            );
+        }
+        reg.inc("vm.branches", self.branches);
+        reg.inc("vm.mispredicts", self.mispredicts);
+        reg.inc("vm.heap_ops", self.heap_ops);
+        reg.inc("vm.closures_allocated", self.closures_allocated);
+        reg.set_gauge("vm.effective_leaf_fraction", self.effective_leaf_fraction());
+        reg.set_gauge("vm.mispredict_rate", self.mispredict_rate());
+        reg.set_gauge("vm.stalls_per_instruction", self.stalls_per_instruction());
     }
 
     /// Fraction of effective leaf activations (the paper's two-thirds
@@ -148,5 +214,39 @@ mod tests {
         assert_eq!(ActivationClass::ALL.len(), 4);
         assert!(ActivationClass::SyntacticLeaf.is_effective_leaf());
         assert!(!ActivationClass::SyntacticInternal.is_effective_leaf());
+    }
+
+    #[test]
+    fn zero_denominator_fractions() {
+        let s = RunStats::default();
+        assert_eq!(s.activation_fraction(ActivationClass::SyntacticLeaf), 0.0);
+        assert_eq!(s.effective_leaf_fraction(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.stalls_per_instruction(), 0.0);
+    }
+
+    #[test]
+    fn record_exports_stable_key_set() {
+        let mut s = RunStats {
+            instructions: 10,
+            cycles: 20,
+            calls: 3,
+            ..RunStats::default()
+        };
+        s.stack_loads.insert(SlotClass::Save, 4);
+        s.stack_stores.insert(SlotClass::Save, 5);
+        s.activations.insert(ActivationClass::SyntacticLeaf, 2);
+        let mut reg = Registry::new();
+        s.record(&mut reg);
+        assert_eq!(reg.counter("vm.instructions"), 10);
+        assert_eq!(reg.counter("vm.restores"), 4);
+        assert_eq!(reg.counter("vm.saves"), 5);
+        assert_eq!(reg.counter("vm.stack_refs"), 9);
+        // Absent classes still export (as zero): the key set is stable.
+        assert!(reg.counters().any(|(k, _)| k == "vm.stack_loads.spill"));
+        assert!(reg
+            .counters()
+            .any(|(k, _)| k == "vm.activations.syntactic_internal"));
+        assert_eq!(reg.gauge("vm.effective_leaf_fraction"), Some(1.0));
     }
 }

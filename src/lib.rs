@@ -20,6 +20,7 @@
 //! | [`codegen`] | `lesgs-codegen` | IR → VM code |
 //! | [`vm`] | `lesgs-vm` | instrumented virtual machine |
 //! | [`compiler`] | `lesgs-compiler` | end-to-end driver |
+//! | [`metrics`] | `lesgs-metrics` | metrics registry, span timing, JSON reports |
 //! | [`suite`] | `lesgs-suite` | benchmarks and experiment machinery |
 //!
 //! # Quick start
@@ -60,6 +61,7 @@ pub use lesgs_core as allocator;
 pub use lesgs_frontend as frontend;
 pub use lesgs_interp as interp;
 pub use lesgs_ir as ir;
+pub use lesgs_metrics as metrics;
 pub use lesgs_sexpr as sexpr;
 pub use lesgs_suite as suite;
 pub use lesgs_vm as vm;

@@ -1,0 +1,92 @@
+//! Checks that every relative link in the repository's markdown files
+//! points at a file or directory that actually exists, so the docs
+//! can't silently rot as files move.
+
+use std::path::{Path, PathBuf};
+
+/// Collects `*.md` files at the repo root and under `crates/` (one
+/// level of nesting is enough for this workspace's layout).
+fn markdown_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut dirs = vec![root.to_path_buf()];
+    while let Some(dir) = dirs.pop() {
+        for entry in std::fs::read_dir(&dir).expect("readable dir") {
+            let path = entry.expect("dir entry").path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if name != "target" && name != ".git" && name != ".github" {
+                    dirs.push(path);
+                }
+            } else if name.ends_with(".md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Extracts the destinations of inline markdown links `[text](dest)`,
+/// skipping fenced code blocks (backtick fences only — that is all
+/// these docs use).
+fn link_destinations(text: &str) -> Vec<String> {
+    let mut dests = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                if let Some(end) = line[i + 2..].find(')') {
+                    dests.push(line[i + 2..i + 2 + end].to_owned());
+                    i += 2 + end;
+                }
+            }
+            i += 1;
+        }
+    }
+    dests
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = markdown_files(root);
+    assert!(
+        files.iter().any(|f| f.ends_with("OBSERVABILITY.md")),
+        "doc scan must cover the repo root"
+    );
+    let mut dead = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).expect("readable markdown");
+        for dest in link_destinations(&text) {
+            // Only relative file links: skip URLs, in-page anchors,
+            // and mailto.
+            if dest.contains("://") || dest.starts_with('#') || dest.starts_with("mailto:") {
+                continue;
+            }
+            let path_part = dest.split('#').next().unwrap_or(&dest);
+            if path_part.is_empty() {
+                continue;
+            }
+            let base = file.parent().expect("file has a parent");
+            if !base.join(path_part).exists() {
+                dead.push(format!("{}: ({dest})", file.display()));
+            }
+        }
+    }
+    assert!(dead.is_empty(), "dead relative links:\n{}", dead.join("\n"));
+}
+
+#[test]
+fn link_extractor_sees_through_prose() {
+    let text = "See [a](A.md) and [b](sub/B.md#x).\n```\n[not](a-link.md)\n```\n";
+    assert_eq!(link_destinations(text), vec!["A.md", "sub/B.md#x"]);
+}
