@@ -233,52 +233,196 @@ pub fn run_source(src: &str, config: &CompilerConfig) -> Result<VmOutcome, Compi
     })
 }
 
+/// The failure class of a [`differential_check_detailed`] run.
+///
+/// Fuel exhaustion is deliberately its own variant: a timeout (in the
+/// oracle or in one configuration) says nothing about correctness and
+/// must never be reported as a miscompile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffKind {
+    /// The reference interpreter rejected or failed the program; the
+    /// compiled configurations were never consulted.
+    OracleError {
+        /// The interpreter's error.
+        message: String,
+    },
+    /// A step/instruction budget ran out before an answer was reached.
+    FuelExhausted,
+    /// The compiler rejected the program under one configuration.
+    CompileError {
+        /// The compile error.
+        message: String,
+    },
+    /// The bytecode verifier rejected the generated code.
+    VerifyFailed {
+        /// All verifier complaints, rendered.
+        errors: Vec<String>,
+    },
+    /// The VM failed at runtime where the oracle succeeded.
+    VmError {
+        /// The VM error.
+        message: String,
+    },
+    /// Both backends ran to completion but disagreed.
+    Mismatch {
+        /// VM final value.
+        value: String,
+        /// VM output.
+        output: String,
+        /// Interpreter final value.
+        oracle_value: String,
+        /// Interpreter output.
+        oracle_output: String,
+    },
+}
+
+/// A [`differential_check_detailed`] failure: what went wrong, and under
+/// which allocator configuration (if any single one is to blame).
+#[derive(Debug, Clone)]
+pub struct DiffFailure {
+    /// The offending configuration; `None` when the oracle itself
+    /// failed before any configuration ran.
+    pub config: Option<AllocConfig>,
+    /// Failure class.
+    pub kind: DiffKind,
+}
+
+impl DiffFailure {
+    /// True when this failure is evidence of a compiler bug — anything
+    /// except an oracle failure (bad input program) or fuel exhaustion
+    /// (bad budget).
+    pub fn is_miscompile(&self) -> bool {
+        !matches!(
+            self.kind,
+            DiffKind::OracleError { .. } | DiffKind::FuelExhausted
+        )
+    }
+}
+
+impl std::fmt::Display for DiffFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cfg = |f: &mut std::fmt::Formatter<'_>| match &self.config {
+            Some(c) => write!(f, "{c:?}: "),
+            None => Ok(()),
+        };
+        match &self.kind {
+            DiffKind::OracleError { message } => write!(f, "oracle failed: {message}"),
+            DiffKind::FuelExhausted => {
+                cfg(f)?;
+                write!(f, "fuel exhausted (a timeout, not an outcome mismatch)")
+            }
+            DiffKind::CompileError { message } => {
+                cfg(f)?;
+                write!(f, "{message}")
+            }
+            DiffKind::VerifyFailed { errors } => {
+                cfg(f)?;
+                write!(f, "bytecode verification failed:\n{}", errors.join("\n"))
+            }
+            DiffKind::VmError { message } => {
+                cfg(f)?;
+                write!(f, "{message}")
+            }
+            DiffKind::Mismatch {
+                value,
+                output,
+                oracle_value,
+                oracle_output,
+            } => {
+                cfg(f)?;
+                if value != oracle_value {
+                    write!(f, "value {value} != oracle {oracle_value}")
+                } else {
+                    write!(f, "output {output:?} != oracle {oracle_output:?}")
+                }
+            }
+        }
+    }
+}
+
 /// Runs `src` through the reference interpreter and through the
 /// compiler under every given allocator configuration, checking that
 /// the bytecode verifies ([`lesgs_vm::verify_bytecode`]) and that
-/// value and output agree everywhere.
+/// value and output agree everywhere — reporting failures as structured
+/// [`DiffFailure`]s so drivers can distinguish timeouts from
+/// miscompiles.
 ///
 /// # Errors
 ///
-/// Returns a description of the first disagreement or failure.
-pub fn differential_check(src: &str, configs: &[AllocConfig], fuel: u64) -> Result<(), String> {
-    let oracle = lesgs_interp::run_source(src, fuel).map_err(|e| format!("oracle failed: {e}"))?;
+/// Returns the first failure, tagged with the offending configuration.
+pub fn differential_check_detailed(
+    src: &str,
+    configs: &[AllocConfig],
+    fuel: u64,
+) -> Result<(), DiffFailure> {
+    let oracle = match lesgs_interp::run_source(src, fuel) {
+        Ok(o) => o,
+        Err(e) => {
+            return Err(DiffFailure {
+                config: None,
+                kind: if e.is_fuel_exhausted() {
+                    DiffKind::FuelExhausted
+                } else {
+                    DiffKind::OracleError {
+                        message: e.to_string(),
+                    }
+                },
+            })
+        }
+    };
     for alloc in configs {
+        let fail = |kind: DiffKind| DiffFailure {
+            config: Some(*alloc),
+            kind,
+        };
         let config = CompilerConfig {
             alloc: *alloc,
             poison: true,
             fuel,
             ..CompilerConfig::default()
         };
-        let compiled = compile(src, &config).map_err(|e| format!("{alloc:?}: {e}"))?;
+        let compiled = compile(src, &config).map_err(|e| {
+            fail(DiffKind::CompileError {
+                message: e.to_string(),
+            })
+        })?;
         let verify_errors = lesgs_vm::verify_bytecode(&compiled.vm);
         if !verify_errors.is_empty() {
-            return Err(format!(
-                "{alloc:?}: bytecode verification failed:\n{}",
-                verify_errors
-                    .iter()
-                    .map(ToString::to_string)
-                    .collect::<Vec<_>>()
-                    .join("\n")
-            ));
+            return Err(fail(DiffKind::VerifyFailed {
+                errors: verify_errors.iter().map(ToString::to_string).collect(),
+            }));
         }
-        let out = compiled
-            .run(&config)
-            .map_err(|e| format!("{alloc:?}: {e}"))?;
-        if out.value != oracle.value {
-            return Err(format!(
-                "{alloc:?}: value {} != oracle {}",
-                out.value, oracle.value
-            ));
-        }
-        if out.output != oracle.output {
-            return Err(format!(
-                "{alloc:?}: output {:?} != oracle {:?}",
-                out.output, oracle.output
-            ));
+        let out = compiled.run(&config).map_err(|e| {
+            fail(if e.is_fuel_exhausted() {
+                DiffKind::FuelExhausted
+            } else {
+                DiffKind::VmError {
+                    message: e.to_string(),
+                }
+            })
+        })?;
+        if out.value != oracle.value || out.output != oracle.output {
+            return Err(fail(DiffKind::Mismatch {
+                value: out.value,
+                output: out.output,
+                oracle_value: oracle.value,
+                oracle_output: oracle.output,
+            }));
         }
     }
     Ok(())
+}
+
+/// [`differential_check_detailed`] with failures rendered to strings
+/// (the historical interface most tests use).
+///
+/// # Errors
+///
+/// Returns a description of the first disagreement or failure,
+/// including the offending [`AllocConfig`]; fuel exhaustion is
+/// explicitly marked as a timeout rather than a mismatch.
+pub fn differential_check(src: &str, configs: &[AllocConfig], fuel: u64) -> Result<(), String> {
+    differential_check_detailed(src, configs, fuel).map_err(|e| e.to_string())
 }
 
 /// The full matrix of allocator configurations exercised by the
@@ -351,6 +495,65 @@ mod tests {
             differential_check(src, &config_matrix(), 10_000_000)
                 .unwrap_or_else(|e| panic!("{e}\nsrc={src}"));
         }
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_a_timeout_not_a_mismatch() {
+        // An infinite loop exhausts the oracle's budget before any
+        // configuration runs: the failure must say "timeout", carry no
+        // config, and not count as a miscompile.
+        let src = "(define (spin) (spin)) (spin)";
+        let e = differential_check_detailed(src, &config_matrix(), 10_000).unwrap_err();
+        assert_eq!(e.kind, DiffKind::FuelExhausted, "{e}");
+        assert!(e.config.is_none());
+        assert!(!e.is_miscompile());
+        assert!(e.to_string().contains("timeout, not an outcome mismatch"));
+    }
+
+    #[test]
+    fn vm_fuel_exhaustion_names_the_config_but_is_still_a_timeout() {
+        // The VM spends more instructions than the interpreter spends
+        // steps (moves, saves, shuffles), so some budget lets the
+        // oracle finish while a configuration times out. That failure
+        // must carry the config yet still not count as a miscompile.
+        let src = "(define (f a b c d e g) (+ a b c d e g))
+                   (+ (f 1 2 3 4 5 6) (f 6 5 4 3 2 1))";
+        let cfg = AllocConfig::paper_default();
+        let mut seen_vm_timeout = false;
+        for fuel in 1..2_000u64 {
+            match differential_check_detailed(src, std::slice::from_ref(&cfg), fuel) {
+                Ok(()) => break,
+                Err(e) => {
+                    assert_eq!(e.kind, DiffKind::FuelExhausted, "fuel {fuel}: {e}");
+                    assert!(!e.is_miscompile());
+                    if e.config.is_some() {
+                        seen_vm_timeout = true;
+                        assert!(
+                            e.to_string().contains("AllocConfig"),
+                            "config missing from: {e}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(seen_vm_timeout, "no budget made only the VM time out");
+    }
+
+    #[test]
+    fn mismatch_rendering_names_the_offending_config() {
+        let e = DiffFailure {
+            config: Some(AllocConfig::paper_default()),
+            kind: DiffKind::Mismatch {
+                value: "1".to_owned(),
+                output: String::new(),
+                oracle_value: "2".to_owned(),
+                oracle_output: String::new(),
+            },
+        };
+        assert!(e.is_miscompile());
+        let s = e.to_string();
+        assert!(s.contains("AllocConfig"), "{s}");
+        assert!(s.contains("value 1 != oracle 2"), "{s}");
     }
 
     #[test]

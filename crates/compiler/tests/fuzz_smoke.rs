@@ -1,0 +1,31 @@
+//! Bounded generative differential smoke test.
+//!
+//! A small deterministic campaign of generated programs must pass the
+//! full oracle (bytecode verification plus interpreter/VM agreement
+//! under every configuration). Any find prints its shrunk repro and
+//! the exact command to replay it.
+
+use lesgs_fuzz::{run_fuzz, FuzzOptions};
+
+#[test]
+fn bounded_campaign_finds_no_miscompiles() {
+    let opts = FuzzOptions {
+        seed: 0xC0_4411E5,
+        cases: 40,
+        ..Default::default()
+    };
+    let report = run_fuzz(&opts);
+    assert_eq!(report.cases, opts.cases);
+    if !report.finds.is_empty() {
+        let mut msg = String::new();
+        for find in &report.finds {
+            msg.push_str(&format!(
+                "{}\n  repro: {}\n{}\n",
+                find.failure,
+                find.repro_command(opts.gen.max_size),
+                find.shrunk
+            ));
+        }
+        panic!("{} miscompile(s) found:\n{msg}", report.finds.len());
+    }
+}

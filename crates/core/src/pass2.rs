@@ -137,13 +137,12 @@ impl Pass2 {
                 let kept = if self.eliminate { regs - ss } else { regs };
                 self.saved_union = self.saved_union | kept;
                 let (b, mut pr) = self.process(*body, ss | regs, pr_exit);
-                // Under the Late strategy saves repeat after calls, so
-                // the store itself references the registers: an earlier
-                // call must restore them first (part of the strategy's
-                // cost the paper measures).
-                if !self.eliminate {
-                    pr = pr | (kept & self.allocatable);
-                }
+                // The store itself references the registers, so an
+                // earlier call must restore them first. This matters
+                // under Late (saves repeat after calls) but also under
+                // Lazy/Early whenever the shuffler schedules another
+                // argument's call before this save executes.
+                pr = pr | (kept & self.allocatable);
                 if kept.is_empty() && exit_restore.is_empty() {
                     (b, pr)
                 } else {
@@ -171,6 +170,22 @@ impl Pass2 {
                         ss
                     );
                     node.restore = pr_exit & ss;
+                    // Test-only sabotage: silently drop one restore —
+                    // the exact bug class the eager-restore analysis
+                    // exists to prevent. The save region and its frame
+                    // slots stay intact, so the bytecode is
+                    // structurally valid but a stale register survives
+                    // the call. The fuzzer's acceptance test enables
+                    // this feature in a scratch build and must catch
+                    // and shrink the resulting miscompile (see
+                    // TESTING.md).
+                    #[cfg(feature = "inject-save-bug")]
+                    {
+                        node.restore = match node.restore.iter().next() {
+                            Some(victim) => node.restore.remove(victim),
+                            None => node.restore,
+                        };
+                    }
                 }
                 // Walk the plan backwards from the call boundary.
                 let mut pr = if node.tail {

@@ -42,16 +42,16 @@ struct Walked {
     st: RegSet,
     sf: RegSet,
     /// Union of `S[call]` over every call in this subtree: the
-    /// registers whose values must survive some call here.
+    /// registers whose values must survive some call here. Binds mask
+    /// their register out on the way up (like `st`/`sf`), so at any
+    /// point this only names live ranges reaching that point — the
+    /// Early strategy's root save set.
     call_live: RegSet,
 }
 
 struct Pass1<'a> {
     homes: &'a Homes,
     cfg: &'a AllocConfig,
-    /// Union of `S[call]` over all calls (the Early strategy's save
-    /// set).
-    call_union: RegSet,
     max_temps: u32,
 }
 
@@ -210,9 +210,6 @@ impl Pass1<'_> {
         }
 
         let s_call = live_after; // S[call] = registers live after the call
-        if !tail {
-            self.call_union = self.call_union | s_call;
-        }
         let st = musts | s_call;
         let sf = st;
 
@@ -399,6 +396,7 @@ impl Pass1<'_> {
                 // in all cases mask the register out of the sets
                 // propagated upward.
                 let (mut bst, mut bsf) = (wb.st, wb.sf);
+                let mut b_call = wb.call_live;
                 let mut body_a = wb.a;
                 if let Home::Reg(r) = home {
                     let needs_here = match self.cfg.save {
@@ -418,6 +416,13 @@ impl Pass1<'_> {
                     }
                     bst = bst.remove(r);
                     bsf = bsf.remove(r);
+                    // The register's call-liveness inside the body
+                    // belongs to *this* binding's live range, not to
+                    // whatever the register held at entry, so it must
+                    // not leak into the root save set either (saving
+                    // the stale entry value there would later be
+                    // restored over this binding's value).
+                    b_call = b_call.remove(r);
                 }
                 let (st, sf) = Self::seq_combine((wr.st, wr.sf), (bst, bsf));
                 Walked {
@@ -429,7 +434,7 @@ impl Pass1<'_> {
                     live_in: wr.live_in,
                     st,
                     sf,
-                    call_live: wr.call_live | wb.call_live,
+                    call_live: wr.call_live | b_call,
                 }
             }
             Expr::PrimApp(p, args) => {
@@ -515,7 +520,6 @@ pub fn run(func: &Func, homes: &Homes, cfg: &AllocConfig) -> Pass1Result {
     let mut p = Pass1 {
         homes,
         cfg,
-        call_union: RegSet::EMPTY,
         max_temps: 0,
     };
     // `ret` is referenced by the return itself, so it is live on exit
@@ -533,7 +537,7 @@ pub fn run(func: &Func, homes: &Homes, cfg: &AllocConfig) -> Pass1Result {
         .collect();
     let root_save = match cfg.save {
         SaveStrategy::Lazy => must & entry_regs,
-        SaveStrategy::Early => p.call_union & entry_regs,
+        SaveStrategy::Early => w.call_live & entry_regs,
         SaveStrategy::Late => RegSet::EMPTY,
     };
     let body = if root_save.is_empty() {

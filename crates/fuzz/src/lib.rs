@@ -1,0 +1,289 @@
+//! Generative differential fuzzing for the LESGS compiler.
+//!
+//! This crate closes the loop the hand-written test suites leave open:
+//! instead of checking programs someone thought of, it *generates*
+//! well-formed mini-Scheme programs from a seed, runs each one through
+//! the reference interpreter and through the compiled VM under the full
+//! allocator configuration matrix, and greedily shrinks any
+//! disagreement to a small, self-contained reproduction.
+//!
+//! The pieces:
+//!
+//! * [`gen`] — a deterministic, seeded program generator biased toward
+//!   the register allocator's hard cases: deep call trees, calls with
+//!   more arguments than argument registers, `letrec` cycles, and
+//!   tail/non-tail call mixes. Every generated program terminates and
+//!   is overflow-free by construction.
+//! * [`oracle`] — the differential judge. Fuel exhaustion and
+//!   interpreter-side errors are *skips*, never finds.
+//! * [`shrink`] — a greedy structural minimizer re-running the oracle
+//!   on the single implicated configuration.
+//!
+//! Everything is reproducible: [`case_seed`] maps a base seed and case
+//! index to the seed actually fed to the generator, and
+//! `lesgs-fuzz --seed <that> --cases 1` replays exactly that case.
+//!
+//! ```
+//! use lesgs_fuzz::{run_fuzz, FuzzOptions};
+//! let report = run_fuzz(&FuzzOptions { cases: 25, ..FuzzOptions::default() });
+//! assert_eq!(report.finds.len(), 0, "{report}");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+
+use std::fmt;
+
+pub use ast::{Def, Expr, Pred, Program};
+pub use gen::{generate, GenConfig, GENERATOR_VERSION};
+pub use oracle::{check_source, still_fails_under, CaseOutcome, OracleConfig, SkipReason};
+pub use shrink::{shrink, ShrinkStats};
+
+use lesgs_testkit::Rng;
+
+/// A fuzzing campaign's settings.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Base seed; each case derives its own seed via [`case_seed`].
+    pub seed: u64,
+    /// Number of programs to generate and judge.
+    pub cases: u64,
+    /// Generator settings (program size budget).
+    pub gen: GenConfig,
+    /// Oracle settings (configuration matrix and fuel).
+    pub oracle: OracleConfig,
+    /// Predicate-evaluation budget for shrinking each find.
+    pub shrink_attempts: usize,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> FuzzOptions {
+        FuzzOptions {
+            seed: 0,
+            cases: 100,
+            gen: GenConfig::default(),
+            oracle: OracleConfig::default(),
+            shrink_attempts: 2_000,
+        }
+    }
+}
+
+/// The seed fed to the generator for case `index` of a campaign with
+/// base seed `base`. Chosen so that `case_seed(s, 0) == s`: replaying a
+/// reported seed with `--cases 1` regenerates the exact program.
+pub fn case_seed(base: u64, index: u64) -> u64 {
+    base.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// One shrunk failing case.
+#[derive(Debug, Clone)]
+pub struct Find {
+    /// The derived per-case seed ([`case_seed`]).
+    pub seed: u64,
+    /// The case index within the campaign.
+    pub index: u64,
+    /// Generator version that produced the program.
+    pub generator_version: u32,
+    /// The program as generated.
+    pub original: String,
+    /// The program after shrinking.
+    pub shrunk: String,
+    /// What went wrong (kind + offending configuration), as reported
+    /// on the *original* program.
+    pub failure: lesgs_compiler::DiffFailure,
+    /// Shrink-loop accounting.
+    pub shrink_stats: ShrinkStats,
+}
+
+impl Find {
+    /// The exact command that replays this case.
+    pub fn repro_command(&self, max_size: usize) -> String {
+        format!(
+            "lesgs-fuzz --seed {} --cases 1 --max-size {max_size}",
+            self.seed
+        )
+    }
+
+    /// Renders the find as a self-contained corpus file: a comment
+    /// header (the s-expression reader skips `;` comments) followed by
+    /// the shrunk source, so the file is both documentation and a
+    /// directly runnable program.
+    pub fn to_corpus_file(&self, max_size: usize) -> String {
+        // Failure messages can span lines (the verifier reports every
+        // error); each must stay behind a `;;` so the file parses.
+        let failure = self
+            .failure
+            .to_string()
+            .lines()
+            .collect::<Vec<_>>()
+            .join("\n;;          ");
+        format!(
+            ";; lesgs-fuzz find (generator version {})\n\
+             ;; seed: {} (case {})\n\
+             ;; reproduce: {}\n\
+             ;; failure: {}\n\
+             {}",
+            self.generator_version,
+            self.seed,
+            self.index,
+            self.repro_command(max_size),
+            failure,
+            self.shrunk
+        )
+    }
+}
+
+/// Campaign results.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Cases judged.
+    pub cases: u64,
+    /// Cases where every configuration agreed with the interpreter.
+    pub passes: u64,
+    /// Cases skipped because a fuel budget ran out.
+    pub skips_fuel: u64,
+    /// Cases skipped because the reference interpreter itself failed.
+    pub skips_oracle: u64,
+    /// Shrunk failing cases.
+    pub finds: Vec<Find>,
+}
+
+impl fmt::Display for FuzzReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cases: {} passed, {} skipped (fuel), {} skipped (oracle), {} finds",
+            self.cases,
+            self.passes,
+            self.skips_fuel,
+            self.skips_oracle,
+            self.finds.len()
+        )
+    }
+}
+
+/// Generates and judges one case; on failure, shrinks it. Returns the
+/// generated source alongside the verdict so callers can log or persist
+/// it.
+pub fn fuzz_case(index: u64, opts: &FuzzOptions) -> (String, CaseOutcome, Option<Find>) {
+    let seed = case_seed(opts.seed, index);
+    let prog = generate(&mut Rng::new(seed), &opts.gen);
+    let src = prog.render();
+    let outcome = check_source(&src, &opts.oracle);
+    let find = match &outcome {
+        CaseOutcome::Find(failure) => {
+            let fuel = opts.oracle.fuel;
+            let (small, stats) = match &failure.config {
+                Some(cfg) => shrink(
+                    &prog,
+                    |s| still_fails_under(s, cfg, fuel),
+                    opts.shrink_attempts,
+                ),
+                None => shrink(
+                    &prog,
+                    |s| matches!(check_source(s, &opts.oracle), CaseOutcome::Find(_)),
+                    opts.shrink_attempts,
+                ),
+            };
+            Some(Find {
+                seed,
+                index,
+                generator_version: GENERATOR_VERSION,
+                original: src.clone(),
+                shrunk: small.render(),
+                failure: failure.clone(),
+                shrink_stats: stats,
+            })
+        }
+        _ => None,
+    };
+    (src, outcome, find)
+}
+
+/// Runs a full campaign: `opts.cases` cases from `opts.seed`, shrinking
+/// every find. Deterministic: the same options always produce the same
+/// report.
+pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for index in 0..opts.cases {
+        let (_, outcome, find) = fuzz_case(index, opts);
+        report.cases += 1;
+        match outcome {
+            CaseOutcome::Pass => report.passes += 1,
+            CaseOutcome::Skip(SkipReason::Fuel) => report.skips_fuel += 1,
+            CaseOutcome::Skip(SkipReason::OracleError(_)) => report.skips_oracle += 1,
+            CaseOutcome::Find(_) => report
+                .finds
+                .push(find.expect("find outcome carries a Find")),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seed_is_replayable() {
+        for base in [0u64, 1, 42, u64::MAX] {
+            for index in [0u64, 1, 7, 499] {
+                let s = case_seed(base, index);
+                assert_eq!(case_seed(s, 0), s);
+            }
+        }
+    }
+
+    #[test]
+    fn small_campaign_is_clean_and_deterministic() {
+        let opts = FuzzOptions {
+            cases: 30,
+            ..FuzzOptions::default()
+        };
+        let a = run_fuzz(&opts);
+        assert_eq!(a.finds.len(), 0, "unexpected finds: {a}");
+        assert!(a.passes > 0, "everything skipped: {a}");
+        let b = run_fuzz(&opts);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn corpus_files_keep_multiline_failures_commented() {
+        let find = Find {
+            seed: 9,
+            index: 0,
+            generator_version: gen::GENERATOR_VERSION,
+            original: "(+ 1 2)".into(),
+            shrunk: "(+ 1 2)\n0".into(),
+            failure: lesgs_compiler::DiffFailure {
+                config: None,
+                kind: lesgs_compiler::DiffKind::VerifyFailed {
+                    errors: vec!["error one".into(), "error two".into()],
+                },
+            },
+            shrink_stats: ShrinkStats::default(),
+        };
+        let file = find.to_corpus_file(160);
+        let (header, source) = file.split_at(file.find("(+ 1 2)").expect("source present"));
+        assert!(header.lines().all(|l| l.starts_with(";;")), "{file}");
+        assert_eq!(source, "(+ 1 2)\n0");
+    }
+
+    #[test]
+    fn skips_are_rare() {
+        let report = run_fuzz(&FuzzOptions {
+            cases: 60,
+            ..FuzzOptions::default()
+        });
+        let skips = report.skips_fuel + report.skips_oracle;
+        assert!(
+            skips * 5 <= report.cases,
+            "more than 20% skips — the generator is off target: {report}"
+        );
+    }
+}

@@ -1,0 +1,437 @@
+//! The greedy shrinker.
+//!
+//! Given a failing program and a predicate ("does this still fail?"),
+//! repeatedly applies the first size-reducing rewrite that keeps the
+//! failure alive, until no rewrite helps or the attempt budget runs
+//! out. Rewrites are purely structural and sort-preserving, so every
+//! candidate is a well-formed numeric program; candidates that break
+//! scoping (e.g. removing a still-referenced definition) make the
+//! oracle fail and are rejected by the predicate automatically.
+//!
+//! Rewrites, tried biggest-win first each round:
+//!
+//! 1. remove a whole definition;
+//! 2. remove one parameter of a definition (and the matching argument
+//!    at every call site);
+//! 3. replace an expression with `0`, `1`, or one of its own
+//!    subexpressions (pre-order, so roots shrink before leaves).
+//!
+//! Everything is deterministic: same input program + same predicate
+//! behavior ⇒ same shrunk program.
+
+use crate::ast::{Def, Expr, Pred, Program};
+
+/// Shrink-loop accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Candidate programs evaluated.
+    pub attempts: usize,
+    /// Candidates accepted (size-reducing and still failing).
+    pub accepted: usize,
+}
+
+/// Greedily minimizes `prog` while `still_fails` holds on the rendered
+/// source. Returns the shrunk program and accounting.
+pub fn shrink(
+    prog: &Program,
+    mut still_fails: impl FnMut(&str) -> bool,
+    max_attempts: usize,
+) -> (Program, ShrinkStats) {
+    let mut current = prog.clone();
+    let mut stats = ShrinkStats::default();
+    'outer: loop {
+        for cand in candidates(&current) {
+            if stats.attempts >= max_attempts {
+                break 'outer;
+            }
+            stats.attempts += 1;
+            if still_fails(&cand.render()) {
+                current = cand;
+                stats.accepted += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, stats)
+}
+
+/// All single-step rewrites of `prog`, biggest wins first. Each is
+/// strictly smaller than `prog`.
+fn candidates(prog: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    // 1. Drop a definition.
+    for i in 0..prog.defs.len() {
+        let mut p = prog.clone();
+        p.defs.remove(i);
+        out.push(p);
+    }
+    // 2. Drop a parameter (and its argument at every call site).
+    for (i, def) in prog.defs.iter().enumerate() {
+        for j in 0..def.params.len() {
+            out.push(remove_param(prog, i, j));
+        }
+    }
+    // 3. Rewrite one expression node.
+    let nodes = collect_exprs(prog);
+    for (k, node) in nodes.iter().enumerate() {
+        for repl in node_replacements(node) {
+            out.push(replace_expr(prog, k, &repl));
+        }
+    }
+    out
+}
+
+/// Smaller stand-ins for one node: constants, then each direct numeric
+/// subexpression (hoisting).
+fn node_replacements(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if *e != Expr::Num(0) {
+        out.push(Expr::Num(0));
+    }
+    if *e != Expr::Num(1) && !matches!(e, Expr::Num(_)) {
+        out.push(Expr::Num(1));
+    }
+    if let Expr::Num(n) = e {
+        if n.abs() > 1 {
+            out.push(Expr::Num(n / 2));
+        }
+    }
+    for child in direct_children(e) {
+        out.push(child.clone());
+    }
+    out
+}
+
+fn direct_children(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::Num(_) | Expr::Var(_) => Vec::new(),
+        Expr::If(_, t, el) => vec![t, el],
+        Expr::Let(binds, body) => binds
+            .iter()
+            .map(|(_, e)| e)
+            .chain(std::iter::once(&**body))
+            .collect(),
+        Expr::Prim(_, args) | Expr::Call(_, args) => args.iter().collect(),
+        Expr::LetFun { body, .. } => vec![body],
+        Expr::Loop { init, acc0, .. } => vec![init, acc0],
+        Expr::Display(e, k) => vec![e, k],
+    }
+}
+
+/// Clones `prog` with parameter `j` of definition `i` removed, along
+/// with the `j`-th argument of every call to it. Call sites with a
+/// different argument count are left alone (the predicate rejects the
+/// candidate if that breaks the program).
+fn remove_param(prog: &Program, i: usize, j: usize) -> Program {
+    let name = prog.defs[i].name.clone();
+    let arity = prog.defs[i].params.len();
+    let fix = |e: &Expr| -> Option<Expr> {
+        if let Expr::Call(n, args) = e {
+            if *n == name && args.len() == arity {
+                let mut args = args.clone();
+                args.remove(j);
+                return Some(Expr::Call(n.clone(), args));
+            }
+        }
+        None
+    };
+    let mut p = Program {
+        defs: prog
+            .defs
+            .iter()
+            .map(|d| Def {
+                name: d.name.clone(),
+                params: d.params.clone(),
+                body: map_expr(&d.body, &fix),
+            })
+            .collect(),
+        main: map_expr(&prog.main, &fix),
+    };
+    p.defs[i].params.remove(j);
+    p
+}
+
+/// Bottom-up structural map: rebuilds the tree, replacing every node
+/// for which `f` returns `Some` (after its children were rewritten).
+fn map_expr(e: &Expr, f: &impl Fn(&Expr) -> Option<Expr>) -> Expr {
+    let rebuilt = match e {
+        Expr::Num(_) | Expr::Var(_) => e.clone(),
+        Expr::If(p, t, el) => Expr::If(
+            Box::new(map_pred(p, f)),
+            Box::new(map_expr(t, f)),
+            Box::new(map_expr(el, f)),
+        ),
+        Expr::Let(binds, body) => Expr::Let(
+            binds
+                .iter()
+                .map(|(v, e)| (v.clone(), map_expr(e, f)))
+                .collect(),
+            Box::new(map_expr(body, f)),
+        ),
+        Expr::Prim(op, args) => Expr::Prim(op, args.iter().map(|a| map_expr(a, f)).collect()),
+        Expr::Call(n, args) => Expr::Call(n.clone(), args.iter().map(|a| map_expr(a, f)).collect()),
+        Expr::LetFun {
+            name,
+            params,
+            fbody,
+            body,
+        } => Expr::LetFun {
+            name: name.clone(),
+            params: params.clone(),
+            fbody: Box::new(map_expr(fbody, f)),
+            body: Box::new(map_expr(body, f)),
+        },
+        Expr::Loop {
+            name,
+            init,
+            acc0,
+            step,
+        } => Expr::Loop {
+            name: name.clone(),
+            init: Box::new(map_expr(init, f)),
+            acc0: Box::new(map_expr(acc0, f)),
+            step: Box::new(map_expr(step, f)),
+        },
+        Expr::Display(e1, k) => Expr::Display(Box::new(map_expr(e1, f)), Box::new(map_expr(k, f))),
+    };
+    f(&rebuilt).unwrap_or(rebuilt)
+}
+
+fn map_pred(p: &Pred, f: &impl Fn(&Expr) -> Option<Expr>) -> Pred {
+    match p {
+        Pred::Test(op, e) => Pred::Test(op, Box::new(map_expr(e, f))),
+        Pred::Cmp(op, a, b) => Pred::Cmp(op, Box::new(map_expr(a, f)), Box::new(map_expr(b, f))),
+        Pred::Not(q) => Pred::Not(Box::new(map_pred(q, f))),
+        Pred::And(a, b) => Pred::And(Box::new(map_pred(a, f)), Box::new(map_pred(b, f))),
+        Pred::Or(a, b) => Pred::Or(Box::new(map_pred(a, f)), Box::new(map_pred(b, f))),
+    }
+}
+
+/// Pre-order list of every [`Expr`] node (descending through predicate
+/// operands), cloned. The index order matches [`replace_expr`].
+fn collect_exprs(prog: &Program) -> Vec<Expr> {
+    let mut out = Vec::new();
+    for d in &prog.defs {
+        collect_expr(&d.body, &mut out);
+    }
+    collect_expr(&prog.main, &mut out);
+    out
+}
+
+fn collect_expr(e: &Expr, out: &mut Vec<Expr>) {
+    out.push(e.clone());
+    match e {
+        Expr::Num(_) | Expr::Var(_) => {}
+        Expr::If(p, t, el) => {
+            collect_pred(p, out);
+            collect_expr(t, out);
+            collect_expr(el, out);
+        }
+        Expr::Let(binds, body) => {
+            for (_, e) in binds {
+                collect_expr(e, out);
+            }
+            collect_expr(body, out);
+        }
+        Expr::Prim(_, args) | Expr::Call(_, args) => {
+            for a in args {
+                collect_expr(a, out);
+            }
+        }
+        Expr::LetFun { fbody, body, .. } => {
+            collect_expr(fbody, out);
+            collect_expr(body, out);
+        }
+        Expr::Loop {
+            init, acc0, step, ..
+        } => {
+            collect_expr(init, out);
+            collect_expr(acc0, out);
+            collect_expr(step, out);
+        }
+        Expr::Display(e1, k) => {
+            collect_expr(e1, out);
+            collect_expr(k, out);
+        }
+    }
+}
+
+fn collect_pred(p: &Pred, out: &mut Vec<Expr>) {
+    match p {
+        Pred::Test(_, e) => collect_expr(e, out),
+        Pred::Cmp(_, a, b) => {
+            collect_expr(a, out);
+            collect_expr(b, out);
+        }
+        Pred::Not(q) => collect_pred(q, out),
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            collect_pred(a, out);
+            collect_pred(b, out);
+        }
+    }
+}
+
+/// Clones `prog` with pre-order expression node `k` replaced.
+fn replace_expr(prog: &Program, k: usize, replacement: &Expr) -> Program {
+    let mut counter = k as isize;
+    let mut defs = Vec::with_capacity(prog.defs.len());
+    for d in &prog.defs {
+        defs.push(Def {
+            name: d.name.clone(),
+            params: d.params.clone(),
+            body: rewrite_expr(&d.body, &mut counter, replacement),
+        });
+    }
+    let main = rewrite_expr(&prog.main, &mut counter, replacement);
+    Program { defs, main }
+}
+
+fn rewrite_expr(e: &Expr, k: &mut isize, replacement: &Expr) -> Expr {
+    if *k == 0 {
+        *k -= 1;
+        return replacement.clone();
+    }
+    *k -= 1;
+    match e {
+        Expr::Num(_) | Expr::Var(_) => e.clone(),
+        Expr::If(p, t, el) => {
+            let p = rewrite_pred(p, k, replacement);
+            let t = rewrite_expr(t, k, replacement);
+            let el = rewrite_expr(el, k, replacement);
+            Expr::If(Box::new(p), Box::new(t), Box::new(el))
+        }
+        Expr::Let(binds, body) => {
+            let binds = binds
+                .iter()
+                .map(|(v, e)| (v.clone(), rewrite_expr(e, k, replacement)))
+                .collect();
+            Expr::Let(binds, Box::new(rewrite_expr(body, k, replacement)))
+        }
+        Expr::Prim(op, args) => Expr::Prim(
+            op,
+            args.iter()
+                .map(|a| rewrite_expr(a, k, replacement))
+                .collect(),
+        ),
+        Expr::Call(n, args) => Expr::Call(
+            n.clone(),
+            args.iter()
+                .map(|a| rewrite_expr(a, k, replacement))
+                .collect(),
+        ),
+        Expr::LetFun {
+            name,
+            params,
+            fbody,
+            body,
+        } => {
+            let fbody = rewrite_expr(fbody, k, replacement);
+            let body = rewrite_expr(body, k, replacement);
+            Expr::LetFun {
+                name: name.clone(),
+                params: params.clone(),
+                fbody: Box::new(fbody),
+                body: Box::new(body),
+            }
+        }
+        Expr::Loop {
+            name,
+            init,
+            acc0,
+            step,
+        } => {
+            let init = rewrite_expr(init, k, replacement);
+            let acc0 = rewrite_expr(acc0, k, replacement);
+            let step = rewrite_expr(step, k, replacement);
+            Expr::Loop {
+                name: name.clone(),
+                init: Box::new(init),
+                acc0: Box::new(acc0),
+                step: Box::new(step),
+            }
+        }
+        Expr::Display(e1, kont) => {
+            let e1 = rewrite_expr(e1, k, replacement);
+            let kont = rewrite_expr(kont, k, replacement);
+            Expr::Display(Box::new(e1), Box::new(kont))
+        }
+    }
+}
+
+fn rewrite_pred(p: &Pred, k: &mut isize, replacement: &Expr) -> Pred {
+    match p {
+        Pred::Test(op, e) => Pred::Test(op, Box::new(rewrite_expr(e, k, replacement))),
+        Pred::Cmp(op, a, b) => {
+            let a = rewrite_expr(a, k, replacement);
+            let b = rewrite_expr(b, k, replacement);
+            Pred::Cmp(op, Box::new(a), Box::new(b))
+        }
+        Pred::Not(q) => Pred::Not(Box::new(rewrite_pred(q, k, replacement))),
+        Pred::And(a, b) => {
+            let a = rewrite_pred(a, k, replacement);
+            let b = rewrite_pred(b, k, replacement);
+            Pred::And(Box::new(a), Box::new(b))
+        }
+        Pred::Or(a, b) => {
+            let a = rewrite_pred(a, k, replacement);
+            let b = rewrite_pred(b, k, replacement);
+            Pred::Or(Box::new(a), Box::new(b))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use lesgs_testkit::Rng;
+
+    /// A synthetic failure: "the source mentions f0 applied to
+    /// something". The shrinker must cut everything else away.
+    #[test]
+    fn shrinks_synthetic_failure_to_a_tiny_program() {
+        let prog = generate(&mut Rng::new(7), &GenConfig::default());
+        assert!(prog.render().contains("(f0"), "seed 7 calls f0");
+        let (small, stats) = shrink(&prog, |src| src.contains("(f0"), 20_000);
+        assert!(stats.accepted > 0, "some rewrite must land");
+        assert!(small.render().contains("(f0"));
+        assert!(
+            small.size() <= 12,
+            "shrunk to {} nodes:\n{}",
+            small.size(),
+            small.render()
+        );
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let prog = generate(&mut Rng::new(11), &GenConfig::default());
+        let (a, _) = shrink(&prog, |src| src.contains("remainder"), 5_000);
+        let (b, _) = shrink(&prog, |src| src.contains("remainder"), 5_000);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn replace_expr_hits_every_index_once() {
+        let prog = generate(&mut Rng::new(3), &GenConfig::default());
+        let nodes = collect_exprs(&prog);
+        // Replacing node k with a sentinel puts exactly one sentinel in
+        // the program.
+        for k in [0, nodes.len() / 2, nodes.len() - 1] {
+            let p = replace_expr(&prog, k, &Expr::Num(424_242));
+            let mut hits = 0;
+            let count = |e: &Expr| {
+                if *e == Expr::Num(424_242) {
+                    return 1;
+                }
+                0
+            };
+            p.main.visit(&mut |e| hits += count(e), &mut |_| {});
+            for d in &p.defs {
+                d.body.visit(&mut |e| hits += count(e), &mut |_| {});
+            }
+            assert_eq!(hits, 1, "index {k}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! End-to-end sensitivity check: with the `inject-save-bug` feature the
+//! allocator deliberately drops one register from each root save set,
+//! and the fuzzer must (a) catch the resulting miscompile within a
+//! small campaign and (b) shrink it to a short, readable repro.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test -p lesgs-fuzz --features inject-save-bug --test injected_bug
+//! ```
+//!
+//! Without the feature this file compiles to nothing, so the regular
+//! suite is unaffected.
+#![cfg(feature = "inject-save-bug")]
+
+use lesgs_fuzz::{fuzz_case, FuzzOptions};
+
+#[test]
+fn injected_save_bug_is_caught_and_shrunk_small() {
+    let opts = FuzzOptions {
+        seed: 0,
+        cases: 200,
+        ..Default::default()
+    };
+    for index in 0..opts.cases {
+        let (_, _, find) = fuzz_case(index, &opts);
+        let Some(find) = find else { continue };
+        assert!(
+            find.failure.is_miscompile(),
+            "find should be a miscompile: {}",
+            find.failure
+        );
+        let lines = find.shrunk.lines().count();
+        assert!(
+            lines <= 15,
+            "shrunk repro too large ({lines} lines):\n{}",
+            find.shrunk
+        );
+        assert!(
+            find.shrunk.len() < find.original.len(),
+            "shrinker made no progress"
+        );
+        return;
+    }
+    panic!(
+        "injected save bug not caught in {} cases — the fuzzer lost \
+         sensitivity to save-set errors",
+        opts.cases
+    );
+}

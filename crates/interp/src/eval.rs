@@ -10,19 +10,72 @@ use lesgs_sexpr::Datum;
 use crate::env::Env;
 use crate::value::{ClosureV, Value};
 
+/// What went wrong, beyond the rendered message — differential drivers
+/// need to tell a timeout apart from a genuine failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterpErrorKind {
+    /// A genuine failure: type error, `(error …)`, unbound variable, or
+    /// a frontend rejection.
+    #[default]
+    Runtime,
+    /// A resource budget (steps, or nested non-tail evaluation depth)
+    /// ran out before the program finished. Not a verdict about the
+    /// program — only about the budget.
+    FuelExhausted,
+}
+
+/// How many nested non-tail evaluations the interpreter allows. Tail
+/// calls loop in place and cost nothing, but every non-tail
+/// subexpression costs one native stack frame — without a bound,
+/// runaway non-tail recursion like `(define (f) (+ (f) 0)) (f)` is a
+/// native stack overflow (an abort) instead of a reportable error.
+/// 4000 is an order of magnitude beyond any benchmark or generated
+/// program (their non-tail depth is at most a few hundred), and the
+/// dedicated wide-stack thread `run_source` evaluates on fits 4000
+/// frames in every build profile. A fixed limit also keeps the
+/// oracle's verdict taxonomy identical across profiles.
+pub const MAX_EVAL_DEPTH: u64 = 4_000;
+
 /// A runtime (or fuel) error.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InterpError {
     /// Human-readable description.
     pub message: String,
+    /// Failure class (runtime error vs. fuel exhaustion).
+    pub kind: InterpErrorKind,
 }
 
 impl InterpError {
-    /// Creates an error with the given message.
+    /// Creates a runtime error with the given message.
     pub fn new(message: impl Into<String>) -> InterpError {
         InterpError {
             message: message.into(),
+            kind: InterpErrorKind::Runtime,
         }
+    }
+
+    /// Creates the fuel-exhaustion error.
+    pub fn fuel() -> InterpError {
+        InterpError {
+            message: "fuel exhausted".to_owned(),
+            kind: InterpErrorKind::FuelExhausted,
+        }
+    }
+
+    /// Creates the recursion-depth error. Classified as budget
+    /// exhaustion: like fuel, it is a resource limit, not a verdict
+    /// about the program.
+    pub fn depth() -> InterpError {
+        InterpError {
+            message: format!("recursion too deep ({MAX_EVAL_DEPTH} nested non-tail evals)"),
+            kind: InterpErrorKind::FuelExhausted,
+        }
+    }
+
+    /// True when this error means the step budget ran out (as opposed
+    /// to the program being wrong).
+    pub fn is_fuel_exhausted(&self) -> bool {
+        self.kind == InterpErrorKind::FuelExhausted
     }
 }
 
@@ -161,6 +214,7 @@ pub struct Interp {
     steps: u64,
     output: String,
     globals: Vec<Value>,
+    depth: u64,
 }
 
 impl Interp {
@@ -169,6 +223,7 @@ impl Interp {
         Interp {
             fuel,
             steps: 0,
+            depth: 0,
             output: String::new(),
             globals: Vec::new(),
         }
@@ -200,13 +255,23 @@ impl Interp {
     fn tick(&mut self) -> Result<()> {
         self.steps += 1;
         if self.steps > self.fuel {
-            Err(InterpError::new("fuel exhausted"))
+            Err(InterpError::fuel())
         } else {
             Ok(())
         }
     }
 
-    fn eval(&mut self, mut expr: IExpr, mut env: Env) -> Result<Value> {
+    fn eval(&mut self, expr: IExpr, env: Env) -> Result<Value> {
+        if self.depth >= MAX_EVAL_DEPTH {
+            return Err(InterpError::depth());
+        }
+        self.depth += 1;
+        let result = self.eval_loop(expr, env);
+        self.depth -= 1;
+        result
+    }
+
+    fn eval_loop(&mut self, mut expr: IExpr, mut env: Env) -> Result<Value> {
         loop {
             self.tick()?;
             match &*expr {
@@ -631,6 +696,15 @@ mod tests {
             value("(let loop ((i 0)) (if (= i 100000) i (loop (+ i 1))))"),
             "100000"
         );
+    }
+
+    #[test]
+    fn deep_non_tail_recursion_is_a_budget_error_not_a_crash() {
+        // Without the depth bound this is a native stack overflow —
+        // an abort the differential drivers could never classify.
+        let e = crate::run_source("(define (f) (+ (f) 0)) (f)", 100_000_000).unwrap_err();
+        assert!(e.is_fuel_exhausted(), "{e}");
+        assert!(e.to_string().contains("recursion too deep"), "{e}");
     }
 
     #[test]

@@ -21,29 +21,57 @@ mod eval;
 mod value;
 
 pub use env::Env;
-pub use eval::{Interp, InterpError, Outcome};
+pub use eval::{Interp, InterpError, InterpErrorKind, Outcome};
 pub use value::Value;
 
 use lesgs_frontend::pipeline;
 
+/// Stack size for the dedicated interpreter thread. Non-tail
+/// subexpression evaluation is natively recursive, so a generous
+/// dedicated stack guarantees [`eval::MAX_EVAL_DEPTH`] nested
+/// evaluations fit in every build profile (unoptimized frames are the
+/// largest) — runaway recursion is then always cut off by the depth
+/// guard as a reportable budget error, never by a native stack
+/// overflow. The memory is virtual; only pages actually touched are
+/// committed.
+const INTERP_STACK_BYTES: usize = 64 * 1024 * 1024;
+
+/// Runs `f` on a thread with [`INTERP_STACK_BYTES`] of stack,
+/// propagating panics.
+fn on_interp_stack<T: Send>(f: impl FnOnce() -> T + Send) -> T {
+    std::thread::scope(|s| {
+        std::thread::Builder::new()
+            .name("lesgs-interp".into())
+            .stack_size(INTERP_STACK_BYTES)
+            .spawn_scoped(s, f)
+            .expect("spawn interpreter thread")
+            .join()
+            .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+    })
+}
+
 /// Parses, desugars, renames, and interprets `src` with the given step
-/// budget.
+/// budget. Evaluation happens on a dedicated wide-stack thread so the
+/// recursion-depth budget, not the native stack, is the binding limit.
 ///
 /// # Errors
 ///
 /// Returns an [`InterpError`] for frontend failures, runtime type
-/// errors, calls to `error`, or fuel exhaustion.
+/// errors, calls to `error`, or budget exhaustion (steps or recursion
+/// depth).
 pub fn run_source(src: &str, fuel: u64) -> Result<Outcome, InterpError> {
-    let program = lesgs_frontend::program::SurfaceProgram::from_source(src)
-        .map_err(|e| InterpError::new(e.to_string()))?;
-    let (assembled, globals) = program.assemble();
-    let mut renamer = lesgs_frontend::rename::Renamer::new();
-    renamer.set_globals(&globals);
-    let renamed = renamer
-        .rename(&assembled)
-        .map_err(|e| InterpError::new(e.to_string()))?;
-    let mut interp = Interp::new(fuel).with_globals(globals.len() as u32);
-    interp.run(&renamed)
+    on_interp_stack(|| {
+        let program = lesgs_frontend::program::SurfaceProgram::from_source(src)
+            .map_err(|e| InterpError::new(e.to_string()))?;
+        let (assembled, globals) = program.assemble();
+        let mut renamer = lesgs_frontend::rename::Renamer::new();
+        renamer.set_globals(&globals);
+        let renamed = renamer
+            .rename(&assembled)
+            .map_err(|e| InterpError::new(e.to_string()))?;
+        let mut interp = Interp::new(fuel).with_globals(globals.len() as u32);
+        interp.run(&renamed)
+    })
 }
 
 /// Like [`run_source`] but reuses the full frontend driver, exercising
@@ -54,8 +82,10 @@ pub fn run_source(src: &str, fuel: u64) -> Result<Outcome, InterpError> {
 ///
 /// Same as [`run_source`].
 pub fn run_source_converted(src: &str, fuel: u64) -> Result<Outcome, InterpError> {
-    let (core, _names, n_globals) =
-        pipeline::front_to_core_full(src).map_err(|e| InterpError::new(e.to_string()))?;
-    let mut interp = Interp::new(fuel).with_globals(n_globals);
-    interp.run(&core)
+    on_interp_stack(|| {
+        let (core, _names, n_globals) =
+            pipeline::front_to_core_full(src).map_err(|e| InterpError::new(e.to_string()))?;
+        let mut interp = Interp::new(fuel).with_globals(n_globals);
+        interp.run(&core)
+    })
 }

@@ -1,0 +1,33 @@
+//! The interpreter is the differential oracle, so a campaign here
+//! checks its robustness: every generated program must reach a clean
+//! verdict — the oracle itself may never reject a well-formed
+//! generated program, and fuel skips must stay rare.
+
+use lesgs_fuzz::oracle::{CaseOutcome, SkipReason};
+use lesgs_fuzz::{fuzz_case, FuzzOptions};
+
+#[test]
+fn oracle_accepts_every_generated_program() {
+    let opts = FuzzOptions {
+        seed: 0x0_2AC1E,
+        cases: 40,
+        ..Default::default()
+    };
+    let mut fuel_skips = 0u64;
+    for index in 0..opts.cases {
+        let (src, outcome, _) = fuzz_case(index, &opts);
+        match outcome {
+            CaseOutcome::Pass => {}
+            CaseOutcome::Skip(SkipReason::Fuel) => fuel_skips += 1,
+            CaseOutcome::Skip(SkipReason::OracleError(e)) => {
+                panic!("oracle rejected a generated program: {e}\n{src}")
+            }
+            CaseOutcome::Find(f) => panic!("miscompile (not an oracle bug, but fatal): {f}"),
+        }
+    }
+    assert!(
+        fuel_skips * 5 <= opts.cases,
+        "fuel skips too common: {fuel_skips}/{} — generator loop bounds drifted?",
+        opts.cases
+    );
+}

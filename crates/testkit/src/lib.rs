@@ -118,15 +118,25 @@ pub struct CaseFailure {
     pub case: u32,
     /// The inner panic, rendered.
     pub message: String,
+    /// An exact shell command reproducing the case (when the property
+    /// has a CLI entry point, e.g. `lesgs-fuzz --seed N`).
+    pub repro: Option<String>,
 }
 
 impl fmt::Display for CaseFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "property failed at case {} (reproduce with Rng::new({})): {}",
-            self.case, self.seed, self.message
-        )
+        match &self.repro {
+            Some(cmd) => write!(
+                f,
+                "property failed at case {} (reproduce with: {cmd}): {}",
+                self.case, self.message
+            ),
+            None => write!(
+                f,
+                "property failed at case {} (reproduce with Rng::new({})): {}",
+                self.case, self.seed, self.message
+            ),
+        }
     }
 }
 
@@ -150,7 +160,27 @@ fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
 ///
 /// Re-raises the first failing case as a [`CaseFailure`]-formatted
 /// panic.
-pub fn run_cases(cases: u32, mut body: impl FnMut(&mut Rng)) {
+pub fn run_cases(cases: u32, body: impl FnMut(&mut Rng)) {
+    run_cases_impl(cases, None, body);
+}
+
+/// Like [`run_cases`], but the failure report prints an exact shell
+/// command (built from the failing seed by `repro`) instead of the raw
+/// seed — e.g. `|seed| format!("lesgs-fuzz --seed {seed} --cases 1")`.
+///
+/// # Panics
+///
+/// Re-raises the first failing case as a [`CaseFailure`]-formatted
+/// panic carrying the reproduction command.
+pub fn run_cases_repro(cases: u32, repro: impl Fn(u64) -> String, body: impl FnMut(&mut Rng)) {
+    run_cases_impl(cases, Some(&repro), body);
+}
+
+fn run_cases_impl(
+    cases: u32,
+    repro: Option<&dyn Fn(u64) -> String>,
+    mut body: impl FnMut(&mut Rng),
+) {
     for case in 0..cases {
         // Golden-ratio stride decorrelates neighbouring case seeds.
         let seed = (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x00C0_FFEE;
@@ -162,7 +192,8 @@ pub fn run_cases(cases: u32, mut body: impl FnMut(&mut Rng)) {
                 CaseFailure {
                     seed,
                     case,
-                    message: payload_to_string(&*payload)
+                    message: payload_to_string(&*payload),
+                    repro: repro.map(|r| r(seed)),
                 }
             );
         }
@@ -223,6 +254,23 @@ mod tests {
         .unwrap_err();
         let msg = payload_to_string(&*err);
         assert!(msg.contains("reproduce with Rng::new("), "{msg}");
+    }
+
+    #[test]
+    fn run_cases_repro_prints_command() {
+        let err = std::panic::catch_unwind(|| {
+            run_cases_repro(
+                10,
+                |seed| format!("lesgs-fuzz --seed {seed} --cases 1"),
+                |rng| {
+                    assert!(rng.below(4) != 2, "boom");
+                },
+            );
+        })
+        .unwrap_err();
+        let msg = payload_to_string(&*err);
+        assert!(msg.contains("reproduce with: lesgs-fuzz --seed "), "{msg}");
+        assert!(msg.contains("--cases 1"), "{msg}");
     }
 
     #[test]

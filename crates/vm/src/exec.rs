@@ -25,6 +25,10 @@ pub struct VmError {
     pub at: Option<(String, u32)>,
 }
 
+/// The message every instruction-budget failure carries (the stable
+/// marker behind [`VmError::is_fuel_exhausted`]).
+const FUEL_MESSAGE: &str = "instruction budget exhausted";
+
 impl VmError {
     /// Creates an error.
     pub fn new(message: impl Into<String>) -> VmError {
@@ -32,6 +36,13 @@ impl VmError {
             message: message.into(),
             at: None,
         }
+    }
+
+    /// True when this error means the instruction budget ran out (as
+    /// opposed to the program misbehaving) — differential drivers must
+    /// not report a timeout as a miscompile.
+    pub fn is_fuel_exhausted(&self) -> bool {
+        self.message == FUEL_MESSAGE
     }
 }
 
@@ -301,7 +312,7 @@ impl<'a> Machine<'a> {
         self.poison(self.func);
         loop {
             if self.stats.instructions >= self.max_instructions {
-                return Err(self.err("instruction budget exhausted"));
+                return Err(self.err(FUEL_MESSAGE));
             }
             self.stats.instructions += 1;
             self.stats.cycles += self.cost.instr_cost;

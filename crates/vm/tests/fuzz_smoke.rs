@@ -1,0 +1,34 @@
+//! Bounded generative smoke test from the VM's side.
+//!
+//! Generated programs (a different seed and a smaller size budget than
+//! the compiler crate's campaign, biasing toward deeper per-program
+//! coverage) run through the differential oracle; the VM must verify
+//! and agree with the reference interpreter under every configuration.
+
+use lesgs_fuzz::{run_fuzz, FuzzOptions, GenConfig};
+
+#[test]
+fn generated_programs_execute_faithfully() {
+    let opts = FuzzOptions {
+        seed: 0x7A11E5,
+        cases: 40,
+        gen: GenConfig { max_size: 100 },
+        ..Default::default()
+    };
+    let report = run_fuzz(&opts);
+    assert_eq!(report.cases, opts.cases);
+    assert!(
+        report.finds.is_empty(),
+        "VM disagreed with the interpreter:\n{}",
+        report
+            .finds
+            .iter()
+            .map(|f| format!(
+                "{}\n  repro: {}",
+                f.failure,
+                f.repro_command(opts.gen.max_size)
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

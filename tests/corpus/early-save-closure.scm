@@ -1,0 +1,16 @@
+;; Found by lesgs-fuzz (generator v1) and shrunk with the greedy
+;; shrinker; kept as a regression test run by tests/corpus_regressions.rs.
+;;
+;; Symptom: under save strategy Early, "call of non-procedure `0`" —
+;; the root save set wrongly included a parameter register whose
+;; call-liveness came from a let-bound closure's live range, so the
+;; stale parameter value was restored over the closure between the two
+;; calls of g.
+;;
+;; Fix: crates/core/src/savep.rs masks bound registers out of the
+;; propagated call-liveness at Bind nodes and intersects the Early root
+;; save with the entry-binding registers.
+(define (f1 p5)
+  (let ((g29 (lambda (q30) 0)))
+    (* (g29 0) (g29 0))))
+(f1 0)

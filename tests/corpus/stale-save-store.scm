@@ -1,0 +1,26 @@
+;; Found by lesgs-fuzz (generator v1, seed 0 over 500 cases) and shrunk
+;; with the greedy shrinker; kept as a regression test run by
+;; tests/corpus_regressions.rs.
+;;
+;; Symptom: under {2 argument registers, save Lazy, restore Eager} the
+;; bytecode verifier reported stale-register errors — the greedy
+;; shuffler scheduled a temped complex argument (containing a call)
+;; before the direct complex argument whose save region then stored a
+;; clobbered a0.
+;;
+;; Fix: crates/core/src/pass2.rs counts a save's stored registers as
+;; possibly-referenced unconditionally (the store itself reads them),
+;; not only under the Late strategy.
+(define (f0 d p0 p1 p2)
+  (f0 0
+      (if (or (negative? 0) (even? 0))
+          0
+          (f0 0 (f0 0 0 0 0) d 0))
+      0
+      (if (odd? d)
+          0
+          (let lp8 ((lp8i 0) (lp8a 0))
+            (if (<= lp8i 0)
+                lp8a
+                (lp8 (- lp8i 1) (remainder (+ lp8a 0) 99991)))))))
+0

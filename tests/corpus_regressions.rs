@@ -1,0 +1,52 @@
+//! Regression gate over the fuzzer's shrunk finds.
+//!
+//! Every `.scm` file in `tests/corpus/` is a self-contained repro that
+//! once exposed a real allocator bug (see the `;;` header in each file
+//! for provenance and the fix location). Each must now pass the full
+//! differential oracle: bytecode verification plus interpreter/VM
+//! agreement under every configuration in the matrix.
+//!
+//! New finds land here automatically via
+//! `lesgs-fuzz --corpus-out tests/corpus`.
+
+use lesgs::fuzz::oracle::{check_source, CaseOutcome, OracleConfig};
+
+fn corpus_files() -> Vec<std::path::PathBuf> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "scm"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_not_empty() {
+    assert!(
+        corpus_files().len() >= 2,
+        "tests/corpus should hold at least the two seeded repros"
+    );
+}
+
+#[test]
+fn every_corpus_repro_passes_the_full_oracle() {
+    let oc = OracleConfig::default();
+    for path in corpus_files() {
+        let src = std::fs::read_to_string(&path).expect("readable corpus file");
+        assert!(
+            src.starts_with(";;"),
+            "{}: corpus files must carry a `;;` provenance header",
+            path.display()
+        );
+        match check_source(&src, &oc) {
+            CaseOutcome::Pass => {}
+            CaseOutcome::Skip(r) => panic!(
+                "{}: corpus repros must reach a verdict, got skip: {r:?}",
+                path.display()
+            ),
+            CaseOutcome::Find(f) => panic!("{}: regressed: {f}", path.display()),
+        }
+    }
+}
