@@ -8,6 +8,7 @@
 //! ```text
 //! cargo run --release -p lesgs-bench --bin bench-report            # standard scale
 //! cargo run --release -p lesgs-bench --bin bench-report -- --small # CI-fast subset
+//! cargo run --release -p lesgs-bench --bin bench-report -- --jobs 4
 //! cargo run --release -p lesgs-bench --bin bench-report -- --out=path.json
 //! ```
 //!
@@ -15,13 +16,14 @@
 //! configuration with the full `vm.*`/`alloc.*` counter sets; the
 //! `comparisons` table summarizes the headline stack-reference
 //! reduction and speedup of full optimization over the baseline.
+//! `--jobs <n>` fans the benchmarks across `n` workers; everything in
+//! the document except the `timing` table — which records the
+//! sequential-vs-parallel wall-time comparison — is byte-identical
+//! whatever the job count.
 
-use lesgs_bench::report::{run_record, Report};
-use lesgs_bench::{mean, run_benchmark, scale_from_args};
-use lesgs_core::AllocConfig;
+use lesgs_bench::scale_from_args;
+use lesgs_bench::suite_report::build_suite_report;
 use lesgs_suite::all_benchmarks;
-use lesgs_suite::measure::Measurement;
-use lesgs_suite::tables::{pct, Table};
 
 fn out_path() -> String {
     for a in std::env::args() {
@@ -32,59 +34,40 @@ fn out_path() -> String {
     "BENCH_report.json".to_owned()
 }
 
+fn jobs_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            let jobs = args
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0);
+            match jobs {
+                Some(n) => return n,
+                None => {
+                    eprintln!("bench-report: --jobs requires a number >= 1");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    1
+}
+
 fn main() {
     let scale = scale_from_args();
+    let jobs = jobs_from_args();
     let path = out_path();
 
-    let mut report = Report::new("bench-report", "Full-suite benchmark report", scale);
-    let mut table = Table::new(vec![
-        "benchmark".into(),
-        "base stack refs".into(),
-        "opt stack refs".into(),
-        "stack-ref reduction".into(),
-        "base cycles".into(),
-        "opt cycles".into(),
-        "speedup".into(),
-    ]);
-    let mut reductions = Vec::new();
-    let mut speedups = Vec::new();
-
-    for b in all_benchmarks() {
-        let base = run_benchmark(&b, scale, &AllocConfig::baseline());
-        let opt = run_benchmark(&b, scale, &AllocConfig::paper_default());
-        assert_eq!(base.value, opt.value, "{}: configs must agree", b.name);
-        let m = Measurement::compare(&base, &opt);
-        reductions.push(m.stack_ref_reduction());
-        speedups.push(m.speedup_percent());
-        table.row(vec![
-            b.name.to_owned(),
-            m.base_stack_refs.to_string(),
-            m.opt_stack_refs.to_string(),
-            pct(m.stack_ref_reduction()),
-            m.base_cycles.to_string(),
-            m.opt_cycles.to_string(),
-            pct(m.speedup_percent()),
-        ]);
-        report.add_run(run_record("baseline", &base));
-        report.add_run(run_record("paper_default", &opt));
-        eprintln!("{}: done", b.name);
+    let built = build_suite_report(all_benchmarks(), scale, jobs, |name| {
+        eprintln!("{name}: done");
+    });
+    if jobs > 1 {
+        eprintln!("bench-report: exec: {}", built.stats.summary());
     }
-    table.row(vec![
-        "Average".into(),
-        String::new(),
-        String::new(),
-        pct(mean(&reductions)),
-        String::new(),
-        String::new(),
-        pct(mean(&speedups)),
-    ]);
-    report.add_table("comparisons", &table);
-    report.note(
-        "Full optimization (lazy saves, eager restores, greedy shuffling, six \
-         argument registers) vs the no-register baseline.",
-    );
 
-    println!("{table}");
-    std::fs::write(&path, report.to_json().pretty()).unwrap_or_else(|e| panic!("{path}: {e}"));
+    println!("{}", built.comparisons);
+    std::fs::write(&path, built.report.to_json().pretty())
+        .unwrap_or_else(|e| panic!("{path}: {e}"));
     println!("wrote {path}");
 }

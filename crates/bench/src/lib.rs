@@ -6,6 +6,7 @@
 
 pub mod harness;
 pub mod report;
+pub mod suite_report;
 
 use lesgs_core::config::{Discipline, RestoreStrategy, SaveStrategy};
 use lesgs_core::AllocConfig;

@@ -1,0 +1,212 @@
+//! Parallel construction of the full-suite benchmark report.
+//!
+//! [`build_suite_report`] is the library form of the `bench-report`
+//! binary: it runs every given benchmark under the no-register baseline
+//! and the paper-default configuration — fanning the benchmarks across
+//! a [`lesgs_exec`] worker pool — and merges the results **in benchmark
+//! order** into the shared report schema. Every table, run record, and
+//! note except the `timing` table is byte-identical whatever the job
+//! count; the `timing` table (same shape, wall-clock values) records
+//! the sequential-vs-parallel comparison for the current run.
+
+use lesgs_core::AllocConfig;
+use lesgs_exec::{map_ordered, PoolConfig, PoolStats};
+use lesgs_suite::measure::Measurement;
+use lesgs_suite::programs::Benchmark;
+use lesgs_suite::tables::{pct, Table};
+use lesgs_suite::Scale;
+
+use crate::report::{run_record, Report};
+use crate::{mean, run_benchmark};
+
+/// Name of the wall-clock table inside the report — the one table a
+/// determinism comparison must ignore (values are timing-dependent;
+/// its shape is not).
+pub const TIMING_TABLE: &str = "timing";
+
+/// A built suite report plus the pool accounting behind it.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// The full report (comparisons table, per-run records, timing).
+    pub report: Report,
+    /// The human-readable comparisons table, for printing.
+    pub comparisons: Table,
+    /// Worker-pool accounting for the benchmark fan-out.
+    pub stats: PoolStats,
+}
+
+/// The pool the suite runs on: wide-stack workers marked for inline
+/// interpreter evaluation, like the fuzzer's (compilation recurses over
+/// program structure, and oracle-style harnesses share these workers).
+fn suite_pool(jobs: usize) -> PoolConfig {
+    PoolConfig {
+        workers: jobs.max(1),
+        stack_bytes: lesgs_interp::wide_stack_bytes(),
+        name: "lesgs-bench".to_owned(),
+        worker_init: Some(lesgs_interp::mark_wide_stack),
+    }
+}
+
+/// Runs `benchmarks` at `scale` on `jobs` workers and builds the
+/// `bench-report` document. `progress` is called once per benchmark,
+/// in order, as results merge. Apart from the [`TIMING_TABLE`], the
+/// output is byte-identical for every `jobs` value.
+///
+/// # Panics
+///
+/// Panics when a benchmark fails to run or a worker job panics —
+/// harnesses have no useful way to continue.
+pub fn build_suite_report(
+    benchmarks: Vec<Benchmark>,
+    scale: Scale,
+    jobs: usize,
+    mut progress: impl FnMut(&str),
+) -> SuiteReport {
+    let outcome = map_ordered(&suite_pool(jobs), benchmarks, |_, b| {
+        let base = run_benchmark(&b, scale, &AllocConfig::baseline());
+        let opt = run_benchmark(&b, scale, &AllocConfig::paper_default());
+        (b, base, opt)
+    });
+
+    let mut report = Report::new("bench-report", "Full-suite benchmark report", scale);
+    let mut table = Table::new(vec![
+        "benchmark".into(),
+        "base stack refs".into(),
+        "opt stack refs".into(),
+        "stack-ref reduction".into(),
+        "base cycles".into(),
+        "opt cycles".into(),
+        "speedup".into(),
+    ]);
+    let mut reductions = Vec::new();
+    let mut speedups = Vec::new();
+
+    for slot in outcome.results {
+        let (b, base, opt) = slot.unwrap_or_else(|p| panic!("benchmark job panicked: {p}"));
+        assert_eq!(base.value, opt.value, "{}: configs must agree", b.name);
+        let m = Measurement::compare(&base, &opt);
+        reductions.push(m.stack_ref_reduction());
+        speedups.push(m.speedup_percent());
+        table.row(vec![
+            b.name.to_owned(),
+            m.base_stack_refs.to_string(),
+            m.opt_stack_refs.to_string(),
+            pct(m.stack_ref_reduction()),
+            m.base_cycles.to_string(),
+            m.opt_cycles.to_string(),
+            pct(m.speedup_percent()),
+        ]);
+        report.add_run(run_record("baseline", &base));
+        report.add_run(run_record("paper_default", &opt));
+        progress(b.name);
+    }
+    table.row(vec![
+        "Average".into(),
+        String::new(),
+        String::new(),
+        pct(mean(&reductions)),
+        String::new(),
+        String::new(),
+        pct(mean(&speedups)),
+    ]);
+    report.add_table("comparisons", &table);
+    report.note(
+        "Full optimization (lazy saves, eager restores, greedy shuffling, six \
+         argument registers) vs the no-register baseline.",
+    );
+    report.add_table(TIMING_TABLE, &timing_table(jobs, &outcome.stats));
+
+    SuiteReport {
+        report,
+        comparisons: table,
+        stats: outcome.stats,
+    }
+}
+
+/// The sequential-vs-parallel wall-time comparison for one pool run.
+/// "Sequential-equivalent" is the sum of per-benchmark job times — what
+/// one worker would have spent — against the pool's actual wall time.
+/// Row labels and shape are fixed; only the values vary run to run.
+fn timing_table(jobs: usize, stats: &PoolStats) -> Table {
+    let seq_ms = stats.job_run.sum / 1e6;
+    let wall_ms = stats.wall_ns / 1e6;
+    let speedup = lesgs_metrics::ratio(stats.job_run.sum, stats.wall_ns, 0.0);
+    let mut t = Table::new(vec!["metric".into(), "value".into()]);
+    t.row(vec!["jobs".into(), jobs.to_string()]);
+    t.row(vec!["workers".into(), stats.workers.to_string()]);
+    t.row(vec![
+        "sequential-equivalent (ms)".into(),
+        format!("{seq_ms:.1}"),
+    ]);
+    t.row(vec!["parallel wall (ms)".into(), format!("{wall_ms:.1}")]);
+    t.row(vec!["speedup".into(), format!("{speedup:.2}x")]);
+    t.row(vec![
+        "worker utilization".into(),
+        pct(stats.utilization() * 100.0),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lesgs_metrics::Json;
+    use lesgs_suite::all_benchmarks;
+
+    /// Strips the one wall-clock table so the rest of the document can
+    /// be compared byte-for-byte across job counts.
+    fn without_timing(report: &Report) -> String {
+        let json = report.to_json();
+        let fields = json.as_object().expect("report is an object");
+        let filtered = fields.iter().map(|(k, v)| {
+            if k == "tables" {
+                let kept = v
+                    .as_array()
+                    .expect("tables is an array")
+                    .iter()
+                    .filter(|t| t.get("name").and_then(|n| n.as_str()) != Some(TIMING_TABLE))
+                    .cloned();
+                (k.as_str(), Json::array(kept))
+            } else {
+                (k.as_str(), v.clone())
+            }
+        });
+        Json::object(filtered).pretty()
+    }
+
+    #[test]
+    fn parallel_report_is_identical_to_sequential_modulo_timing() {
+        let benchmarks: Vec<_> = all_benchmarks().into_iter().take(4).collect();
+        let seq = build_suite_report(benchmarks.clone(), Scale::Small, 1, |_| {});
+        let par = build_suite_report(benchmarks, Scale::Small, 4, |_| {});
+        assert_eq!(without_timing(&seq.report), without_timing(&par.report));
+        assert_eq!(
+            format!("{}", seq.comparisons),
+            format!("{}", par.comparisons)
+        );
+        assert_eq!(par.stats.workers, 4);
+        assert_eq!(par.stats.panicked, 0);
+    }
+
+    #[test]
+    fn timing_table_shape_is_fixed() {
+        let a = timing_table(1, &PoolStats::new(1));
+        let b = timing_table(4, &PoolStats::new(4));
+        assert_eq!(a.headers(), b.headers());
+        assert_eq!(a.rows().len(), b.rows().len());
+        for (ra, rb) in a.rows().iter().zip(b.rows()) {
+            assert_eq!(ra[0], rb[0], "metric labels must not vary");
+        }
+    }
+
+    #[test]
+    fn progress_reports_benchmarks_in_order() {
+        let benchmarks: Vec<_> = all_benchmarks().into_iter().take(3).collect();
+        let expected: Vec<_> = benchmarks.iter().map(|b| b.name.to_owned()).collect();
+        let mut seen = Vec::new();
+        build_suite_report(benchmarks, Scale::Small, 2, |name| {
+            seen.push(name.to_owned());
+        });
+        assert_eq!(seen, expected);
+    }
+}

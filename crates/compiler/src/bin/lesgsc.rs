@@ -24,6 +24,8 @@
 //!   --profile-out <file>        write the JSON profile to <file>
 //!   --trace                     log pass boundaries and VM call events
 //!   --fuel <n>                  VM instruction budget
+//!   --jobs <n>                  worker threads for `check`'s 22-config
+//!                               matrix (default 1; verdicts identical)
 //!   -e <expr>                   use <expr> as the program text
 //! ```
 //!
@@ -33,7 +35,9 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use lesgs_compiler::{compile_observed, config_matrix, differential_check, CompilerConfig};
+use lesgs_compiler::{
+    compile_observed, config_matrix, differential_check_parallel, CompilerConfig,
+};
 use lesgs_core::config::{Discipline, RestoreStrategy, SaveStrategy, ShuffleStrategy};
 use lesgs_core::AllocConfig;
 use lesgs_ir::MachineConfig;
@@ -53,6 +57,7 @@ struct Options {
     verify_bytecode: bool,
     profile: ProfileMode,
     profile_out: Option<String>,
+    jobs: usize,
 }
 
 fn usage() -> ! {
@@ -62,7 +67,7 @@ fn usage() -> ! {
          \x20        --shuffle greedy|fixed  --callee-save  --regs <0..6>\n\
          \x20        --branch-prediction  --lift  --verify-bytecode\n\
          \x20        --profile[=json]  --profile-out <file>  --trace\n\
-         \x20        --fuel <n>  -e <expr>"
+         \x20        --fuel <n>  --jobs <n>  -e <expr>"
     );
     std::process::exit(2);
 }
@@ -87,6 +92,7 @@ fn parse_args() -> Result<Options, String> {
     let mut profile = ProfileMode::Off;
     let mut profile_out: Option<String> = None;
     let mut trace = false;
+    let mut jobs = 1usize;
     let mut source: Option<String> = None;
     while let Some(a) = args.next() {
         let mut value = |what: &str| {
@@ -143,6 +149,14 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--fuel requires a number".to_owned())?;
             }
+            "--jobs" => {
+                jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs requires a number".to_owned())?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
+            }
             "-e" => source = Some(value("-e")?),
             "-" => {
                 let mut buf = String::new();
@@ -177,6 +191,7 @@ fn parse_args() -> Result<Options, String> {
         verify_bytecode,
         profile,
         profile_out,
+        jobs,
     })
 }
 
@@ -253,7 +268,7 @@ fn main() -> ExitCode {
             } else {
                 opts.config.fuel
             };
-            match differential_check(&opts.source, &config_matrix(), fuel) {
+            match differential_check_parallel(&opts.source, &config_matrix(), fuel, opts.jobs) {
                 Ok(()) => {
                     println!(
                         "ok: interpreter and all {} configurations agree",
@@ -261,7 +276,7 @@ fn main() -> ExitCode {
                     );
                     ExitCode::SUCCESS
                 }
-                Err(e) => fail(e),
+                Err(e) => fail(e.to_string()),
             }
         }
         cmd => {

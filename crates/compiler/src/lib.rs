@@ -150,26 +150,41 @@ pub fn compile_timed(
     compile_observed(src, config, &mut Registry::new())
 }
 
-/// Compiles `src` with full observability: every pipeline pass records
-/// wall time and size metrics into `reg` (the `pass.*`, `frontend.*`,
-/// `ir.*`, `alloc.*`, and `codegen.*` instruments of OBSERVABILITY.md)
-/// plus the coarse `phase.*` spans behind [`PhaseTimes`]. With
-/// `config.trace`, every completed span also logs a `trace:` line.
+/// The compilation prefix shared by every allocator configuration:
+/// reader, frontend passes, closure conversion, lowering, and IR
+/// folding. None of those passes look at the allocator, so drivers
+/// that sweep a program across a configuration matrix (the
+/// differential oracle, the ablation harnesses) compute this **once
+/// per program** and reuse it for every configuration via
+/// [`compile_back_observed`].
 ///
-/// This is the engine behind `lesgsc --profile`; [`compile_timed`] is
-/// the same code with a throwaway registry.
+/// The prefix *does* depend on the frontend-relevant corner of
+/// [`CompilerConfig`]: `lambda_lift` (and, when lifting, the argument
+/// register count it sizes against) and `no_fold`. Callers sharing one
+/// prefix across configurations must hold those fixed — as every
+/// matrix driver in the workspace does.
+#[derive(Debug, Clone)]
+pub struct FrontendIr {
+    /// The IR after closure conversion, lowering, and folding.
+    pub ir: Program,
+    /// Wall time spent producing it (the [`PhaseTimes::frontend`]
+    /// component of any compile finished from this prefix).
+    pub frontend_time: Duration,
+}
+
+/// Runs the config-independent compilation prefix (see [`FrontendIr`])
+/// with full observability: the `frontend.*` and `ir.*` instruments
+/// plus the `phase.frontend` span.
 ///
 /// # Errors
 ///
 /// Returns [`CompileError`] on any frontend failure.
-pub fn compile_observed(
+pub fn compile_front_observed(
     src: &str,
     config: &CompilerConfig,
     reg: &mut Registry,
-) -> Result<(Compiled, PhaseTimes), CompileError> {
+) -> Result<FrontendIr, CompileError> {
     reg.set_trace(config.trace);
-    let mut times = PhaseTimes::default();
-
     let t0 = Instant::now();
     let frontend_span = reg.start_span("phase.frontend");
     let lift = config
@@ -194,11 +209,30 @@ pub fn compile_observed(
     );
     reg.inc("ir.funcs", ir.funcs.len() as u64);
     reg.end_span(frontend_span);
-    times.frontend = t0.elapsed();
+    Ok(FrontendIr {
+        ir,
+        frontend_time: t0.elapsed(),
+    })
+}
+
+/// Finishes a compilation from a shared prefix: register allocation
+/// and code generation under `config`, with the `alloc.*` /
+/// `codegen.*` instruments and `phase.*` spans recorded into `reg`.
+/// Infallible — only the frontend can reject a program.
+pub fn compile_back_observed(
+    front: &FrontendIr,
+    config: &CompilerConfig,
+    reg: &mut Registry,
+) -> (Compiled, PhaseTimes) {
+    reg.set_trace(config.trace);
+    let mut times = PhaseTimes {
+        frontend: front.frontend_time,
+        ..PhaseTimes::default()
+    };
 
     let t1 = Instant::now();
     let alloc_span = reg.start_span("phase.alloc");
-    let allocated = allocate_program_observed(&ir, &config.alloc, reg);
+    let allocated = allocate_program_observed(&front.ir, &config.alloc, reg);
     reg.end_span(alloc_span);
     times.allocation = t1.elapsed();
 
@@ -209,7 +243,38 @@ pub fn compile_observed(
     times.codegen = t2.elapsed();
 
     reg.set_gauge("compile.alloc_fraction", times.allocation_fraction());
-    Ok((Compiled { ir, allocated, vm }, times))
+    (
+        Compiled {
+            ir: front.ir.clone(),
+            allocated,
+            vm,
+        },
+        times,
+    )
+}
+
+/// Compiles `src` with full observability: every pipeline pass records
+/// wall time and size metrics into `reg` (the `pass.*`, `frontend.*`,
+/// `ir.*`, `alloc.*`, and `codegen.*` instruments of OBSERVABILITY.md)
+/// plus the coarse `phase.*` spans behind [`PhaseTimes`]. With
+/// `config.trace`, every completed span also logs a `trace:` line.
+///
+/// This is the engine behind `lesgsc --profile`; [`compile_timed`] is
+/// the same code with a throwaway registry. It is literally
+/// [`compile_front_observed`] followed by [`compile_back_observed`] —
+/// matrix drivers call the halves directly to share the prefix across
+/// configurations.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on any frontend failure.
+pub fn compile_observed(
+    src: &str,
+    config: &CompilerConfig,
+    reg: &mut Registry,
+) -> Result<(Compiled, PhaseTimes), CompileError> {
+    let front = compile_front_observed(src, config, reg)?;
+    Ok(compile_back_observed(&front, config, reg))
 }
 
 /// Compiles `src` under `config`.
@@ -355,6 +420,81 @@ pub fn differential_check_detailed(
     configs: &[AllocConfig],
     fuel: u64,
 ) -> Result<(), DiffFailure> {
+    differential_check_jobs(src, configs, fuel, 1)
+}
+
+/// Runs the oracle, then judges one already-compiled configuration
+/// against it.
+fn judge_config(
+    front: &FrontendIr,
+    oracle: &lesgs_interp::Outcome,
+    alloc: &AllocConfig,
+    fuel: u64,
+) -> Result<(), DiffFailure> {
+    let fail = |kind: DiffKind| DiffFailure {
+        config: Some(*alloc),
+        kind,
+    };
+    let config = CompilerConfig {
+        alloc: *alloc,
+        poison: true,
+        fuel,
+        ..CompilerConfig::default()
+    };
+    let (compiled, _times) = compile_back_observed(front, &config, &mut Registry::new());
+    let verify_errors = lesgs_vm::verify_bytecode(&compiled.vm);
+    if !verify_errors.is_empty() {
+        return Err(fail(DiffKind::VerifyFailed {
+            errors: verify_errors.iter().map(ToString::to_string).collect(),
+        }));
+    }
+    let out = compiled.run(&config).map_err(|e| {
+        fail(if e.is_fuel_exhausted() {
+            DiffKind::FuelExhausted
+        } else {
+            DiffKind::VmError {
+                message: e.to_string(),
+            }
+        })
+    })?;
+    if out.value != oracle.value || out.output != oracle.output {
+        return Err(fail(DiffKind::Mismatch {
+            value: out.value,
+            output: out.output,
+            oracle_value: oracle.value.clone(),
+            oracle_output: oracle.output.clone(),
+        }));
+    }
+    Ok(())
+}
+
+/// [`differential_check_detailed`] with the configuration matrix
+/// fanned out over a `lesgs-exec` worker pool. The verdict is
+/// **deterministic and identical to the sequential check**: the
+/// reported failure is always the first one in matrix order, no
+/// matter which configuration finished first. `jobs <= 1` runs the
+/// plain sequential loop (which also short-circuits at the first
+/// failure instead of finishing the matrix).
+///
+/// # Errors
+///
+/// Returns the first failure in matrix order, tagged with the
+/// offending configuration.
+pub fn differential_check_parallel(
+    src: &str,
+    configs: &[AllocConfig],
+    fuel: u64,
+    jobs: usize,
+) -> Result<(), DiffFailure> {
+    differential_check_jobs(src, configs, fuel, jobs)
+}
+
+fn differential_check_jobs(
+    src: &str,
+    configs: &[AllocConfig],
+    fuel: u64,
+    jobs: usize,
+) -> Result<(), DiffFailure> {
     let oracle = match lesgs_interp::run_source(src, fuel) {
         Ok(o) => o,
         Err(e) => {
@@ -370,45 +510,43 @@ pub fn differential_check_detailed(
             })
         }
     };
-    for alloc in configs {
-        let fail = |kind: DiffKind| DiffFailure {
-            config: Some(*alloc),
-            kind,
-        };
-        let config = CompilerConfig {
-            alloc: *alloc,
-            poison: true,
-            fuel,
-            ..CompilerConfig::default()
-        };
-        let compiled = compile(src, &config).map_err(|e| {
-            fail(DiffKind::CompileError {
-                message: e.to_string(),
-            })
-        })?;
-        let verify_errors = lesgs_vm::verify_bytecode(&compiled.vm);
-        if !verify_errors.is_empty() {
-            return Err(fail(DiffKind::VerifyFailed {
-                errors: verify_errors.iter().map(ToString::to_string).collect(),
-            }));
-        }
-        let out = compiled.run(&config).map_err(|e| {
-            fail(if e.is_fuel_exhausted() {
-                DiffKind::FuelExhausted
-            } else {
-                DiffKind::VmError {
+    if configs.is_empty() {
+        return Ok(());
+    }
+    // The reader and the full frontend are config-independent: run
+    // them once per program instead of once per configuration. A
+    // frontend rejection is attributed to the first configuration,
+    // exactly as when each configuration recompiled from scratch.
+    let front = match compile_front_observed(src, &CompilerConfig::default(), &mut Registry::new())
+    {
+        Ok(front) => front,
+        Err(e) => {
+            return Err(DiffFailure {
+                config: configs.first().copied(),
+                kind: DiffKind::CompileError {
                     message: e.to_string(),
-                }
+                },
             })
-        })?;
-        if out.value != oracle.value || out.output != oracle.output {
-            return Err(fail(DiffKind::Mismatch {
-                value: out.value,
-                output: out.output,
-                oracle_value: oracle.value,
-                oracle_output: oracle.output,
-            }));
         }
+    };
+    if jobs <= 1 {
+        for alloc in configs {
+            judge_config(&front, &oracle, alloc, fuel)?;
+        }
+        return Ok(());
+    }
+    let pool = lesgs_exec::PoolConfig {
+        name: "lesgs-diff".to_owned(),
+        ..lesgs_exec::PoolConfig::with_workers(jobs)
+    };
+    let out = lesgs_exec::map_ordered(&pool, configs.to_vec(), |_i, alloc| {
+        judge_config(&front, &oracle, &alloc, fuel)
+    });
+    for (alloc, result) in configs.iter().zip(out.results) {
+        // A panic inside a configuration's compile/run is a compiler
+        // bug; re-raise it on the caller like the sequential loop
+        // would, now labelled with the configuration.
+        result.unwrap_or_else(|p| panic!("{alloc:?}: {p}"))?;
     }
     Ok(())
 }
@@ -628,6 +766,78 @@ mod tests {
             lifted.stats.closures_allocated,
             plain.stats.closures_allocated
         );
+    }
+
+    #[test]
+    fn shared_prefix_compiles_identical_bytecode_per_config() {
+        // The differential driver compiles the config-independent
+        // prefix once per program; the result must be bit-for-bit the
+        // bytecode the old per-config full compile produced, for every
+        // configuration of the matrix.
+        let src = "(define (tak x y z)
+                     (if (not (< y x)) z
+                         (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))
+                   (define (sum lst) (if (null? lst) 0 (+ (car lst) (sum (cdr lst)))))
+                   (display (tak 6 3 1)) (sum '(1 2 3 4 5))";
+        let front =
+            compile_front_observed(src, &CompilerConfig::default(), &mut Registry::new()).unwrap();
+        for alloc in config_matrix() {
+            let config = CompilerConfig {
+                alloc,
+                poison: true,
+                ..CompilerConfig::default()
+            };
+            let whole = compile(src, &config).unwrap();
+            let (split, _) = compile_back_observed(&front, &config, &mut Registry::new());
+            assert_eq!(
+                whole.vm.disassemble(),
+                split.vm.disassemble(),
+                "{alloc:?}: split compile diverged"
+            );
+            assert_eq!(
+                format!("{:?}", whole.vm),
+                format!("{:?}", split.vm),
+                "{alloc:?}: constants/entry diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_differential_matches_sequential_verdicts() {
+        // A clean program: both agree on Ok.
+        let ok = "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 9)";
+        differential_check_parallel(ok, &config_matrix(), 10_000_000, 4).unwrap();
+
+        // An oracle timeout: both report FuelExhausted with no config.
+        let spin = "(define (spin) (spin)) (spin)";
+        let seq = differential_check_detailed(spin, &config_matrix(), 10_000).unwrap_err();
+        let par = differential_check_parallel(spin, &config_matrix(), 10_000, 4).unwrap_err();
+        assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+    }
+
+    #[test]
+    fn parallel_differential_reports_first_failure_in_matrix_order() {
+        // Pick a budget where the oracle finishes but the VM times out
+        // under at least one configuration; the parallel check must
+        // then name exactly the configuration the sequential
+        // short-circuiting loop names, regardless of completion order.
+        let src = "(define (f a b c d e g) (+ a b c d e g))
+                   (+ (f 1 2 3 4 5 6) (f 6 5 4 3 2 1))";
+        let matrix = config_matrix();
+        let mut compared = 0;
+        for fuel in (50..2_000u64).step_by(50) {
+            let seq = differential_check_detailed(src, &matrix, fuel);
+            let par = differential_check_parallel(src, &matrix, fuel, 4);
+            match (seq, par) {
+                (Ok(()), Ok(())) => break,
+                (Err(a), Err(b)) => {
+                    assert_eq!(format!("{a:?}"), format!("{b:?}"), "fuel {fuel}");
+                    compared += 1;
+                }
+                (a, b) => panic!("fuel {fuel}: sequential {a:?} vs parallel {b:?}"),
+            }
+        }
+        assert!(compared > 0, "no budget produced a failure to compare");
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn bounded_campaign_finds_no_miscompiles() {
             msg.push_str(&format!(
                 "{}\n  repro: {}\n{}\n",
                 find.failure,
-                find.repro_command(opts.gen.max_size),
+                find.repro_command(&opts),
                 find.shrunk
             ));
         }

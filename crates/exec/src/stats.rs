@@ -1,0 +1,95 @@
+//! Pool accounting, exportable as `exec.*` metrics.
+
+use lesgs_metrics::{ratio, Histogram, Registry};
+
+/// What one pool run (or several merged runs) did: job counts, how
+/// long jobs waited and ran, and how busy the workers were.
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    /// Worker threads (the maximum across merged runs).
+    pub workers: u64,
+    /// Jobs handed to the pool.
+    pub submitted: u64,
+    /// Jobs that returned a value.
+    pub completed: u64,
+    /// Jobs that panicked (isolated; surfaced as [`crate::JobPanic`]).
+    pub panicked: u64,
+    /// Per-job wait from pool start to execution start, nanoseconds.
+    pub queue_wait: Histogram,
+    /// Per-job execution time, nanoseconds.
+    pub job_run: Histogram,
+    /// Total worker busy time, nanoseconds (summed across workers).
+    pub busy_ns: f64,
+    /// Pool wall time, nanoseconds (summed across merged runs).
+    pub wall_ns: f64,
+}
+
+impl PoolStats {
+    /// Empty stats for a pool of `workers` threads.
+    pub fn new(workers: u64) -> PoolStats {
+        PoolStats {
+            workers,
+            ..PoolStats::default()
+        }
+    }
+
+    /// Fraction of available worker time spent running jobs, in
+    /// `0.0..=1.0` (0 when nothing ran).
+    pub fn utilization(&self) -> f64 {
+        ratio(self.busy_ns, self.workers as f64 * self.wall_ns, 0.0).clamp(0.0, 1.0)
+    }
+
+    /// Folds another run's accounting into this one (counts and times
+    /// add, histograms merge, `workers` takes the maximum).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.workers = self.workers.max(other.workers);
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.panicked += other.panicked;
+        merge_histogram(&mut self.queue_wait, &other.queue_wait);
+        merge_histogram(&mut self.job_run, &other.job_run);
+        self.busy_ns += other.busy_ns;
+        self.wall_ns += other.wall_ns;
+    }
+
+    /// Records the accounting into `reg` under the `exec.*` namespace
+    /// (see OBSERVABILITY.md): `exec.jobs_submitted`,
+    /// `exec.jobs_completed`, `exec.jobs_panicked` counters, the
+    /// `exec.workers` and `exec.utilization` gauges, and the
+    /// `exec.queue_wait_ns` / `exec.job_run_ns` / `exec.pool_wall_ns`
+    /// histograms.
+    pub fn record(&self, reg: &mut Registry) {
+        reg.inc("exec.jobs_submitted", self.submitted);
+        reg.inc("exec.jobs_completed", self.completed);
+        reg.inc("exec.jobs_panicked", self.panicked);
+        reg.set_gauge("exec.workers", self.workers as f64);
+        reg.set_gauge("exec.utilization", self.utilization());
+        reg.observe_summary("exec.queue_wait_ns", &self.queue_wait);
+        reg.observe_summary("exec.job_run_ns", &self.job_run);
+        reg.observe("exec.pool_wall_ns", self.wall_ns);
+    }
+
+    /// One human-readable line for stderr reporting, e.g.
+    /// `500 jobs on 4 workers: utilization 87.3%, mean queue wait 1.2ms`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} jobs on {} workers: utilization {:.1}%, mean queue wait {:.1}ms, wall {:.0}ms",
+            self.submitted,
+            self.workers,
+            100.0 * self.utilization(),
+            self.queue_wait.mean() / 1e6,
+            self.wall_ns / 1e6,
+        )
+    }
+}
+
+fn merge_histogram(into: &mut Histogram, from: &Histogram) {
+    if into.count == 0 {
+        *into = *from;
+    } else if from.count > 0 {
+        into.count += from.count;
+        into.sum += from.sum;
+        into.min = into.min.min(from.min);
+        into.max = into.max.max(from.max);
+    }
+}

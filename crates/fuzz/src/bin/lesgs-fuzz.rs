@@ -8,99 +8,80 @@
 //!   --cases <n>        number of programs to judge    (default 100)
 //!   --max-size <n>     generator size budget          (default 160)
 //!   --fuel <n>         step/instruction budget        (default 20000000)
+//!   --jobs <n>         worker threads judging cases   (default 1)
 //!   --corpus-out <dir> write each shrunk find to <dir>/find-<seed>.scm
 //! ```
 //!
 //! Every case derives its seed from `--seed` and its index; a reported
-//! find prints the exact `--seed N --cases 1` command that replays it.
-//! Output is deterministic for fixed options. Exit status: 0 when no
-//! finds, 1 when at least one find, 2 on usage errors.
+//! find prints the exact command — including every non-default option —
+//! that replays it. Output is deterministic for fixed options: stdout
+//! and corpus files are byte-identical for every `--jobs` value (worker
+//! accounting goes to stderr). Exit status: 0 when no finds, 1 when at
+//! least one find, 2 on usage or I/O errors.
 
 use std::process::ExitCode;
 
-use lesgs_fuzz::{fuzz_case, CaseOutcome, FuzzOptions, FuzzReport, SkipReason};
+use lesgs_fuzz::{parse_cli, run_fuzz_observed, CaseOutcome, CaseReport};
 
 fn usage() -> ! {
     eprintln!(
         "usage: lesgs-fuzz [--seed <n>] [--cases <n>] [--max-size <n>]\n\
-         \x20                 [--fuel <n>] [--corpus-out <dir>]"
+         \x20                 [--fuel <n>] [--jobs <n>] [--corpus-out <dir>]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Result<(FuzzOptions, Option<String>), String> {
-    let mut opts = FuzzOptions::default();
-    let mut corpus_out = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        let mut value = |what: &str| {
-            args.next()
-                .ok_or_else(|| format!("{what} requires a value"))
-        };
-        let num = |what: &str, v: String| {
-            v.parse::<u64>()
-                .map_err(|_| format!("{what} requires a number"))
-        };
-        match a.as_str() {
-            "--seed" => opts.seed = num("--seed", value("--seed")?)?,
-            "--cases" => opts.cases = num("--cases", value("--cases")?)?,
-            "--max-size" => opts.gen.max_size = num("--max-size", value("--max-size")?)? as usize,
-            "--fuel" => opts.oracle.fuel = num("--fuel", value("--fuel")?)?,
-            "--corpus-out" => corpus_out = Some(value("--corpus-out")?),
-            "--help" | "-h" => usage(),
-            other => return Err(format!("unknown option `{other}`")),
-        }
-    }
-    Ok((opts, corpus_out))
-}
-
 fn main() -> ExitCode {
-    let (opts, corpus_out) = match parse_args() {
-        Ok(parsed) => parsed,
+    if std::env::args().skip(1).any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let cli = match parse_cli(std::env::args().skip(1)) {
+        Ok(cli) => cli,
         Err(e) => {
             eprintln!("lesgs-fuzz: {e}");
             return ExitCode::from(2);
         }
     };
 
-    let mut report = FuzzReport::default();
-    for index in 0..opts.cases {
-        let (_, outcome, find) = fuzz_case(index, &opts);
-        report.cases += 1;
-        match outcome {
-            CaseOutcome::Pass => report.passes += 1,
-            CaseOutcome::Skip(SkipReason::Fuel) => report.skips_fuel += 1,
-            CaseOutcome::Skip(SkipReason::OracleError(_)) => report.skips_oracle += 1,
-            CaseOutcome::Find(_) => {
-                let find = find.expect("find outcome carries a Find");
-                println!("FIND at case {} (seed {}):", find.index, find.seed);
-                println!("  failure: {}", find.failure);
-                println!(
-                    "  shrunk {} -> {} bytes in {} attempts ({} accepted)",
-                    find.original.len(),
-                    find.shrunk.len(),
-                    find.shrink_stats.attempts,
-                    find.shrink_stats.accepted
-                );
-                println!("  reproduce: {}", find.repro_command(opts.gen.max_size));
-                for line in find.shrunk.lines() {
-                    println!("  | {line}");
-                }
-                if let Some(dir) = &corpus_out {
-                    let path = format!("{dir}/find-{}.scm", find.seed);
-                    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
-                        std::fs::write(&path, find.to_corpus_file(opts.gen.max_size))
-                    }) {
-                        eprintln!("lesgs-fuzz: {path}: {e}");
-                        return ExitCode::from(2);
-                    }
-                    println!("  written: {path}");
-                }
-                report.finds.push(find);
-            }
+    let opts = &cli.opts;
+    let campaign = run_fuzz_observed(opts, |case: CaseReport<'_>| -> Result<(), String> {
+        if !matches!(case.outcome, CaseOutcome::Find(_)) {
+            return Ok(());
         }
-    }
+        let find = case.find.expect("find outcome carries a Find");
+        println!("FIND at case {} (seed {}):", find.index, find.seed);
+        println!("  failure: {}", find.failure);
+        println!(
+            "  shrunk {} -> {} bytes in {} attempts ({} accepted)",
+            find.original.len(),
+            find.shrunk.len(),
+            find.shrink_stats.attempts,
+            find.shrink_stats.accepted
+        );
+        println!("  reproduce: {}", find.repro_command(opts));
+        for line in find.shrunk.lines() {
+            println!("  | {line}");
+        }
+        if let Some(dir) = &cli.corpus_out {
+            let path = format!("{dir}/find-{}.scm", find.seed);
+            std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(&path, find.to_corpus_file(opts)))
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("  written: {path}");
+        }
+        Ok(())
+    });
+    let (report, stats) = match campaign {
+        Ok(done) => done,
+        Err(e) => {
+            eprintln!("lesgs-fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
     println!("{report}");
+    if opts.jobs > 1 {
+        eprintln!("lesgs-fuzz: exec: {}", stats.summary());
+    }
     if report.finds.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -1,0 +1,95 @@
+//! The parallel campaign's determinism guarantee, end to end: for the
+//! same options, every observable campaign artifact — the per-case
+//! stream delivered to the visitor, rendered corpus files, and the
+//! final report — is byte-identical whatever `--jobs` says. This is
+//! what lets a find reported by a `--jobs 8` CI campaign be replayed
+//! with the sequential default and land on the same case.
+
+use lesgs_fuzz::{run_fuzz_observed, CaseOutcome, FuzzOptions};
+
+/// Everything the binary could have printed or written for one case,
+/// serialized for comparison.
+fn transcript(opts: &FuzzOptions) -> Vec<String> {
+    let mut lines = Vec::new();
+    let (report, stats) = run_fuzz_observed::<std::convert::Infallible>(opts, |case| {
+        lines.push(format!(
+            "case {} outcome {:?} source {:?}",
+            case.index, case.outcome, case.source
+        ));
+        if let Some(find) = case.find {
+            lines.push(format!("repro {}", find.repro_command(opts)));
+            lines.push(format!("corpus {:?}", find.to_corpus_file(opts)));
+        }
+        Ok(())
+    })
+    .unwrap_or_else(|never| match never {});
+    lines.push(format!("report {report:?}"));
+    assert_eq!(stats.submitted, opts.cases);
+    assert_eq!(stats.completed, opts.cases);
+    lines
+}
+
+#[test]
+fn campaign_transcript_is_byte_identical_across_job_counts() {
+    let mut opts = FuzzOptions {
+        seed: 7,
+        cases: 30,
+        ..FuzzOptions::default()
+    };
+    // A non-default fuel both exercises the repro-command fix (the
+    // printed command must carry it) and keeps slow cases cheap.
+    opts.oracle.fuel = 200_000;
+
+    let sequential = transcript(&opts);
+    opts.jobs = 4;
+    let parallel = transcript(&opts);
+
+    assert_eq!(sequential.len(), parallel.len());
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(s, p);
+    }
+}
+
+#[test]
+fn visitor_sees_every_case_in_order_even_when_parallel() {
+    let opts = FuzzOptions {
+        seed: 3,
+        cases: 17,
+        jobs: 4,
+        ..FuzzOptions::default()
+    };
+    let mut indexes = Vec::new();
+    let (report, _) = run_fuzz_observed::<std::convert::Infallible>(&opts, |case| {
+        indexes.push(case.index);
+        // The find reference must be present exactly on Find outcomes.
+        assert_eq!(
+            case.find.is_some(),
+            matches!(case.outcome, CaseOutcome::Find(_))
+        );
+        Ok(())
+    })
+    .unwrap_or_else(|never| match never {});
+    assert_eq!(indexes, (0..17).collect::<Vec<_>>());
+    assert_eq!(report.cases, 17);
+}
+
+#[test]
+fn visitor_error_stops_the_campaign() {
+    let opts = FuzzOptions {
+        seed: 0,
+        cases: 40,
+        jobs: 4,
+        ..FuzzOptions::default()
+    };
+    let mut visited = 0u64;
+    let out = run_fuzz_observed(&opts, |case| {
+        visited += 1;
+        if case.index == 5 {
+            Err("stop here".to_owned())
+        } else {
+            Ok(())
+        }
+    });
+    assert_eq!(out.unwrap_err(), "stop here");
+    assert_eq!(visited, 6, "cases after the error must not be visited");
+}

@@ -13,7 +13,7 @@
 //! suite is unaffected.
 #![cfg(feature = "inject-save-bug")]
 
-use lesgs_fuzz::{fuzz_case, FuzzOptions};
+use lesgs_fuzz::{fuzz_case, parse_cli, CaseOutcome, FuzzOptions};
 
 #[test]
 fn injected_save_bug_is_caught_and_shrunk_small() {
@@ -47,4 +47,45 @@ fn injected_save_bug_is_caught_and_shrunk_small() {
          sensitivity to save-set errors",
         opts.cases
     );
+}
+
+/// Regression test: a find from a non-default-fuel campaign prints a
+/// repro command that carries that fuel, and replaying the command
+/// through the real CLI parser reproduces the same failure kind.
+/// `repro_command` used to drop `--fuel`, so low-fuel finds replayed
+/// under the 20M default — a different campaign than the one reported.
+#[test]
+fn low_fuel_find_repro_command_replays_the_same_failure_kind() {
+    let mut opts = FuzzOptions {
+        seed: 0,
+        cases: 200,
+        ..Default::default()
+    };
+    opts.oracle.fuel = 100_000;
+    for index in 0..opts.cases {
+        let (_, _, find) = fuzz_case(index, &opts);
+        let Some(find) = find else { continue };
+        let cmd = find.repro_command(&opts);
+        let cli = parse_cli(cmd.split_whitespace().skip(1).map(str::to_owned))
+            .unwrap_or_else(|e| panic!("printed command `{cmd}` does not parse: {e}"));
+        assert_eq!(
+            cli.opts.oracle.fuel, 100_000,
+            "repro command dropped the non-default --fuel: {cmd}"
+        );
+        assert_eq!(cli.opts.seed, find.seed);
+        assert_eq!(cli.opts.cases, 1);
+        let (_, replayed, _) = fuzz_case(0, &cli.opts);
+        match replayed {
+            CaseOutcome::Find(f) => assert_eq!(
+                std::mem::discriminant(&f.kind),
+                std::mem::discriminant(&find.failure.kind),
+                "replay failed differently: {} vs {}",
+                f,
+                find.failure
+            ),
+            other => panic!("replayed command `{cmd}` did not reproduce the find: {other:?}"),
+        }
+        return;
+    }
+    panic!("no find in {} cases under the injected bug", opts.cases);
 }

@@ -121,6 +121,24 @@ impl Registry {
             .observe(value);
     }
 
+    /// Folds an already-summarized sample stream into the histogram
+    /// `name` — the bridge for subsystems (like the `lesgs-exec` pool)
+    /// that aggregate their own [`Histogram`] before reporting.
+    pub fn observe_summary(&mut self, name: &str, summary: &Histogram) {
+        if summary.count == 0 {
+            return;
+        }
+        let into = self.histograms.entry(name.to_owned()).or_default();
+        if into.count == 0 {
+            *into = *summary;
+        } else {
+            into.count += summary.count;
+            into.sum += summary.sum;
+            into.min = into.min.min(summary.min);
+            into.max = into.max.max(summary.max);
+        }
+    }
+
     /// Reads a histogram.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
@@ -314,6 +332,23 @@ mod tests {
         let h = r.histogram("pass.demo.wall_ns").unwrap();
         assert_eq!(h.count, 1);
         assert!(h.sum >= 0.0);
+    }
+
+    #[test]
+    fn observe_summary_folds_summaries() {
+        let mut r = Registry::new();
+        let mut h = Histogram::default();
+        h.observe(2.0);
+        h.observe(8.0);
+        r.observe("q", 5.0);
+        r.observe_summary("q", &h);
+        r.observe_summary("q", &Histogram::default()); // no-op
+        let q = r.histogram("q").unwrap();
+        assert_eq!((q.count, q.min, q.max), (3, 2.0, 8.0));
+        assert!((q.sum - 15.0).abs() < 1e-12);
+        // Into an empty slot, the summary is taken verbatim.
+        r.observe_summary("fresh", &h);
+        assert_eq!(r.histogram("fresh").unwrap().count, 2);
     }
 
     #[test]

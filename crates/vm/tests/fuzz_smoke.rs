@@ -23,11 +23,7 @@ fn generated_programs_execute_faithfully() {
         report
             .finds
             .iter()
-            .map(|f| format!(
-                "{}\n  repro: {}",
-                f.failure,
-                f.repro_command(opts.gen.max_size)
-            ))
+            .map(|f| format!("{}\n  repro: {}", f.failure, f.repro_command(&opts)))
             .collect::<Vec<_>>()
             .join("\n")
     );

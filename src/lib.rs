@@ -22,6 +22,7 @@
 //! | [`compiler`] | `lesgs-compiler` | end-to-end driver |
 //! | [`metrics`] | `lesgs-metrics` | metrics registry, span timing, JSON reports |
 //! | [`suite`] | `lesgs-suite` | benchmarks and experiment machinery |
+//! | [`exec`] | `lesgs-exec` | deterministic worker pool behind every `--jobs` flag |
 //! | [`fuzz`] | `lesgs-fuzz` | generative differential fuzzing: generator, oracle, shrinker |
 //!
 //! # Quick start
@@ -59,6 +60,7 @@
 pub use lesgs_codegen as codegen;
 pub use lesgs_compiler as compiler;
 pub use lesgs_core as allocator;
+pub use lesgs_exec as exec;
 pub use lesgs_frontend as frontend;
 pub use lesgs_fuzz as fuzz;
 pub use lesgs_interp as interp;
