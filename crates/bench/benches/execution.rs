@@ -10,7 +10,7 @@ use lesgs_compiler::{compile, CompilerConfig};
 use lesgs_core::config::SaveStrategy;
 use lesgs_core::AllocConfig;
 use lesgs_suite::programs::{benchmark, Scale};
-use lesgs_vm::{CostModel, Machine};
+use lesgs_vm::{ClassicMachine, CostModel, Machine};
 
 fn bench_vm() {
     let mut group = harness::group("vm-execution");
@@ -58,7 +58,31 @@ fn bench_baseline_vs_six() {
     }
 }
 
+fn bench_dispatch() {
+    let mut group = harness::group("vm-classic-vs-decoded");
+    for name in ["tak", "queens"] {
+        let b = benchmark(name).expect("benchmark exists");
+        let cfg = CompilerConfig {
+            alloc: AllocConfig::paper_default(),
+            ..CompilerConfig::default()
+        };
+        let compiled = compile(b.source(Scale::Small), &cfg).expect("compiles");
+        group.bench(&format!("classic/{name}"), || {
+            ClassicMachine::new(&compiled.vm, CostModel::alpha_like())
+                .run()
+                .expect("runs")
+        });
+        // Decode once outside the timed loop, like `Compiled::run`.
+        group.bench(&format!("decoded/{name}"), || {
+            Machine::from_decoded(&compiled.decoded, CostModel::alpha_like())
+                .run()
+                .expect("runs")
+        });
+    }
+}
+
 fn main() {
     bench_vm();
     bench_baseline_vs_six();
+    bench_dispatch();
 }

@@ -10,28 +10,48 @@
 //! cargo run --release -p lesgs-bench --bin bench-report -- --small # CI-fast subset
 //! cargo run --release -p lesgs-bench --bin bench-report -- --jobs 4
 //! cargo run --release -p lesgs-bench --bin bench-report -- --out=path.json
+//! cargo run --release -p lesgs-bench --bin bench-report -- --check baseline.json
 //! ```
 //!
 //! The `runs` array holds one structured record per benchmark ×
 //! configuration with the full `vm.*`/`alloc.*` counter sets; the
 //! `comparisons` table summarizes the headline stack-reference
-//! reduction and speedup of full optimization over the baseline.
+//! reduction and speedup of full optimization over the baseline, and
+//! the `dispatch`/`dispatch_throughput` tables record what pre-decoding
+//! did to the code and how much faster the decoded engine retires it.
 //! `--jobs <n>` fans the benchmarks across `n` workers; everything in
-//! the document except the `timing` table — which records the
-//! sequential-vs-parallel wall-time comparison — is byte-identical
-//! whatever the job count.
+//! the document except the wall-clock tables (`timing`,
+//! `dispatch_throughput`) is byte-identical whatever the job count.
+//!
+//! `--check <baseline>` is the CI perf-regression gate: instead of
+//! writing a file, it builds the report and compares its deterministic
+//! fields (everything but the wall-clock tables) against the committed
+//! baseline, exiting 1 with the first divergent line on drift. Pass
+//! `--out=` as well to also write the fresh report.
 
+use lesgs_bench::check::check_reports;
 use lesgs_bench::scale_from_args;
 use lesgs_bench::suite_report::build_suite_report;
 use lesgs_suite::all_benchmarks;
 
-fn out_path() -> String {
-    for a in std::env::args() {
-        if let Some(p) = a.strip_prefix("--out=") {
-            return p.to_owned();
+fn out_path() -> Option<String> {
+    std::env::args().find_map(|a| a.strip_prefix("--out=").map(str::to_owned))
+}
+
+fn check_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--check" {
+            match args.next() {
+                Some(p) => return Some(p),
+                None => {
+                    eprintln!("bench-report: --check requires a baseline path");
+                    std::process::exit(2);
+                }
+            }
         }
     }
-    "BENCH_report.json".to_owned()
+    None
 }
 
 fn jobs_from_args() -> usize {
@@ -57,7 +77,13 @@ fn jobs_from_args() -> usize {
 fn main() {
     let scale = scale_from_args();
     let jobs = jobs_from_args();
-    let path = out_path();
+    let check = check_path();
+    // In --check mode nothing is written unless --out= asks for it.
+    let path = match (&check, out_path()) {
+        (_, Some(p)) => Some(p),
+        (None, None) => Some("BENCH_report.json".to_owned()),
+        (Some(_), None) => None,
+    };
 
     let built = build_suite_report(all_benchmarks(), scale, jobs, |name| {
         eprintln!("{name}: done");
@@ -67,7 +93,23 @@ fn main() {
     }
 
     println!("{}", built.comparisons);
-    std::fs::write(&path, built.report.to_json().pretty())
-        .unwrap_or_else(|e| panic!("{path}: {e}"));
-    println!("wrote {path}");
+    if let Some(path) = &path {
+        std::fs::write(path, built.report.to_json().pretty())
+            .unwrap_or_else(|e| panic!("{path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    if let Some(baseline_path) = check {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
+        let baseline = lesgs_metrics::parse_json(&text)
+            .unwrap_or_else(|e| panic!("{baseline_path}: not valid JSON: {e}"));
+        match check_reports(&baseline, &built.report.to_json()) {
+            Ok(()) => println!("perf gate: deterministic fields match {baseline_path}"),
+            Err(diff) => {
+                eprintln!("perf gate: report drifted from {baseline_path}\n{diff}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

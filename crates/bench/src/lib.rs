@@ -4,6 +4,7 @@
 //! paper; see DESIGN.md's experiment index. This library holds the
 //! common runners.
 
+pub mod check;
 pub mod harness;
 pub mod report;
 pub mod suite_report;

@@ -5,24 +5,40 @@
 //! and the paper-default configuration — fanning the benchmarks across
 //! a [`lesgs_exec`] worker pool — and merges the results **in benchmark
 //! order** into the shared report schema. Every table, run record, and
-//! note except the `timing` table is byte-identical whatever the job
-//! count; the `timing` table (same shape, wall-clock values) records
-//! the sequential-vs-parallel comparison for the current run.
+//! note except the two wall-clock tables ([`TIMING_TABLE`],
+//! [`DISPATCH_THROUGHPUT_TABLE`]) is byte-identical whatever the job
+//! count; the wall-clock tables (fixed shape, timing-dependent values)
+//! record the sequential-vs-parallel comparison and the
+//! classic-vs-decoded dispatch throughput for the current run.
 
+use std::time::Instant;
+
+use lesgs_compiler::{compile, CompilerConfig};
 use lesgs_core::AllocConfig;
 use lesgs_exec::{map_ordered, PoolConfig, PoolStats};
+use lesgs_metrics::ratio;
 use lesgs_suite::measure::Measurement;
 use lesgs_suite::programs::Benchmark;
 use lesgs_suite::tables::{pct, Table};
 use lesgs_suite::Scale;
+use lesgs_vm::{ClassicMachine, CostModel, DecodeStats, Machine};
 
 use crate::report::{run_record, Report};
 use crate::{mean, run_benchmark};
 
-/// Name of the wall-clock table inside the report — the one table a
-/// determinism comparison must ignore (values are timing-dependent;
-/// its shape is not).
+/// Name of the sequential-vs-parallel wall-clock table — one of the
+/// tables a determinism comparison must ignore (values are
+/// timing-dependent; the shape is not).
 pub const TIMING_TABLE: &str = "timing";
+
+/// Name of the deterministic per-benchmark decode/fusion statistics
+/// table. Covered by the perf-regression gate: fusion counts only move
+/// when codegen or the fusion catalogue changes.
+pub const DISPATCH_TABLE: &str = "dispatch";
+
+/// Name of the classic-vs-decoded throughput table — the other
+/// wall-clock table a determinism comparison must ignore.
+pub const DISPATCH_THROUGHPUT_TABLE: &str = "dispatch_throughput";
 
 /// A built suite report plus the pool accounting behind it.
 #[derive(Debug, Clone)]
@@ -62,6 +78,15 @@ pub fn build_suite_report(
     jobs: usize,
     mut progress: impl FnMut(&str),
 ) -> SuiteReport {
+    // Dispatch timing runs serially and first, before the worker pool
+    // touches the heap: the classic-vs-decoded ratio is a wall-clock
+    // measurement, and both concurrent jobs and a suite-worn allocator
+    // skew it.
+    let dispatches: Vec<(String, DispatchMeasurement)> = benchmarks
+        .iter()
+        .map(|b| (b.name.to_owned(), measure_dispatch(b, scale)))
+        .collect();
+
     let outcome = map_ordered(&suite_pool(jobs), benchmarks, |_, b| {
         let base = run_benchmark(&b, scale, &AllocConfig::baseline());
         let opt = run_benchmark(&b, scale, &AllocConfig::paper_default());
@@ -114,6 +139,17 @@ pub fn build_suite_report(
         "Full optimization (lazy saves, eager restores, greedy shuffling, six \
          argument registers) vs the no-register baseline.",
     );
+    report.add_table(DISPATCH_TABLE, &dispatch_table(&dispatches));
+    report.add_table(
+        DISPATCH_THROUGHPUT_TABLE,
+        &dispatch_throughput_table(&dispatches),
+    );
+    report.note(
+        "Dispatch throughput compares the classic per-function interpreter \
+         against the pre-decoded threaded dispatch loop on the paper-default \
+         configuration; both engines observed identical counters and values \
+         on every benchmark in this report.",
+    );
     report.add_table(TIMING_TABLE, &timing_table(jobs, &outcome.stats));
 
     SuiteReport {
@@ -123,22 +159,188 @@ pub fn build_suite_report(
     }
 }
 
+/// One benchmark's classic-vs-decoded dispatch comparison: the static
+/// decode statistics (deterministic) plus the wall time each engine
+/// took to retire the same instruction stream.
+struct DispatchMeasurement {
+    stats: DecodeStats,
+    instructions: u64,
+    classic_ns: f64,
+    decoded_ns: f64,
+}
+
+/// Compiles `b` once under the paper-default configuration and runs it
+/// on both engines, timing each. Every report build doubles as a
+/// differential check: the engines must agree on the final value and on
+/// every [`lesgs_vm::RunStats`] counter, or the build panics.
+///
+/// Timing methodology: one untimed warm-up run per engine (which also
+/// feeds the differential assertions), then [`TIMED_RUNS`] rounds in
+/// which the two engines are timed back to back, keeping the minimum
+/// per engine. The warm-up pays one-off costs (page-in, branch-predictor
+/// training) outside the measurement; interleaving exposes both engines
+/// to the same machine conditions, and min-of-N rejects scheduler and
+/// hypervisor-steal noise without averaging it in.
+const TIMED_RUNS: usize = 5;
+
+fn measure_dispatch(b: &Benchmark, scale: Scale) -> DispatchMeasurement {
+    let config = CompilerConfig {
+        alloc: AllocConfig::paper_default(),
+        cost: CostModel::alpha_like(),
+        fuel: 4_000_000_000,
+        ..CompilerConfig::default()
+    };
+    let compiled = compile(b.source(scale), &config)
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", b.name));
+    let run_classic = || {
+        ClassicMachine::new(&compiled.vm, config.cost)
+            .with_fuel(config.fuel)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: classic run failed: {e}", b.name))
+    };
+    let run_decoded = || {
+        Machine::from_decoded(&compiled.decoded, config.cost)
+            .with_fuel(config.fuel)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: decoded run failed: {e}", b.name))
+    };
+    let classic = run_classic();
+    let decoded = run_decoded();
+    assert_eq!(
+        classic.value, decoded.value,
+        "{}: engines must agree on the result",
+        b.name
+    );
+    assert_eq!(
+        classic.stats, decoded.stats,
+        "{}: counted events must be dispatch-invariant",
+        b.name
+    );
+    let time_one = |run: &dyn Fn()| {
+        let start = Instant::now();
+        run();
+        start.elapsed().as_nanos() as f64
+    };
+    let mut classic_ns = f64::INFINITY;
+    let mut decoded_ns = f64::INFINITY;
+    for _ in 0..TIMED_RUNS {
+        classic_ns = classic_ns.min(time_one(&|| {
+            run_classic();
+        }));
+        decoded_ns = decoded_ns.min(time_one(&|| {
+            run_decoded();
+        }));
+    }
+    DispatchMeasurement {
+        stats: compiled.decoded.stats(),
+        instructions: decoded.stats.instructions,
+        classic_ns,
+        decoded_ns,
+    }
+}
+
+/// The deterministic decode/fusion statistics table (one row per
+/// benchmark plus a total row).
+fn dispatch_table(dispatches: &[(String, DispatchMeasurement)]) -> Table {
+    let mut t = Table::new(vec![
+        "benchmark".into(),
+        "source instrs".into(),
+        "decoded ops".into(),
+        "fused pairs".into(),
+        "cmp+branch".into(),
+        "mov+mov".into(),
+        "imm+imm".into(),
+    ]);
+    let mut total = DecodeStats::default();
+    for (name, d) in dispatches {
+        let s = d.stats;
+        total.source_instructions += s.source_instructions;
+        total.decoded_ops += s.decoded_ops;
+        total.fused_pairs += s.fused_pairs;
+        total.cmp_branch += s.cmp_branch;
+        total.mov_mov += s.mov_mov;
+        total.imm_imm += s.imm_imm;
+        t.row(vec![
+            name.clone(),
+            s.source_instructions.to_string(),
+            s.decoded_ops.to_string(),
+            s.fused_pairs.to_string(),
+            s.cmp_branch.to_string(),
+            s.mov_mov.to_string(),
+            s.imm_imm.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "Total".into(),
+        total.source_instructions.to_string(),
+        total.decoded_ops.to_string(),
+        total.fused_pairs.to_string(),
+        total.cmp_branch.to_string(),
+        total.mov_mov.to_string(),
+        total.imm_imm.to_string(),
+    ]);
+    t
+}
+
+/// Instructions retired per wall-clock second on each engine, per
+/// benchmark, with an aggregate row computed from the summed totals.
+/// Wall-clock values — excluded from the perf-regression gate.
+fn dispatch_throughput_table(dispatches: &[(String, DispatchMeasurement)]) -> Table {
+    let mops = |instructions: u64, ns: f64| {
+        let per_sec = ratio(instructions as f64 * 1e9, ns, 0.0);
+        format!("{:.1}", per_sec / 1e6)
+    };
+    let mut t = Table::new(vec![
+        "benchmark".into(),
+        "instructions".into(),
+        "classic (Mops/s)".into(),
+        "decoded (Mops/s)".into(),
+        "speedup".into(),
+    ]);
+    let (mut instr_total, mut classic_total, mut decoded_total) = (0u64, 0.0f64, 0.0f64);
+    for (name, d) in dispatches {
+        instr_total += d.instructions;
+        classic_total += d.classic_ns;
+        decoded_total += d.decoded_ns;
+        t.row(vec![
+            name.clone(),
+            d.instructions.to_string(),
+            mops(d.instructions, d.classic_ns),
+            mops(d.instructions, d.decoded_ns),
+            format!("{:.2}x", ratio(d.classic_ns, d.decoded_ns, 0.0)),
+        ]);
+    }
+    t.row(vec![
+        "Total".into(),
+        instr_total.to_string(),
+        mops(instr_total, classic_total),
+        mops(instr_total, decoded_total),
+        format!("{:.2}x", ratio(classic_total, decoded_total, 0.0)),
+    ]);
+    t
+}
+
 /// The sequential-vs-parallel wall-time comparison for one pool run.
 /// "Sequential-equivalent" is the sum of per-benchmark job times — what
 /// one worker would have spent — against the pool's actual wall time.
 /// Row labels and shape are fixed; only the values vary run to run.
+/// Times are reported in microseconds: small-scale suite runs finish in
+/// well under a millisecond per benchmark, which the old millisecond
+/// rendering rounded to an unreadable "0.0".
 fn timing_table(jobs: usize, stats: &PoolStats) -> Table {
-    let seq_ms = stats.job_run.sum / 1e6;
-    let wall_ms = stats.wall_ns / 1e6;
-    let speedup = lesgs_metrics::ratio(stats.job_run.sum, stats.wall_ns, 0.0);
+    let seq_us = stats.job_run.sum / 1e3;
+    let wall_us = stats.wall_ns / 1e3;
+    // `ratio` guards the idle-pool case (zero wall time) with 0.00x
+    // rather than a NaN/inf leaking into the report.
+    let speedup = ratio(stats.job_run.sum, stats.wall_ns, 0.0);
     let mut t = Table::new(vec!["metric".into(), "value".into()]);
     t.row(vec!["jobs".into(), jobs.to_string()]);
     t.row(vec!["workers".into(), stats.workers.to_string()]);
     t.row(vec![
-        "sequential-equivalent (ms)".into(),
-        format!("{seq_ms:.1}"),
+        "sequential-equivalent (us)".into(),
+        format!("{seq_us:.1}"),
     ]);
-    t.row(vec!["parallel wall (ms)".into(), format!("{wall_ms:.1}")]);
+    t.row(vec!["parallel wall (us)".into(), format!("{wall_us:.1}")]);
     t.row(vec!["speedup".into(), format!("{speedup:.2}x")]);
     t.row(vec![
         "worker utilization".into(),
@@ -150,28 +352,13 @@ fn timing_table(jobs: usize, stats: &PoolStats) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lesgs_metrics::Json;
     use lesgs_suite::all_benchmarks;
 
-    /// Strips the one wall-clock table so the rest of the document can
-    /// be compared byte-for-byte across job counts.
-    fn without_timing(report: &Report) -> String {
-        let json = report.to_json();
-        let fields = json.as_object().expect("report is an object");
-        let filtered = fields.iter().map(|(k, v)| {
-            if k == "tables" {
-                let kept = v
-                    .as_array()
-                    .expect("tables is an array")
-                    .iter()
-                    .filter(|t| t.get("name").and_then(|n| n.as_str()) != Some(TIMING_TABLE))
-                    .cloned();
-                (k.as_str(), Json::array(kept))
-            } else {
-                (k.as_str(), v.clone())
-            }
-        });
-        Json::object(filtered).pretty()
+    /// Strips the wall-clock tables so the rest of the document can be
+    /// compared byte-for-byte across job counts — the same projection
+    /// the perf-regression gate uses.
+    fn deterministic(report: &Report) -> String {
+        crate::check::deterministic_projection(&report.to_json()).pretty()
     }
 
     #[test]
@@ -179,7 +366,7 @@ mod tests {
         let benchmarks: Vec<_> = all_benchmarks().into_iter().take(4).collect();
         let seq = build_suite_report(benchmarks.clone(), Scale::Small, 1, |_| {});
         let par = build_suite_report(benchmarks, Scale::Small, 4, |_| {});
-        assert_eq!(without_timing(&seq.report), without_timing(&par.report));
+        assert_eq!(deterministic(&seq.report), deterministic(&par.report));
         assert_eq!(
             format!("{}", seq.comparisons),
             format!("{}", par.comparisons)
@@ -196,6 +383,41 @@ mod tests {
         assert_eq!(a.rows().len(), b.rows().len());
         for (ra, rb) in a.rows().iter().zip(b.rows()) {
             assert_eq!(ra[0], rb[0], "metric labels must not vary");
+        }
+        assert!(
+            a.headers()
+                .iter()
+                .chain(a.rows().iter().flatten())
+                .all(|c| !c.contains("(ms)")),
+            "timing is reported in microseconds"
+        );
+    }
+
+    #[test]
+    fn timing_table_guards_zero_wall_time() {
+        // A pool that recorded no wall time (degenerate, but possible
+        // on a coarse clock) must not emit NaN or inf.
+        let t = timing_table(1, &PoolStats::new(1));
+        let speedup = &t.rows()[4];
+        assert_eq!(speedup[0], "speedup");
+        assert_eq!(speedup[1], "0.00x");
+    }
+
+    #[test]
+    fn dispatch_tables_have_total_rows() {
+        let benchmarks: Vec<_> = all_benchmarks().into_iter().take(2).collect();
+        let built = build_suite_report(benchmarks, Scale::Small, 1, |_| {});
+        let json = built.report.to_json();
+        let tables = json.get("tables").and_then(|t| t.as_array()).unwrap();
+        for name in [DISPATCH_TABLE, DISPATCH_THROUGHPUT_TABLE] {
+            let table = tables
+                .iter()
+                .find(|t| t.get("name").and_then(|n| n.as_str()) == Some(name))
+                .unwrap_or_else(|| panic!("report carries the {name} table"));
+            let rows = table.get("rows").and_then(|r| r.as_array()).unwrap();
+            assert_eq!(rows.len(), 3, "{name}: 2 benchmarks + total");
+            let last = rows[2].as_array().unwrap();
+            assert_eq!(last[0].as_str(), Some("Total"));
         }
     }
 

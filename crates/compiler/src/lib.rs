@@ -24,7 +24,7 @@ use lesgs_core::{driver::allocate_program_observed, AllocConfig, AllocatedProgra
 use lesgs_frontend::pipeline;
 use lesgs_ir::{lower_program, Program};
 use lesgs_metrics::{ratio, Registry};
-use lesgs_vm::{CostModel, Machine, VmOutcome, VmProgram};
+use lesgs_vm::{CostModel, DecodedProgram, Machine, VmOutcome, VmProgram};
 
 /// Complete compiler + execution configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -84,6 +84,9 @@ pub struct Compiled {
     pub allocated: AllocatedProgram,
     /// Executable VM code.
     pub vm: VmProgram,
+    /// The pre-decoded form the dispatch loop executes (built once at
+    /// compile time; every [`Compiled::run`] reuses it).
+    pub decoded: DecodedProgram,
 }
 
 impl Compiled {
@@ -93,7 +96,7 @@ impl Compiled {
     ///
     /// VM runtime errors or budget exhaustion.
     pub fn run(&self, config: &CompilerConfig) -> Result<VmOutcome, lesgs_vm::VmError> {
-        let mut m = Machine::new(&self.vm, config.cost)
+        let mut m = Machine::from_decoded(&self.decoded, config.cost)
             .with_poison(config.poison)
             .with_trace(config.trace);
         if config.fuel > 0 {
@@ -242,12 +245,21 @@ pub fn compile_back_observed(
     reg.end_span(codegen_span);
     times.codegen = t2.elapsed();
 
+    // Pre-decode for the dispatch loop. The vm.dispatch.* counters are
+    // *static* load-time facts (decoded ops, fusion hits) — run-time
+    // vm.* counters keep their pre-decoding key set untouched.
+    let decode_span = reg.start_span("vm.dispatch.decode");
+    let decoded = DecodedProgram::decode(&vm);
+    reg.end_span(decode_span);
+    decoded.stats().record(reg);
+
     reg.set_gauge("compile.alloc_fraction", times.allocation_fraction());
     (
         Compiled {
             ir: front.ir.clone(),
             allocated,
             vm,
+            decoded,
         },
         times,
     )

@@ -1,19 +1,36 @@
-//! The execution engine.
+//! The execution engine: a tight indexed dispatch loop over a
+//! pre-decoded program.
+//!
+//! [`Machine`] executes the flat [`DecodedOp`] array built by
+//! [`DecodedProgram::decode`] (see that module for the layout and the
+//! fusion catalogue). The hot loop never touches the original
+//! [`VmProgram`]: ops are `Copy`, operands are inline, jump targets are
+//! absolute, and the register file is a pair of fixed arrays — no
+//! per-iteration allocation or indirection. The classic
+//! decode-in-the-loop executor survives as
+//! [`crate::classic::ClassicMachine`]; differential tests hold the two
+//! to byte-identical outcomes and [`RunStats`], because the cost model
+//! and every `vm.*` counter must observe exactly the same event stream
+//! regardless of engine. Fused ops preserve that invariant by
+//! construction: their handlers are literal compositions of the plain
+//! handlers with the loop-top accounting ([`Machine::fetch_second_half`])
+//! replayed between the halves.
 
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use lesgs_frontend::{Const, FuncId, Prim};
+use lesgs_frontend::{FuncId, Prim};
 use lesgs_ir::machine::{CP, NUM_REGS, RET, RV};
 use lesgs_ir::Reg;
-use lesgs_sexpr::Datum;
 
 use crate::cost::CostModel;
-use crate::instr::{CallTarget, Imm, Instr};
+use crate::decode::{DecodedOp, DecodedProgram, PrimArgs};
+use crate::instr::{Imm, SlotClass};
+use crate::prim::{eval_prim, ArgVals};
 use crate::program::VmProgram;
 use crate::stats::{ActivationClass, RunStats};
-use crate::value::{RetAddr, Value, VmClosure};
+use crate::value::{const_to_value, RetAddr, Value, VmClosure};
 
 /// A runtime failure (type error, fuel exhaustion, VM invariant
 /// violation).
@@ -27,7 +44,7 @@ pub struct VmError {
 
 /// The message every instruction-budget failure carries (the stable
 /// marker behind [`VmError::is_fuel_exhausted`]).
-const FUEL_MESSAGE: &str = "instruction budget exhausted";
+pub(crate) const FUEL_MESSAGE: &str = "instruction budget exhausted";
 
 impl VmError {
     /// Creates an error.
@@ -70,71 +87,79 @@ pub struct VmOutcome {
     pub stats: RunStats,
 }
 
-struct Activation {
-    func: FuncId,
-    made_call: bool,
+/// One entry of the shadow activation stack (for Table 2
+/// classification; shared with the classic engine).
+pub(crate) struct Activation {
+    pub(crate) func: FuncId,
+    pub(crate) made_call: bool,
+}
+
+/// The decoded program a [`Machine`] executes: decoded privately by
+/// [`Machine::new`], or borrowed via [`Machine::from_decoded`] so many
+/// runs (the bench harness, the config matrix) share one decode.
+enum Code<'a> {
+    Owned(Box<DecodedProgram>),
+    Borrowed(&'a DecodedProgram),
+    /// Placeholder left behind once [`Machine::run`] moves the program
+    /// out to hold it by direct reference for the dispatch loop.
+    Taken,
 }
 
 /// The virtual machine.
 pub struct Machine<'a> {
-    program: &'a VmProgram,
+    code: Code<'a>,
     cost: CostModel,
     max_instructions: u64,
     poison_frames: bool,
     trace: bool,
-    regs: Vec<Value>,
-    ready: Vec<u64>,
+    regs: [Value; NUM_REGS],
+    ready: [u64; NUM_REGS],
     stack: Vec<Value>,
     fp: u32,
     func: FuncId,
+    /// Absolute pc into the decoded op array.
     pc: u32,
     constants: Vec<Value>,
     globals: Vec<Value>,
     output: String,
     stats: RunStats,
     shadow: Vec<Activation>,
-}
-
-fn datum_to_value(d: &Datum) -> Value {
-    match d {
-        Datum::Fixnum(n) => Value::Fixnum(*n),
-        Datum::Bool(b) => Value::Bool(*b),
-        Datum::Char(c) => Value::Char(*c),
-        Datum::Str(s) => Value::Str(Rc::new(s.clone())),
-        Datum::Symbol(s) => Value::Symbol(Rc::new(s.clone())),
-        Datum::List(items) => items
-            .iter()
-            .rev()
-            .fold(Value::Nil, |acc, d| Value::cons(datum_to_value(d), acc)),
-        Datum::Improper(items, tail) => items.iter().rev().fold(datum_to_value(tail), |acc, d| {
-            Value::cons(datum_to_value(d), acc)
-        }),
-        Datum::Vector(items) => Value::Vector(Rc::new(RefCell::new(
-            items.iter().map(datum_to_value).collect(),
-        ))),
-    }
-}
-
-fn const_to_value(c: &Const) -> Value {
-    match c {
-        Const::Fixnum(n) => Value::Fixnum(*n),
-        Const::Bool(b) => Value::Bool(*b),
-        Const::Char(c) => Value::Char(*c),
-        Const::Str(s) => Value::Str(Rc::new(s.clone())),
-        Const::Nil => Value::Nil,
-        Const::Void => Value::Void,
-        Const::Symbol(s) => Value::Symbol(Rc::new(s.clone())),
-        Const::Datum(d) => datum_to_value(d),
-    }
+    // Flat per-class tallies for the hot loop; folded into the
+    // `RunStats` hash maps once, at exit. The decoded engine observes
+    // the same events as the classic one — it just counts them in
+    // arrays instead of paying a hash per stack reference.
+    stack_loads_by_class: [u64; SlotClass::ALL.len()],
+    stack_stores_by_class: [u64; SlotClass::ALL.len()],
+    activations_by_class: [u64; ActivationClass::ALL.len()],
 }
 
 type Result<T> = std::result::Result<T, VmError>;
 
 impl<'a> Machine<'a> {
-    /// Creates a machine for `program` with the given cost model.
+    /// Creates a machine for `program` with the given cost model,
+    /// decoding it on the spot. When the same program will run more
+    /// than once, decode it yourself and use [`Machine::from_decoded`].
     pub fn new(program: &'a VmProgram, cost: CostModel) -> Machine<'a> {
+        Machine::with_code(Code::Owned(Box::new(DecodedProgram::decode(program))), cost)
+    }
+
+    /// Creates a machine over an already-decoded program.
+    pub fn from_decoded(program: &'a DecodedProgram, cost: CostModel) -> Machine<'a> {
+        Machine::with_code(Code::Borrowed(program), cost)
+    }
+
+    fn with_code(code: Code<'a>, cost: CostModel) -> Machine<'a> {
+        let prog = match &code {
+            Code::Owned(p) => p.as_ref(),
+            Code::Borrowed(p) => p,
+            Code::Taken => unreachable!("machine constructed without code"),
+        };
+        let entry = prog.entry;
+        let pc = prog.funcs[entry.index()].base;
+        let constants = prog.constants.iter().map(const_to_value).collect();
+        let n_globals = prog.n_globals as usize;
         Machine {
-            program,
+            code,
             cost,
             max_instructions: 2_000_000_000,
             poison_frames: false,
@@ -142,17 +167,20 @@ impl<'a> Machine<'a> {
             // Registers start as benign garbage (hardware registers
             // always hold *something*); uninitialized-read detection
             // applies to poisoned stack slots only.
-            regs: vec![Value::Void; NUM_REGS],
-            ready: vec![0; NUM_REGS],
+            regs: std::array::from_fn(|_| Value::Void),
+            ready: [0; NUM_REGS],
             stack: Vec::new(),
             fp: 0,
-            func: program.entry,
-            pc: 0,
-            constants: program.constants.iter().map(const_to_value).collect(),
-            globals: vec![Value::Void; program.n_globals as usize],
+            func: entry,
+            pc,
+            constants,
+            globals: vec![Value::Void; n_globals],
             output: String::new(),
             stats: RunStats::default(),
             shadow: Vec::new(),
+            stack_loads_by_class: [0; SlotClass::ALL.len()],
+            stack_stores_by_class: [0; SlotClass::ALL.len()],
+            activations_by_class: [0; ActivationClass::ALL.len()],
         }
     }
 
@@ -179,32 +207,54 @@ impl<'a> Machine<'a> {
         self
     }
 
-    fn err(&self, message: impl Into<String>) -> VmError {
+    #[inline]
+    fn base(prog: &DecodedProgram, f: FuncId) -> u32 {
+        prog.funcs[f.index()].base
+    }
+
+    /// Builds an error located at the given absolute pc, reported in
+    /// the same function-relative coordinates as the classic engine.
+    #[cold]
+    fn err(&self, prog: &DecodedProgram, pc: u32, message: impl Into<String>) -> VmError {
+        let info = &prog.funcs[self.func.index()];
         VmError {
             message: message.into(),
-            at: Some((self.program.func(self.func).name.clone(), self.pc)),
+            at: Some((info.name.clone(), pc.saturating_sub(info.base))),
         }
     }
 
-    fn read(&mut self, r: Reg) -> Value {
-        // Stall until the register's in-flight load completes.
+    /// The stall half of [`Machine::read`]: waits until the register's
+    /// in-flight load completes, with the same cycle accounting. Fast
+    /// paths stall first and then peek the register in place instead of
+    /// cloning it; a stall is idempotent, so a fallback to `read` after
+    /// a peek observes nothing extra.
+    #[inline]
+    fn stall_on(&mut self, r: Reg) {
         if self.ready[r.index()] > self.stats.cycles {
             self.stats.stall_cycles += self.ready[r.index()] - self.stats.cycles;
             self.stats.cycles = self.ready[r.index()];
         }
+    }
+
+    #[inline]
+    fn read(&mut self, r: Reg) -> Value {
+        self.stall_on(r);
         self.regs[r.index()].clone()
     }
 
+    #[inline]
     fn write(&mut self, r: Reg, v: Value) {
         self.regs[r.index()] = v;
         self.ready[r.index()] = self.stats.cycles;
     }
 
+    #[inline]
     fn write_loaded(&mut self, r: Reg, v: Value) {
         self.regs[r.index()] = v;
         self.ready[r.index()] = self.stats.cycles + self.cost.load_latency;
     }
 
+    #[inline]
     fn slot_index(&self, slot: u32) -> usize {
         (self.fp + slot) as usize
     }
@@ -217,17 +267,17 @@ impl<'a> Machine<'a> {
         self.stack[idx] = v;
     }
 
-    fn stack_load(&mut self, slot: u32) -> Result<Value> {
+    fn stack_load(&mut self, prog: &DecodedProgram, pc: u32, slot: u32) -> Result<Value> {
         let idx = self.slot_index(slot);
         match self.stack.get(idx) {
             Some(Value::Uninit) | None => {
-                Err(self.err(format!("read of uninitialized stack slot {slot}")))
+                Err(self.err(prog, pc, format!("read of uninitialized stack slot {slot}")))
             }
             Some(v) => Ok(v.clone()),
         }
     }
 
-    fn enter_activation(&mut self, callee: FuncId) {
+    fn enter_activation(&mut self, prog: &DecodedProgram, callee: FuncId) {
         if let Some(top) = self.shadow.last_mut() {
             top.made_call = true;
         }
@@ -235,7 +285,7 @@ impl<'a> Machine<'a> {
         if self.trace {
             eprintln!(
                 "trace: call {} depth={}",
-                self.program.func(callee).name,
+                prog.funcs[callee.index()].name,
                 self.shadow.len()
             );
         }
@@ -245,8 +295,8 @@ impl<'a> Machine<'a> {
         });
     }
 
-    fn classify(&self, a: &Activation) -> ActivationClass {
-        let f = self.program.func(a.func);
+    fn classify(prog: &DecodedProgram, a: &Activation) -> ActivationClass {
+        let f = &prog.funcs[a.func.index()];
         match (a.made_call, f.syntactic_leaf, f.call_inevitable) {
             (false, true, _) => ActivationClass::SyntacticLeaf,
             (false, false, _) => ActivationClass::NonSyntacticLeaf,
@@ -255,36 +305,61 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn leave_activation(&mut self) {
+    fn leave_activation(&mut self, prog: &DecodedProgram) {
         if let Some(a) = self.shadow.pop() {
-            let class = self.classify(&a);
+            let class = Machine::classify(prog, &a);
             if self.trace {
                 eprintln!(
                     "trace: return {} class={} depth={}",
-                    self.program.func(a.func).name,
+                    prog.funcs[a.func.index()].name,
                     class.key(),
                     self.shadow.len()
                 );
             }
-            *self.stats.activations.entry(class).or_insert(0) += 1;
+            self.activations_by_class[class as usize] += 1;
         }
     }
 
-    fn call_target(&mut self, target: CallTarget) -> Result<FuncId> {
-        match target {
-            CallTarget::Func(f) => Ok(f),
-            CallTarget::ClosureCp => match self.read(CP) {
-                Value::Closure(c) => Ok(c.func),
-                other => Err(self.err(format!("call of non-procedure `{}`", other.write_string()))),
-            },
+    /// Folds the flat per-class tallies into the `RunStats` hash maps.
+    /// Only non-zero classes are inserted, matching the classic
+    /// engine's `entry(..).or_insert(0)` behaviour key for key.
+    fn fold_class_counters(&mut self) {
+        for (i, class) in SlotClass::ALL.iter().enumerate() {
+            if self.stack_loads_by_class[i] > 0 {
+                *self.stats.stack_loads.entry(*class).or_insert(0) += self.stack_loads_by_class[i];
+            }
+            if self.stack_stores_by_class[i] > 0 {
+                *self.stats.stack_stores.entry(*class).or_insert(0) +=
+                    self.stack_stores_by_class[i];
+            }
+        }
+        for (i, class) in ActivationClass::ALL.iter().enumerate() {
+            if self.activations_by_class[i] > 0 {
+                *self.stats.activations.entry(*class).or_insert(0) += self.activations_by_class[i];
+            }
         }
     }
 
-    fn poison(&mut self, func: FuncId) {
+    /// Resolves a through-`cp` call: reads (and possibly stalls on)
+    /// `cp` *before* the return address is written, exactly as the
+    /// classic engine's `call_target` did.
+    fn closure_callee(&mut self, prog: &DecodedProgram, pc: u32) -> Result<FuncId> {
+        self.stall_on(CP);
+        match &self.regs[CP.index()] {
+            Value::Closure(c) => Ok(c.func),
+            other => Err(self.err(
+                prog,
+                pc,
+                format!("call of non-procedure `{}`", other.write_string()),
+            )),
+        }
+    }
+
+    fn poison(&mut self, prog: &DecodedProgram, func: FuncId) {
         if !self.poison_frames {
             return;
         }
-        let f = self.program.func(func);
+        let f = &prog.funcs[func.index()];
         // Skip the incoming-parameter region: the caller wrote the
         // stack-passed arguments there just before the call.
         let lo = (self.fp + f.n_incoming) as usize;
@@ -297,6 +372,197 @@ impl<'a> Machine<'a> {
         }
     }
 
+    #[inline]
+    fn imm_value(imm: Imm) -> Value {
+        match imm {
+            Imm::Fixnum(n) => Value::Fixnum(n),
+            Imm::Bool(b) => Value::Bool(b),
+            Imm::Char(c) => Value::Char(c),
+            Imm::Nil => Value::Nil,
+            Imm::Void => Value::Void,
+        }
+    }
+
+    /// Fast paths for the hottest primitives: operands are peeked in
+    /// place (after the same stall accounting `read` performs) instead
+    /// of being cloned into the shared evaluator's argument buffer.
+    /// Returns `None` — having changed nothing but idempotent stall
+    /// state — whenever the operands don't match the fast shape (wrong
+    /// type, overflow, bad index), so the shared [`eval_prim`] stays
+    /// the single owner of error semantics and the full catalogue.
+    #[inline]
+    fn try_fast_prim(&mut self, op: Prim, args: &PrimArgs) -> Option<(Value, bool)> {
+        use Prim::*;
+        let a = args.as_slice();
+        for r in a {
+            self.stall_on(*r);
+        }
+        macro_rules! fix {
+            ($i:expr) => {
+                match &self.regs[a[$i].index()] {
+                    Value::Fixnum(n) => *n,
+                    _ => return None,
+                }
+            };
+        }
+        let result = match op {
+            Add => Value::Fixnum(fix!(0).checked_add(fix!(1))?),
+            Sub => Value::Fixnum(fix!(0).checked_sub(fix!(1))?),
+            Mul => Value::Fixnum(fix!(0).checked_mul(fix!(1))?),
+            Add1 => Value::Fixnum(fix!(0).checked_add(1)?),
+            Sub1 => Value::Fixnum(fix!(0).checked_sub(1)?),
+            NumEq => Value::Bool(fix!(0) == fix!(1)),
+            Lt => Value::Bool(fix!(0) < fix!(1)),
+            Le => Value::Bool(fix!(0) <= fix!(1)),
+            Gt => Value::Bool(fix!(0) > fix!(1)),
+            Ge => Value::Bool(fix!(0) >= fix!(1)),
+            IsZero => Value::Bool(fix!(0) == 0),
+            Not => Value::Bool(!self.regs[a[0].index()].is_truthy()),
+            IsPair => Value::Bool(matches!(self.regs[a[0].index()], Value::Pair(_))),
+            IsNull => Value::Bool(matches!(self.regs[a[0].index()], Value::Nil)),
+            IsEq | IsEqv => Value::Bool(self.regs[a[0].index()].eq_ptr(&self.regs[a[1].index()])),
+            Car | Cdr => match &self.regs[a[0].index()] {
+                Value::Pair(p) => {
+                    let p = p.borrow();
+                    let v = if op == Car { p.0.clone() } else { p.1.clone() };
+                    return Some((v, true));
+                }
+                _ => return None,
+            },
+            VectorRef => match &self.regs[a[0].index()] {
+                Value::Vector(v) => {
+                    let i = fix!(1);
+                    let v = v.borrow();
+                    let idx = usize::try_from(i).ok().filter(|&i| i < v.len())?;
+                    return Some((v[idx].clone(), true));
+                }
+                _ => return None,
+            },
+            VectorSet => {
+                let i = fix!(1);
+                let x = match &self.regs[a[0].index()] {
+                    Value::Vector(v) => {
+                        let len = v.borrow().len();
+                        usize::try_from(i).ok().filter(|&i| i < len)?;
+                        self.regs[a[2].index()].clone()
+                    }
+                    _ => return None,
+                };
+                match &self.regs[a[0].index()] {
+                    Value::Vector(v) => v.borrow_mut()[i as usize] = x,
+                    _ => unreachable!(),
+                }
+                Value::Void
+            }
+            _ => return None,
+        };
+        Some((result, false))
+    }
+
+    #[inline]
+    fn exec_prim(
+        &mut self,
+        prog: &DecodedProgram,
+        pc: u32,
+        op: Prim,
+        dst: Reg,
+        args: &PrimArgs,
+    ) -> Result<()> {
+        let (result, from_memory) = match self.try_fast_prim(op, args) {
+            Some(r) => r,
+            None => {
+                let mut vals = ArgVals::new();
+                for r in args.as_slice() {
+                    vals.push(self.read(*r));
+                }
+                eval_prim(op, &mut vals, &mut self.output).map_err(|m| self.err(prog, pc, m))?
+            }
+        };
+        if from_memory {
+            self.write_loaded(dst, result);
+        } else {
+            self.write(dst, result);
+        }
+        if op.touches_memory() {
+            self.stats.heap_ops += 1;
+            self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_branch(
+        &mut self,
+        pc: &mut u32,
+        src: Reg,
+        target: u32,
+        likely: Option<bool>,
+        on_true: bool,
+    ) {
+        self.stats.branches += 1;
+        // Peek the condition in place — truthiness needs no clone.
+        self.stall_on(src);
+        let taken = self.regs[src.index()].is_truthy() == on_true;
+        // Default static prediction: fallthrough (a taken branch under
+        // a fallthrough prediction mispredicts, and vice versa).
+        let predicted_fallthrough = likely.unwrap_or(true);
+        if predicted_fallthrough == taken {
+            self.stats.mispredicts += 1;
+            self.stats.cycles += self.cost.mispredict_penalty;
+        }
+        if taken {
+            *pc = target;
+        }
+    }
+
+    #[inline]
+    fn do_call(&mut self, prog: &DecodedProgram, pc: &mut u32, callee: FuncId, frame_advance: u32) {
+        // Return addresses stay function-relative so the value is
+        // engine-independent (differential tests compare rendered
+        // values, and save slots hold these).
+        let ra = RetAddr {
+            func: self.func,
+            pc: *pc - Machine::base(prog, self.func),
+            fp: self.fp,
+        };
+        self.write(RET, Value::RetAddr(ra));
+        self.fp += frame_advance;
+        self.func = callee;
+        *pc = Machine::base(prog, callee);
+        self.enter_activation(prog, callee);
+        self.poison(prog, callee);
+    }
+
+    #[inline]
+    fn do_tail_call(&mut self, prog: &DecodedProgram, pc: &mut u32, callee: FuncId) {
+        self.stats.tail_calls += 1;
+        if self.trace {
+            eprintln!(
+                "trace: tail-call {} depth={}",
+                prog.funcs[callee.index()].name,
+                self.shadow.len()
+            );
+        }
+        self.func = callee;
+        *pc = Machine::base(prog, callee);
+        // A tail call is a jump: same activation, same fp.
+    }
+
+    /// Replays the loop-top accounting between the two halves of a
+    /// fused op: fuel check, instruction/cycle counts, pc advance. This
+    /// is what makes a fused pair indistinguishable from the two plain
+    /// ops in every counter and error location.
+    #[inline]
+    fn fetch_second_half(&mut self, prog: &DecodedProgram, pc: &mut u32) -> Result<()> {
+        if self.stats.instructions >= self.max_instructions {
+            return Err(self.err(prog, *pc, FUEL_MESSAGE));
+        }
+        self.stats.instructions += 1;
+        self.stats.cycles += self.cost.instr_cost;
+        *pc += 1;
+        Ok(())
+    }
+
     /// Runs the program to completion.
     ///
     /// # Errors
@@ -304,146 +570,103 @@ impl<'a> Machine<'a> {
     /// Type errors, arity/stack violations, `(error …)`, or exceeding
     /// the instruction budget.
     pub fn run(mut self) -> Result<VmOutcome> {
+        // Move the program out of `self` so the dispatch loop holds it
+        // by direct reference — no per-access enum match, and the op
+        // array pointer stays hoisted across the whole loop.
+        let code = std::mem::replace(&mut self.code, Code::Taken);
+        match &code {
+            Code::Owned(p) => self.run_on(p),
+            Code::Borrowed(p) => self.run_on(p),
+            Code::Taken => unreachable!("machine run twice"),
+        }
+    }
+
+    fn run_on(&mut self, prog: &DecodedProgram) -> Result<VmOutcome> {
+        let ops: &[DecodedOp] = &prog.ops;
+        // The pc lives in a local so the hottest state of the loop can
+        // stay in a register; helpers that redirect control flow take
+        // `&mut u32`.
+        let mut pc = self.pc;
         // Bootstrap: the entry function's frame starts at 0.
         self.shadow.push(Activation {
             func: self.func,
             made_call: false,
         });
-        self.poison(self.func);
+        self.poison(prog, self.func);
         loop {
             if self.stats.instructions >= self.max_instructions {
-                return Err(self.err(FUEL_MESSAGE));
+                return Err(self.err(prog, pc, FUEL_MESSAGE));
             }
             self.stats.instructions += 1;
             self.stats.cycles += self.cost.instr_cost;
-            let code = &self.program.func(self.func).code;
-            let Some(instr) = code.get(self.pc as usize) else {
-                return Err(self.err("program counter out of range"));
-            };
-            let instr = instr.clone();
-            self.pc += 1;
-            match instr {
-                Instr::LoadImm { dst, imm } => {
-                    let v = match imm {
-                        Imm::Fixnum(n) => Value::Fixnum(n),
-                        Imm::Bool(b) => Value::Bool(b),
-                        Imm::Char(c) => Value::Char(c),
-                        Imm::Nil => Value::Nil,
-                        Imm::Void => Value::Void,
-                    };
-                    self.write(dst, v);
+            // In range by construction: every function ends in a
+            // FuncEnd sentinel and all targets are clamped into its
+            // own span, so the pc cannot run off the array.
+            let op = ops[pc as usize];
+            pc += 1;
+            match op {
+                DecodedOp::Imm { dst, imm } => {
+                    self.write(dst, Machine::imm_value(imm));
                 }
-                Instr::LoadConst { dst, idx } => {
+                DecodedOp::Const { dst, idx } => {
                     let v = self.constants[idx as usize].clone();
                     self.write(dst, v);
                 }
-                Instr::Mov { dst, src } => {
+                DecodedOp::Mov { dst, src } => {
                     let v = self.read(src);
                     self.write(dst, v);
                 }
-                Instr::StackLoad { dst, slot, class } => {
+                DecodedOp::StackLoad { dst, slot, class } => {
                     self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
-                    *self.stats.stack_loads.entry(class).or_insert(0) += 1;
-                    let v = self.stack_load(slot)?;
+                    self.stack_loads_by_class[class as usize] += 1;
+                    let v = self.stack_load(prog, pc, slot)?;
                     self.write_loaded(dst, v);
                 }
-                Instr::StackStore { slot, src, class } => {
+                DecodedOp::StackStore { slot, src, class } => {
                     self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
-                    *self.stats.stack_stores.entry(class).or_insert(0) += 1;
+                    self.stack_stores_by_class[class as usize] += 1;
                     let v = self.read(src);
                     self.stack_store(slot, v);
                 }
-                Instr::Prim { op, dst, args } => {
-                    let vals: Vec<Value> = args.iter().map(|r| self.read(*r)).collect();
-                    let loaded = self.apply_prim(op, vals, dst)?;
-                    if op.touches_memory() {
-                        self.stats.heap_ops += 1;
-                        self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
-                    }
-                    let _ = loaded;
+                DecodedOp::Prim { op, dst, args } => {
+                    self.exec_prim(prog, pc, op, dst, &args)?;
                 }
-                Instr::Jump { target } => self.pc = target,
-                Instr::BranchFalse {
+                DecodedOp::Jump { target } => pc = target,
+                DecodedOp::Branch {
                     src,
                     target,
                     likely,
-                } => {
-                    self.stats.branches += 1;
-                    let v = self.read(src);
-                    let fallthrough = v.is_truthy();
-                    // Default static prediction: fallthrough.
-                    let predicted_fallthrough = likely.unwrap_or(true);
-                    if predicted_fallthrough != fallthrough {
-                        self.stats.mispredicts += 1;
-                        self.stats.cycles += self.cost.mispredict_penalty;
-                    }
-                    if !fallthrough {
-                        self.pc = target;
-                    }
-                }
-                Instr::BranchTrue {
-                    src,
-                    target,
-                    likely,
-                } => {
-                    self.stats.branches += 1;
-                    let v = self.read(src);
-                    let fallthrough = !v.is_truthy();
-                    let predicted_fallthrough = likely.unwrap_or(true);
-                    if predicted_fallthrough != fallthrough {
-                        self.stats.mispredicts += 1;
-                        self.stats.cycles += self.cost.mispredict_penalty;
-                    }
-                    if !fallthrough {
-                        self.pc = target;
-                    }
-                }
-                Instr::Call {
-                    target,
+                    on_true,
+                } => self.exec_branch(&mut pc, src, target, likely, on_true),
+                DecodedOp::CallStatic {
+                    callee,
                     frame_advance,
-                } => {
-                    let callee = self.call_target(target)?;
-                    let ra = RetAddr {
-                        func: self.func,
-                        pc: self.pc,
-                        fp: self.fp,
-                    };
-                    self.write(RET, Value::RetAddr(ra));
-                    self.fp += frame_advance;
-                    self.func = callee;
-                    self.pc = 0;
-                    self.enter_activation(callee);
-                    self.poison(callee);
+                } => self.do_call(prog, &mut pc, callee, frame_advance),
+                DecodedOp::CallClosure { frame_advance } => {
+                    let callee = self.closure_callee(prog, pc)?;
+                    self.do_call(prog, &mut pc, callee, frame_advance);
                 }
-                Instr::TailCall { target } => {
-                    let callee = self.call_target(target)?;
-                    self.stats.tail_calls += 1;
-                    if self.trace {
-                        eprintln!(
-                            "trace: tail-call {} depth={}",
-                            self.program.func(callee).name,
-                            self.shadow.len()
-                        );
-                    }
-                    self.func = callee;
-                    self.pc = 0;
-                    // A tail call is a jump: same activation, same fp.
+                DecodedOp::TailCallStatic { callee } => self.do_tail_call(prog, &mut pc, callee),
+                DecodedOp::TailCallClosure => {
+                    let callee = self.closure_callee(prog, pc)?;
+                    self.do_tail_call(prog, &mut pc, callee);
                 }
-                Instr::Return => match self.read(RET) {
+                DecodedOp::Return => match self.read(RET) {
                     Value::RetAddr(ra) => {
-                        self.leave_activation();
+                        self.leave_activation(prog);
                         self.func = ra.func;
-                        self.pc = ra.pc;
+                        pc = Machine::base(prog, ra.func) + ra.pc;
                         self.fp = ra.fp;
                     }
                     other => {
-                        return Err(self.err(format!(
-                            "return through non-address `{}`",
-                            other.write_string()
-                        )))
+                        return Err(self.err(
+                            prog,
+                            pc,
+                            format!("return through non-address `{}`", other.write_string()),
+                        ))
                     }
                 },
-                Instr::AllocClosure { dst, func, n_free } => {
+                DecodedOp::AllocClosure { dst, func, n_free } => {
                     self.stats.heap_ops += 1;
                     self.stats.closures_allocated += 1;
                     self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
@@ -453,313 +676,124 @@ impl<'a> Machine<'a> {
                     };
                     self.write(dst, Value::Closure(Rc::new(clo)));
                 }
-                Instr::ClosureSlotSet { clo, index, src } => {
+                DecodedOp::ClosureSlotSet { clo, index, src } => {
                     self.stats.heap_ops += 1;
                     self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
                     let v = self.read(src);
-                    match self.read(clo) {
+                    self.stall_on(clo);
+                    match &self.regs[clo.index()] {
                         Value::Closure(c) => {
                             c.free.borrow_mut()[index as usize] = v;
                         }
                         other => {
-                            return Err(
-                                self.err(format!("closure-set! on `{}`", other.write_string()))
-                            )
+                            return Err(self.err(
+                                prog,
+                                pc,
+                                format!("closure-set! on `{}`", other.write_string()),
+                            ))
                         }
                     }
                 }
-                Instr::LoadFree { dst, index } => {
+                DecodedOp::LoadFree { dst, index } => {
                     self.stats.heap_ops += 1;
                     self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
-                    match self.read(CP) {
-                        Value::Closure(c) => {
-                            let v = c.free.borrow()[index as usize].clone();
-                            self.write_loaded(dst, v);
-                        }
+                    self.stall_on(CP);
+                    let v = match &self.regs[CP.index()] {
+                        Value::Closure(c) => c.free.borrow()[index as usize].clone(),
                         other => {
-                            return Err(self.err(format!(
-                                "free-variable reference through `{}`",
-                                other.write_string()
-                            )))
+                            return Err(self.err(
+                                prog,
+                                pc,
+                                format!(
+                                    "free-variable reference through `{}`",
+                                    other.write_string()
+                                ),
+                            ))
                         }
-                    }
+                    };
+                    self.write_loaded(dst, v);
                 }
-                Instr::LoadGlobal { dst, index } => {
+                DecodedOp::LoadGlobal { dst, index } => {
                     self.stats.heap_ops += 1;
                     self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
                     let v = self
                         .globals
                         .get(index as usize)
                         .cloned()
-                        .ok_or_else(|| self.err("global index out of range"))?;
+                        .ok_or_else(|| self.err(prog, pc, "global index out of range"))?;
                     self.write_loaded(dst, v);
                 }
-                Instr::StoreGlobal { index, src } => {
+                DecodedOp::StoreGlobal { index, src } => {
                     self.stats.heap_ops += 1;
                     self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
                     let v = self.read(src);
                     match self.globals.get_mut(index as usize) {
                         Some(slot) => *slot = v,
-                        None => return Err(self.err("global index out of range")),
+                        None => return Err(self.err(prog, pc, "global index out of range")),
                     }
                 }
-                Instr::Halt => {
+                DecodedOp::Halt => {
                     while !self.shadow.is_empty() {
-                        self.leave_activation();
+                        self.leave_activation(prog);
                     }
+                    self.fold_class_counters();
                     let value = self.read(RV).write_string();
                     return Ok(VmOutcome {
                         value,
-                        output: self.output,
-                        stats: self.stats,
+                        output: std::mem::take(&mut self.output),
+                        stats: std::mem::take(&mut self.stats),
                     });
                 }
+                DecodedOp::CmpBranch {
+                    op,
+                    dst,
+                    args,
+                    src,
+                    target,
+                    likely,
+                    on_true,
+                } => {
+                    self.exec_prim(prog, pc, op, dst, &args)?;
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.exec_branch(&mut pc, src, target, likely, on_true);
+                }
+                DecodedOp::MovMov {
+                    dst1,
+                    src1,
+                    dst2,
+                    src2,
+                } => {
+                    let v = self.read(src1);
+                    self.write(dst1, v);
+                    self.fetch_second_half(prog, &mut pc)?;
+                    let v = self.read(src2);
+                    self.write(dst2, v);
+                }
+                DecodedOp::ImmImm {
+                    dst1,
+                    imm1,
+                    dst2,
+                    imm2,
+                } => {
+                    self.write(dst1, Machine::imm_value(imm1));
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.write(dst2, Machine::imm_value(imm2));
+                }
+                DecodedOp::FuncEnd => {
+                    // The classic engine reports the (unincremented)
+                    // out-of-range pc; step back to match.
+                    return Err(self.err(prog, pc - 1, "program counter out of range"));
+                }
             }
         }
-    }
-
-    fn apply_prim(&mut self, p: Prim, mut args: Vec<Value>, dst: Reg) -> Result<bool> {
-        use Prim::*;
-
-        macro_rules! fixnum {
-            ($v:expr) => {
-                match $v {
-                    Value::Fixnum(n) => *n,
-                    other => {
-                        return Err(self.err(format!(
-                            "{p}: expected number, got {}",
-                            other.write_string()
-                        )))
-                    }
-                }
-            };
-        }
-        macro_rules! pair {
-            ($v:expr) => {
-                match $v {
-                    Value::Pair(p) => p.clone(),
-                    other => {
-                        return Err(
-                            self.err(format!("{p}: expected pair, got {}", other.write_string()))
-                        )
-                    }
-                }
-            };
-        }
-        macro_rules! vector {
-            ($v:expr) => {
-                match $v {
-                    Value::Vector(v) => v.clone(),
-                    other => {
-                        return Err(self.err(format!(
-                            "{p}: expected vector, got {}",
-                            other.write_string()
-                        )))
-                    }
-                }
-            };
-        }
-
-        let overflow = |m: &Machine<'_>| m.err(format!("{p}: fixnum overflow"));
-
-        // True when the result comes from memory (gets load latency).
-        let mut from_memory = false;
-        let result = match p {
-            Add | Sub | Mul | Quotient | Remainder | Modulo | Min | Max => {
-                let a = fixnum!(&args[0]);
-                let b = fixnum!(&args[1]);
-                let r = match p {
-                    Add => a.checked_add(b).ok_or_else(|| overflow(self))?,
-                    Sub => a.checked_sub(b).ok_or_else(|| overflow(self))?,
-                    Mul => a.checked_mul(b).ok_or_else(|| overflow(self))?,
-                    Min => a.min(b),
-                    Max => a.max(b),
-                    _ => {
-                        if b == 0 {
-                            return Err(self.err(format!("{p}: division by zero")));
-                        }
-                        match p {
-                            Quotient => a.checked_div(b).ok_or_else(|| overflow(self))?,
-                            Remainder => a.checked_rem(b).ok_or_else(|| overflow(self))?,
-                            _ => ((a % b) + b) % b,
-                        }
-                    }
-                };
-                Value::Fixnum(r)
-            }
-            Abs => Value::Fixnum(
-                fixnum!(&args[0])
-                    .checked_abs()
-                    .ok_or_else(|| overflow(self))?,
-            ),
-            Add1 => Value::Fixnum(
-                fixnum!(&args[0])
-                    .checked_add(1)
-                    .ok_or_else(|| overflow(self))?,
-            ),
-            Sub1 => Value::Fixnum(
-                fixnum!(&args[0])
-                    .checked_sub(1)
-                    .ok_or_else(|| overflow(self))?,
-            ),
-            IsZero => Value::Bool(fixnum!(&args[0]) == 0),
-            IsPositive => Value::Bool(fixnum!(&args[0]) > 0),
-            IsNegative => Value::Bool(fixnum!(&args[0]) < 0),
-            IsEven => Value::Bool(fixnum!(&args[0]) % 2 == 0),
-            IsOdd => Value::Bool(fixnum!(&args[0]) % 2 != 0),
-            NumEq => Value::Bool(fixnum!(&args[0]) == fixnum!(&args[1])),
-            Lt => Value::Bool(fixnum!(&args[0]) < fixnum!(&args[1])),
-            Le => Value::Bool(fixnum!(&args[0]) <= fixnum!(&args[1])),
-            Gt => Value::Bool(fixnum!(&args[0]) > fixnum!(&args[1])),
-            Ge => Value::Bool(fixnum!(&args[0]) >= fixnum!(&args[1])),
-            IsEq | IsEqv => Value::Bool(args[0].eq_ptr(&args[1])),
-            IsEqual => Value::Bool(args[0].eq_structural(&args[1])),
-            Not => Value::Bool(!args[0].is_truthy()),
-            IsPair => Value::Bool(matches!(args[0], Value::Pair(_))),
-            IsNull => Value::Bool(matches!(args[0], Value::Nil)),
-            IsSymbol => Value::Bool(matches!(args[0], Value::Symbol(_))),
-            IsNumber => Value::Bool(matches!(args[0], Value::Fixnum(_))),
-            IsBoolean => Value::Bool(matches!(args[0], Value::Bool(_))),
-            IsProcedure => Value::Bool(matches!(args[0], Value::Closure(_))),
-            IsVector => Value::Bool(matches!(args[0], Value::Vector(_))),
-            IsString => Value::Bool(matches!(args[0], Value::Str(_))),
-            IsChar => Value::Bool(matches!(args[0], Value::Char(_))),
-            Cons => {
-                let d = args.pop().expect("two args");
-                let a = args.pop().expect("two args");
-                Value::cons(a, d)
-            }
-            Car => {
-                from_memory = true;
-                let p = pair!(&args[0]);
-                let v = p.borrow().0.clone();
-                v
-            }
-            Cdr => {
-                from_memory = true;
-                let p = pair!(&args[0]);
-                let v = p.borrow().1.clone();
-                v
-            }
-            SetCar => {
-                let v = args.pop().expect("two args");
-                pair!(&args[0]).borrow_mut().0 = v;
-                Value::Void
-            }
-            SetCdr => {
-                let v = args.pop().expect("two args");
-                pair!(&args[0]).borrow_mut().1 = v;
-                Value::Void
-            }
-            MakeVector | MakeVectorFill => {
-                let n = fixnum!(&args[0]);
-                if n < 0 {
-                    return Err(self.err("make-vector: negative length"));
-                }
-                let fill = if p == MakeVectorFill {
-                    args[1].clone()
-                } else {
-                    Value::Fixnum(0)
-                };
-                Value::Vector(Rc::new(RefCell::new(vec![fill; n as usize])))
-            }
-            VectorRef => {
-                from_memory = true;
-                let v = vector!(&args[0]);
-                let i = fixnum!(&args[1]);
-                let v = v.borrow();
-                let idx = usize::try_from(i).ok().filter(|&i| i < v.len());
-                match idx {
-                    Some(i) => v[i].clone(),
-                    None => return Err(self.err(format!("vector-ref: index {i} out of range"))),
-                }
-            }
-            VectorSet => {
-                let x = args.pop().expect("three args");
-                let v = vector!(&args[0]);
-                let i = fixnum!(&args[1]);
-                let mut v = v.borrow_mut();
-                let len = v.len();
-                match usize::try_from(i).ok().filter(|&i| i < len) {
-                    Some(i) => v[i] = x,
-                    None => return Err(self.err(format!("vector-set!: index {i} out of range"))),
-                }
-                Value::Void
-            }
-            VectorLength => Value::Fixnum(vector!(&args[0]).borrow().len() as i64),
-            StringLength => match &args[0] {
-                Value::Str(s) => Value::Fixnum(s.chars().count() as i64),
-                other => {
-                    return Err(self.err(format!(
-                        "string-length: expected string, got {}",
-                        other.write_string()
-                    )))
-                }
-            },
-            CharToInteger => match &args[0] {
-                Value::Char(c) => Value::Fixnum(*c as i64),
-                other => {
-                    return Err(self.err(format!(
-                        "char->integer: expected char, got {}",
-                        other.write_string()
-                    )))
-                }
-            },
-            Display => {
-                self.output.push_str(&args[0].display_string());
-                Value::Void
-            }
-            Write => {
-                self.output.push_str(&args[0].write_string());
-                Value::Void
-            }
-            Newline => {
-                self.output.push('\n');
-                Value::Void
-            }
-            Error => return Err(self.err(format!("error: {}", args[0].display_string()))),
-            Void => Value::Void,
-            MakeCell => Value::Cell(Rc::new(RefCell::new(args[0].clone()))),
-            CellRef => {
-                from_memory = true;
-                match &args[0] {
-                    Value::Cell(c) => c.borrow().clone(),
-                    other => {
-                        return Err(
-                            self.err(format!("unbox: expected box, got {}", other.write_string()))
-                        )
-                    }
-                }
-            }
-            CellSet => {
-                let v = args.pop().expect("two args");
-                match &args[0] {
-                    Value::Cell(c) => {
-                        *c.borrow_mut() = v;
-                        Value::Void
-                    }
-                    other => {
-                        return Err(self.err(format!(
-                            "set-box!: expected box, got {}",
-                            other.write_string()
-                        )))
-                    }
-                }
-            }
-        };
-        if from_memory {
-            self.write_loaded(dst, result);
-        } else {
-            self.write(dst, result);
-        }
-        Ok(from_memory)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instr::SlotClass;
+    use crate::classic::ClassicMachine;
+    use crate::instr::{CallTarget, Instr, SlotClass};
     use crate::program::{VmFunc, VmProgram};
     use lesgs_ir::machine::{arg_reg, scratch_reg};
 
@@ -1067,5 +1101,169 @@ mod tests {
         assert_eq!(mk(None).mispredicts, 0);
         assert_eq!(mk(Some(true)).mispredicts, 0);
         assert_eq!(mk(Some(false)).mispredicts, 1);
+    }
+
+    /// A program whose hot loop contains every fusible pair: a
+    /// predicate+branch, back-to-back immediates, and back-to-back
+    /// moves, with a branch landing *on the second half* of the MovMov
+    /// pair to exercise the fallback slot.
+    fn fusion_program() -> VmProgram {
+        let a0 = arg_reg(0);
+        let a1 = arg_reg(1);
+        let s0 = scratch_reg(0);
+        let f = VmFunc {
+            id: FuncId(0),
+            name: "entry".into(),
+            code: vec![
+                // 0/1: ImmImm pair — counter = 3, acc = 0.
+                Instr::LoadImm {
+                    dst: a0,
+                    imm: Imm::Fixnum(3),
+                },
+                Instr::LoadImm {
+                    dst: a1,
+                    imm: Imm::Fixnum(0),
+                },
+                // 2/3: CmpBranch pair — loop exit test (the exit
+                // target, 7, is itself a fused head).
+                Instr::Prim {
+                    op: Prim::IsZero,
+                    dst: s0,
+                    args: vec![a0],
+                },
+                Instr::BranchTrue {
+                    src: s0,
+                    target: 7,
+                    likely: Some(true),
+                },
+                // 4: acc += counter
+                Instr::Prim {
+                    op: Prim::Add,
+                    dst: a1,
+                    args: vec![a1, a0],
+                },
+                // 5: counter -= 1
+                Instr::Prim {
+                    op: Prim::Sub1,
+                    dst: a0,
+                    args: vec![a0],
+                },
+                // 6: back to the test — lands on slot 2 (fused head).
+                Instr::Jump { target: 2 },
+                // 7/8: MovMov pair, executed in full: rv <- s0 <- acc.
+                Instr::Mov { dst: s0, src: a1 },
+                Instr::Mov { dst: RV, src: s0 },
+                // 9: skip the head of the next pair.
+                Instr::Jump { target: 11 },
+                // 10/11: MovMov pair entered *mid-pair* via the jump —
+                // only `s0 <- rv` runs; the head never executes.
+                Instr::Mov { dst: RV, src: a0 },
+                Instr::Mov { dst: s0, src: RV },
+                Instr::Halt,
+            ],
+            frame_size: 0,
+            n_incoming: 0,
+            syntactic_leaf: true,
+            call_inevitable: false,
+        };
+        VmProgram {
+            funcs: vec![f],
+            entry: FuncId(0),
+            constants: vec![],
+            n_globals: 0,
+        }
+    }
+
+    #[test]
+    fn fused_pairs_execute_and_land_mid_pair() {
+        let p = fusion_program();
+        let decoded = DecodedProgram::decode(&p);
+        let stats = decoded.stats();
+        assert_eq!(stats.cmp_branch, 1, "{}", decoded.disassemble());
+        assert_eq!(stats.imm_imm, 1);
+        assert_eq!(stats.mov_mov, 2);
+        assert_eq!(stats.fused_pairs, 4);
+        // Slot preservation: decoded slot count = source + sentinel.
+        assert_eq!(stats.decoded_ops, stats.source_instructions + 1);
+        let out = Machine::from_decoded(&decoded, CostModel::alpha_like())
+            .run()
+            .unwrap();
+        // acc = 3 + 2 + 1 flows through the fully-executed MovMov into
+        // rv; the mid-pair landing only clobbers s0. Both engines must
+        // agree exactly — values, output, and every counter.
+        let classic = ClassicMachine::new(&p, CostModel::alpha_like())
+            .run()
+            .unwrap();
+        assert_eq!(out.value, "6");
+        assert_eq!(out.value, classic.value);
+        assert_eq!(out.stats, classic.stats);
+        assert_eq!(out.output, classic.output);
+    }
+
+    /// Every tiny test program above must agree with the classic
+    /// engine in values, stats, output, and error coordinates.
+    #[test]
+    fn classic_and_decoded_agree_on_hand_programs() {
+        let programs = [tiny_program(), fusion_program()];
+        for p in &programs {
+            for cost in [CostModel::alpha_like(), CostModel::unit()] {
+                let d = Machine::new(p, cost).with_poison(true).run().unwrap();
+                let c = ClassicMachine::new(p, cost)
+                    .with_poison(true)
+                    .run()
+                    .unwrap();
+                assert_eq!(d.value, c.value);
+                assert_eq!(d.output, c.output);
+                assert_eq!(d.stats, c.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn fuel_error_between_fused_halves_matches_classic() {
+        // Budget runs out exactly between the two halves of the ImmImm
+        // pair at slots 0/1: both engines must report pc 1.
+        let p = fusion_program();
+        let d = Machine::new(&p, CostModel::unit())
+            .with_fuel(1)
+            .run()
+            .unwrap_err();
+        let c = ClassicMachine::new(&p, CostModel::unit())
+            .with_fuel(1)
+            .run()
+            .unwrap_err();
+        assert_eq!(d, c);
+        assert_eq!(d.at, Some(("entry".into(), 1)));
+        assert!(d.is_fuel_exhausted());
+    }
+
+    #[test]
+    fn pc_out_of_range_matches_classic() {
+        // Running off the end of a function hits the FuncEnd sentinel;
+        // the reported location must match the classic bounds check.
+        let f = VmFunc {
+            id: FuncId(0),
+            name: "entry".into(),
+            code: vec![Instr::LoadImm {
+                dst: RV,
+                imm: Imm::Fixnum(1),
+            }],
+            frame_size: 0,
+            n_incoming: 0,
+            syntactic_leaf: true,
+            call_inevitable: false,
+        };
+        let p = VmProgram {
+            funcs: vec![f],
+            entry: FuncId(0),
+            constants: vec![],
+            n_globals: 0,
+        };
+        let d = Machine::new(&p, CostModel::unit()).run().unwrap_err();
+        let c = ClassicMachine::new(&p, CostModel::unit())
+            .run()
+            .unwrap_err();
+        assert_eq!(d, c);
+        assert_eq!(d.at, Some(("entry".into(), 1)));
     }
 }

@@ -12,15 +12,20 @@
 
 #![warn(missing_docs)]
 
+pub mod classic;
 pub mod cost;
+pub mod decode;
 pub mod exec;
 pub mod instr;
+mod prim;
 pub mod program;
 pub mod stats;
 pub mod value;
 pub mod verify;
 
+pub use classic::ClassicMachine;
 pub use cost::CostModel;
+pub use decode::{DecodeStats, DecodedOp, DecodedProgram, FuncInfo, PrimArgs};
 pub use exec::{Machine, VmError, VmOutcome};
 pub use instr::{CallTarget, Imm, Instr, SlotClass};
 pub use program::{VmFunc, VmProgram};

@@ -64,8 +64,10 @@ impl ActivationClass {
     }
 }
 
-/// Counters collected during a run.
-#[derive(Debug, Clone, Default)]
+/// Counters collected during a run. `PartialEq` is part of the
+/// contract: differential tests assert classic-vs-decoded runs produce
+/// *equal* stats, not merely similar ones.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Instructions executed.
     pub instructions: u64,

@@ -4,7 +4,8 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use lesgs_frontend::FuncId;
+use lesgs_frontend::{Const, FuncId};
+use lesgs_sexpr::Datum;
 
 /// A closure object: a code pointer plus captured values. Slots are
 /// mutable to support the recursive-group backpatching instruction.
@@ -210,6 +211,42 @@ impl Value {
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.display_string())
+    }
+}
+
+/// Materializes a quoted datum as a runtime value.
+pub(crate) fn datum_to_value(d: &Datum) -> Value {
+    match d {
+        Datum::Fixnum(n) => Value::Fixnum(*n),
+        Datum::Bool(b) => Value::Bool(*b),
+        Datum::Char(c) => Value::Char(*c),
+        Datum::Str(s) => Value::Str(Rc::new(s.clone())),
+        Datum::Symbol(s) => Value::Symbol(Rc::new(s.clone())),
+        Datum::List(items) => items
+            .iter()
+            .rev()
+            .fold(Value::Nil, |acc, d| Value::cons(datum_to_value(d), acc)),
+        Datum::Improper(items, tail) => items.iter().rev().fold(datum_to_value(tail), |acc, d| {
+            Value::cons(datum_to_value(d), acc)
+        }),
+        Datum::Vector(items) => Value::Vector(Rc::new(RefCell::new(
+            items.iter().map(datum_to_value).collect(),
+        ))),
+    }
+}
+
+/// Materializes a constant-pool entry as a runtime value (both engines
+/// build their pools through this at machine start).
+pub(crate) fn const_to_value(c: &Const) -> Value {
+    match c {
+        Const::Fixnum(n) => Value::Fixnum(*n),
+        Const::Bool(b) => Value::Bool(*b),
+        Const::Char(c) => Value::Char(*c),
+        Const::Str(s) => Value::Str(Rc::new(s.clone())),
+        Const::Nil => Value::Nil,
+        Const::Void => Value::Void,
+        Const::Symbol(s) => Value::Symbol(Rc::new(s.clone())),
+        Const::Datum(d) => datum_to_value(d),
     }
 }
 
