@@ -14,6 +14,8 @@
 use std::time::Instant;
 
 use lesgs_compiler::{compile, CompilerConfig};
+use lesgs_core::config::ShuffleStrategy;
+use lesgs_core::stats::ShuffleStats;
 use lesgs_core::AllocConfig;
 use lesgs_exec::{map_ordered, PoolConfig, PoolStats};
 use lesgs_metrics::ratio;
@@ -39,6 +41,12 @@ pub const DISPATCH_TABLE: &str = "dispatch";
 /// Name of the classic-vs-decoded throughput table — the other
 /// wall-clock table a determinism comparison must ignore.
 pub const DISPATCH_THROUGHPUT_TABLE: &str = "dispatch_throughput";
+
+/// Name of the deterministic three-way shuffle-strategy table:
+/// paper-greedy vs. the exhaustive optimum vs. optimal shuffle code
+/// with permutation instructions, per benchmark. Static compile-time
+/// statistics, so the perf-regression gate covers it.
+pub const SHUFFLE_STRATEGIES_TABLE: &str = "shuffle_strategies";
 
 /// A built suite report plus the pool accounting behind it.
 #[derive(Debug, Clone)]
@@ -90,7 +98,8 @@ pub fn build_suite_report(
     let outcome = map_ordered(&suite_pool(jobs), benchmarks, |_, b| {
         let base = run_benchmark(&b, scale, &AllocConfig::baseline());
         let opt = run_benchmark(&b, scale, &AllocConfig::paper_default());
-        (b, base, opt)
+        let permi = permi_shuffle_stats(&b, scale);
+        (b, base, opt, permi)
     });
 
     let mut report = Report::new("bench-report", "Full-suite benchmark report", scale);
@@ -105,9 +114,10 @@ pub fn build_suite_report(
     ]);
     let mut reductions = Vec::new();
     let mut speedups = Vec::new();
+    let mut strategies = Vec::new();
 
     for slot in outcome.results {
-        let (b, base, opt) = slot.unwrap_or_else(|p| panic!("benchmark job panicked: {p}"));
+        let (b, base, opt, permi) = slot.unwrap_or_else(|p| panic!("benchmark job panicked: {p}"));
         assert_eq!(base.value, opt.value, "{}: configs must agree", b.name);
         let m = Measurement::compare(&base, &opt);
         reductions.push(m.stack_ref_reduction());
@@ -123,6 +133,7 @@ pub fn build_suite_report(
         ]);
         report.add_run(run_record("baseline", &base));
         report.add_run(run_record("paper_default", &opt));
+        strategies.push((b.name.to_owned(), opt.shuffle, permi));
         progress(b.name);
     }
     table.row(vec![
@@ -138,6 +149,14 @@ pub fn build_suite_report(
     report.note(
         "Full optimization (lazy saves, eager restores, greedy shuffling, six \
          argument registers) vs the no-register baseline.",
+    );
+    report.add_table(SHUFFLE_STRATEGIES_TABLE, &strategies_table(&strategies));
+    report.note(
+        "Shuffle strategies compares, per benchmark, the temporaries of the \
+         paper's greedy algorithm, the exhaustive optimum over argument \
+         orderings, and optimal shuffle code with permutation instructions \
+         (swap/permi), plus the permutation instructions emitted and the \
+         argument moves they subsume.",
     );
     report.add_table(DISPATCH_TABLE, &dispatch_table(&dispatches));
     report.add_table(
@@ -157,6 +176,70 @@ pub fn build_suite_report(
         comparisons: table,
         stats: outcome.stats,
     }
+}
+
+/// Compiles `b` under the paper-default configuration with
+/// [`ShuffleStrategy::OptimalPermi`] and collects the static shuffle
+/// statistics — under that strategy `greedy_temps` counts the
+/// temporaries the permutation-aware planner actually used.
+fn permi_shuffle_stats(b: &Benchmark, scale: Scale) -> ShuffleStats {
+    let config = CompilerConfig {
+        alloc: AllocConfig {
+            shuffle: ShuffleStrategy::OptimalPermi,
+            ..AllocConfig::paper_default()
+        },
+        ..CompilerConfig::default()
+    };
+    compile(b.source(scale), &config)
+        .unwrap_or_else(|e| panic!("{}: permi compile failed: {e}", b.name))
+        .shuffle_stats()
+}
+
+/// The three-way shuffle-strategy comparison (one row per benchmark
+/// plus a total row): greedy temporaries, the exhaustive optimum,
+/// the permutation-aware strategy's temporaries, and the `swap`/`permi`
+/// instructions it emitted with the moves they subsume.
+fn strategies_table(strategies: &[(String, ShuffleStats, ShuffleStats)]) -> Table {
+    let mut t = Table::new(vec![
+        "benchmark".into(),
+        "call sites".into(),
+        "greedy temps".into(),
+        "optimal temps".into(),
+        "permi temps".into(),
+        "perm ops".into(),
+        "perm moves".into(),
+    ]);
+    let (mut total_greedy, mut total_permi) = (ShuffleStats::default(), ShuffleStats::default());
+    let add = |acc: &mut ShuffleStats, s: &ShuffleStats| {
+        acc.call_sites += s.call_sites;
+        acc.greedy_temps += s.greedy_temps;
+        acc.optimal_temps += s.optimal_temps;
+        acc.perm_ops += s.perm_ops;
+        acc.perm_moves += s.perm_moves;
+    };
+    for (name, greedy, permi) in strategies {
+        add(&mut total_greedy, greedy);
+        add(&mut total_permi, permi);
+        t.row(vec![
+            name.clone(),
+            greedy.call_sites.to_string(),
+            greedy.greedy_temps.to_string(),
+            greedy.optimal_temps.to_string(),
+            permi.greedy_temps.to_string(),
+            permi.perm_ops.to_string(),
+            permi.perm_moves.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "Total".into(),
+        total_greedy.call_sites.to_string(),
+        total_greedy.greedy_temps.to_string(),
+        total_greedy.optimal_temps.to_string(),
+        total_permi.greedy_temps.to_string(),
+        total_permi.perm_ops.to_string(),
+        total_permi.perm_moves.to_string(),
+    ]);
+    t
 }
 
 /// One benchmark's classic-vs-decoded dispatch comparison: the static
@@ -404,12 +487,16 @@ mod tests {
     }
 
     #[test]
-    fn dispatch_tables_have_total_rows() {
+    fn per_benchmark_tables_have_total_rows() {
         let benchmarks: Vec<_> = all_benchmarks().into_iter().take(2).collect();
         let built = build_suite_report(benchmarks, Scale::Small, 1, |_| {});
         let json = built.report.to_json();
         let tables = json.get("tables").and_then(|t| t.as_array()).unwrap();
-        for name in [DISPATCH_TABLE, DISPATCH_THROUGHPUT_TABLE] {
+        for name in [
+            DISPATCH_TABLE,
+            DISPATCH_THROUGHPUT_TABLE,
+            SHUFFLE_STRATEGIES_TABLE,
+        ] {
             let table = tables
                 .iter()
                 .find(|t| t.get("name").and_then(|n| n.as_str()) == Some(name))

@@ -597,6 +597,10 @@ pub fn config_matrix() -> Vec<AllocConfig> {
         shuffle: ShuffleStrategy::FixedOrder,
         ..AllocConfig::default()
     });
+    out.push(AllocConfig {
+        shuffle: ShuffleStrategy::OptimalPermi,
+        ..AllocConfig::default()
+    });
     for save in [SaveStrategy::Lazy, SaveStrategy::Early] {
         out.push(AllocConfig {
             discipline: Discipline::CalleeSave,

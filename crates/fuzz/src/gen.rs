@@ -36,7 +36,11 @@ use crate::ast::{Def, Expr, Pred, Program};
 
 /// Bump whenever generation changes for a given seed: a reproduction
 /// recipe is only valid for the generator version it names.
-pub const GENERATOR_VERSION: u32 = 1;
+///
+/// Version history: 2 added permuted tail calls (recursive calls that
+/// pass the caller's own parameters rotated, producing register
+/// permutation cycles at the shuffle).
+pub const GENERATOR_VERSION: u32 = 2;
 
 /// Generator tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -354,8 +358,23 @@ impl GenState<'_> {
         let d = depth.saturating_sub(1);
         let sig = self.rng.pick(&scope.rec).clone();
         let guard = scope.depth_var.clone()?;
-        let mut args = vec![Expr::Prim("-", vec![Expr::Var(guard), Expr::Num(1)])];
-        args.extend((0..sig.extra).map(|_| self.gen_expr(scope, d)));
+        let mut args = vec![Expr::Prim(
+            "-",
+            vec![Expr::Var(guard.clone()), Expr::Num(1)],
+        )];
+        // Shuffle-heavy shape: pass the caller's own variables rotated,
+        // so every argument is a register-resident variable and the
+        // call's shuffle is a genuine permutation cycle (the case the
+        // swap/permi strategy resolves without temporaries).
+        let own: Vec<&String> = scope.vars.iter().filter(|v| **v != guard).collect();
+        if sig.extra >= 2 && own.len() >= sig.extra && self.rng.chance(1, 3) {
+            let offset = 1 + self.rng.below(sig.extra - 1);
+            for i in 0..sig.extra {
+                args.push(Expr::Var(own[(i + offset) % sig.extra].clone()));
+            }
+        } else {
+            args.extend((0..sig.extra).map(|_| self.gen_expr(scope, d)));
+        }
         Some(Expr::Call(sig.name, args))
     }
 }
@@ -476,6 +495,29 @@ mod tests {
             // its children), but it cannot be blown past wholesale.
             assert!(p.size() < 40 * 4, "seed {seed}: size {}", p.size());
         }
+    }
+
+    #[test]
+    fn some_recursive_calls_are_pure_permutations() {
+        // The permuted-tail-call shape must actually appear: calls
+        // whose every argument past the depth guard is a bare variable.
+        let mut permuted = 0;
+        for seed in 0..64 {
+            let p = generate(&mut Rng::new(seed), &GenConfig::default());
+            let mut found = false;
+            let mut check = |e: &Expr| {
+                if let Expr::Call(_, args) = e {
+                    if args.len() >= 3 && args[1..].iter().all(|a| matches!(a, Expr::Var(_))) {
+                        found = true;
+                    }
+                }
+            };
+            for d in &p.defs {
+                d.body.visit(&mut check, &mut |_| {});
+            }
+            permuted += usize::from(found);
+        }
+        assert!(permuted >= 12, "only {permuted}/64 had permuted calls");
     }
 
     #[test]

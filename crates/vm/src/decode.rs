@@ -36,6 +36,7 @@
 use std::fmt;
 
 use lesgs_frontend::{Const, FuncId, Prim};
+use lesgs_ir::machine::MAX_PERMI_REGS;
 use lesgs_ir::Reg;
 use lesgs_metrics::Registry;
 
@@ -79,6 +80,53 @@ impl PrimArgs {
     /// The operands as a slice.
     pub fn as_slice(&self) -> &[Reg] {
         &self.regs[..self.len as usize]
+    }
+}
+
+/// A fixed-capacity, `Copy` encoding of a `permi` operand list
+/// (replaces the two heap-allocated `Vec`s of [`Instr::Permi`] on the
+/// hot path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PermiArgs {
+    len: u8,
+    regs: [Reg; MAX_PERMI_REGS],
+    perm: [u8; MAX_PERMI_REGS],
+}
+
+impl PermiArgs {
+    /// Packs the register list and permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on more than [`MAX_PERMI_REGS`] registers or a length
+    /// mismatch — codegen never emits one and `verify_bytecode`
+    /// rejects such programs.
+    pub fn from_parts(regs: &[Reg], perm: &[u8]) -> PermiArgs {
+        assert!(
+            regs.len() <= MAX_PERMI_REGS && regs.len() == perm.len(),
+            "permi with {} registers / {} indices (max {MAX_PERMI_REGS})",
+            regs.len(),
+            perm.len()
+        );
+        let mut r = [Reg(0); MAX_PERMI_REGS];
+        let mut p = [0u8; MAX_PERMI_REGS];
+        r[..regs.len()].copy_from_slice(regs);
+        p[..perm.len()].copy_from_slice(perm);
+        PermiArgs {
+            len: regs.len() as u8,
+            regs: r,
+            perm: p,
+        }
+    }
+
+    /// The registers touched, in operand order.
+    pub fn regs(&self) -> &[Reg] {
+        &self.regs[..self.len as usize]
+    }
+
+    /// The permutation over register indices.
+    pub fn perm(&self) -> &[u8] {
+        &self.perm[..self.len as usize]
     }
 }
 
@@ -269,6 +317,19 @@ pub enum DecodedOp {
         /// Source.
         src: Reg,
     },
+    /// Exchange two registers in one instruction.
+    Swap {
+        /// First register.
+        a: Reg,
+        /// Second register.
+        b: Reg,
+    },
+    /// Apply a register permutation in place: simultaneously set
+    /// `regs[i] ← old regs[perm[i]]`.
+    Permi {
+        /// The packed register list and permutation.
+        args: PermiArgs,
+    },
     /// Stop the machine; the program value is in `rv`.
     Halt,
     /// Fused predicate + conditional branch (the branch consumes the
@@ -391,6 +452,24 @@ impl fmt::Display for DecodedOp {
             DecodedOp::LoadFree { dst, index } => write!(f, "{dst} <- cp.free[{index}]"),
             DecodedOp::LoadGlobal { dst, index } => write!(f, "{dst} <- global[{index}]"),
             DecodedOp::StoreGlobal { index, src } => write!(f, "global[{index}] <- {src}"),
+            DecodedOp::Swap { a, b } => write!(f, "swap {a}, {b}"),
+            DecodedOp::Permi { args: a } => {
+                write!(f, "permi [")?;
+                for (i, r) in a.regs().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, "] perm [")?;
+                for (i, p) in a.perm().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "]")
+            }
             DecodedOp::Halt => write!(f, "halt"),
             DecodedOp::CmpBranch {
                 op,
@@ -566,6 +645,10 @@ fn decode_one(instr: &Instr, base: u32, len: u32) -> DecodedOp {
         Instr::StoreGlobal { index, src } => DecodedOp::StoreGlobal {
             index: *index,
             src: *src,
+        },
+        Instr::Swap { a, b } => DecodedOp::Swap { a: *a, b: *b },
+        Instr::Permi { regs, perm } => DecodedOp::Permi {
+            args: PermiArgs::from_parts(regs, perm),
         },
         Instr::Halt => DecodedOp::Halt,
     }

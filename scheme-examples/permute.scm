@@ -1,0 +1,40 @@
+;; Permutation-heavy tail calls: every loop below rotates or swaps its
+;; own arguments, so under the optimal shuffle-code strategy the whole
+;; shuffle compiles to one `swap`/`permi` instead of temp-breaking move
+;; chains. Try:
+;;   lesgsc stats --shuffle permi scheme-examples/permute.scm
+;;   lesgsc dis --shuffle permi scheme-examples/permute.scm
+
+;; A two-cycle: `zag` swaps its operands on every trip around the loop.
+;; Under --shuffle permi the swap is a single `swap` instruction.
+(define (zig n a b)
+  (if (zero? n) (- a b) (zag (- n 1) a b)))
+(define (zag n a b)
+  (zig n b a))
+
+;; A three-cycle: `turn` rotates (a b c) -> (b c a); one 3-wide `permi`.
+(define (spin n a b c)
+  (if (zero? n)
+      (+ a (+ (* 2 b) (* 4 c)))
+      (turn (- n 1) a b c)))
+(define (turn n a b c)
+  (spin n b c a))
+
+;; A five-cycle at the permi width limit: (a b c d e) -> (b c d e a).
+(define (spin5 n a b c d e)
+  (if (zero? n)
+      (+ a (+ (* 2 b) (+ (* 3 c) (+ (* 4 d) (* 5 e)))))
+      (turn5 (- n 1) a b c d e)))
+(define (turn5 n a b c d e)
+  (spin5 n b c d e a))
+
+;; A pure four-cycle with no counter at all: the rotation itself carries
+;; the zero sentinel into testing position.
+(define (find0 a b c d)
+  (if (zero? a) b (find0 b c d a)))
+
+(display (zig 9 11 25)) (newline)           ; 14
+(display (spin 7 1 2 3)) (newline)          ; 12
+(display (spin5 123 1 2 3 4 5)) (newline)   ; 40
+(display (find0 3 5 0 7)) (newline)         ; 7
+(list (zig 9 11 25) (spin5 123 1 2 3 4 5))
