@@ -12,13 +12,17 @@
 
 use lesgs_metrics::Json;
 
-use crate::suite_report::{DISPATCH_THROUGHPUT_TABLE, TIMING_TABLE};
+use crate::suite_report::{DISPATCH_THROUGHPUT_TABLE, SERVICE_THROUGHPUT_TABLE, TIMING_TABLE};
 
 /// The tables whose *values* are wall-clock-dependent and therefore
 /// excluded from the deterministic projection. Everything else in a
-/// report — including the `dispatch` fusion-statistics table — is
-/// covered by the gate.
-pub const WALL_CLOCK_TABLES: &[&str] = &[TIMING_TABLE, DISPATCH_THROUGHPUT_TABLE];
+/// report — including the `dispatch` fusion-statistics table and the
+/// `service_cache` accounting table — is covered by the gate.
+pub const WALL_CLOCK_TABLES: &[&str] = &[
+    TIMING_TABLE,
+    DISPATCH_THROUGHPUT_TABLE,
+    SERVICE_THROUGHPUT_TABLE,
+];
 
 /// Strips the wall-clock tables from a report document, leaving only
 /// fields that are byte-identical across runs (and job counts) on the
@@ -121,12 +125,14 @@ mod tests {
         let before = names(&report);
         assert!(before.iter().any(|n| n == TIMING_TABLE));
         assert!(before.iter().any(|n| n == DISPATCH_THROUGHPUT_TABLE));
+        assert!(before.iter().any(|n| n == SERVICE_THROUGHPUT_TABLE));
         let after = names(&deterministic_projection(&report));
         assert!(after
             .iter()
             .all(|n| !WALL_CLOCK_TABLES.contains(&n.as_str())));
         assert!(after.iter().any(|n| n == "comparisons"));
         assert!(after.iter().any(|n| n == "dispatch"));
+        assert!(after.iter().any(|n| n == "service_cache"));
     }
 
     #[test]

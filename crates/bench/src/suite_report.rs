@@ -5,11 +5,15 @@
 //! and the paper-default configuration — fanning the benchmarks across
 //! a [`lesgs_exec`] worker pool — and merges the results **in benchmark
 //! order** into the shared report schema. Every table, run record, and
-//! note except the two wall-clock tables ([`TIMING_TABLE`],
-//! [`DISPATCH_THROUGHPUT_TABLE`]) is byte-identical whatever the job
-//! count; the wall-clock tables (fixed shape, timing-dependent values)
-//! record the sequential-vs-parallel comparison and the
-//! classic-vs-decoded dispatch throughput for the current run.
+//! note except the wall-clock tables ([`TIMING_TABLE`],
+//! [`DISPATCH_THROUGHPUT_TABLE`], [`SERVICE_THROUGHPUT_TABLE`]) is
+//! byte-identical whatever the job count; the wall-clock tables (fixed
+//! shape, timing-dependent values) record the sequential-vs-parallel
+//! comparison, the classic-vs-decoded dispatch throughput, and the
+//! batch-service replay throughput for the current run. The report also
+//! replays a seeded compile-and-run workload through the [`lesgs_svc`]
+//! batch service; its cache accounting ([`SERVICE_CACHE_TABLE`]) is
+//! deterministic and gated.
 
 use std::time::Instant;
 
@@ -18,11 +22,13 @@ use lesgs_core::config::ShuffleStrategy;
 use lesgs_core::stats::ShuffleStats;
 use lesgs_core::AllocConfig;
 use lesgs_exec::{map_ordered, PoolConfig, PoolStats};
-use lesgs_metrics::ratio;
+use lesgs_metrics::{ratio, Histogram, Registry};
 use lesgs_suite::measure::Measurement;
 use lesgs_suite::programs::Benchmark;
 use lesgs_suite::tables::{pct, Table};
 use lesgs_suite::Scale;
+use lesgs_svc::loadgen::WorkloadConfig;
+use lesgs_svc::{BatchStats, Request, Service, ServiceConfig};
 use lesgs_vm::{ClassicMachine, CostModel, DecodeStats, Machine};
 
 use crate::report::{run_record, Report};
@@ -47,6 +53,16 @@ pub const DISPATCH_THROUGHPUT_TABLE: &str = "dispatch_throughput";
 /// with permutation instructions, per benchmark. Static compile-time
 /// statistics, so the perf-regression gate covers it.
 pub const SHUFFLE_STRATEGIES_TABLE: &str = "shuffle_strategies";
+
+/// Name of the deterministic service-cache accounting table: the
+/// batch compile-and-run service replays a fixed seeded workload, and
+/// every counter (requests, hits, misses, evictions) is a pure
+/// function of that workload, so the perf-regression gate covers it.
+pub const SERVICE_CACHE_TABLE: &str = "service_cache";
+
+/// Name of the service throughput/latency table for the same workload
+/// — wall-clock values, excluded from the perf-regression gate.
+pub const SERVICE_THROUGHPUT_TABLE: &str = "service_throughput";
 
 /// A built suite report plus the pool accounting behind it.
 #[derive(Debug, Clone)]
@@ -94,6 +110,12 @@ pub fn build_suite_report(
         .iter()
         .map(|b| (b.name.to_owned(), measure_dispatch(b, scale)))
         .collect();
+
+    // The service workload also runs before the benchmark fan-out so
+    // its throughput numbers see a quiet machine. Its cache counters
+    // are worker-count-invariant by construction, so only the
+    // SERVICE_THROUGHPUT_TABLE values are wall-clock-dependent.
+    let service = measure_service(scale);
 
     let outcome = map_ordered(&suite_pool(jobs), benchmarks, |_, b| {
         let base = run_benchmark(&b, scale, &AllocConfig::baseline());
@@ -169,6 +191,19 @@ pub fn build_suite_report(
          configuration; both engines observed identical counters and values \
          on every benchmark in this report.",
     );
+    report.add_table(SERVICE_CACHE_TABLE, &service_cache_table(&service));
+    report.add_table(
+        SERVICE_THROUGHPUT_TABLE,
+        &service_throughput_table(&service),
+    );
+    report.note(
+        "The service tables replay a fixed seeded compile-and-run workload \
+         (lesgs-svc loadgen) through the batch service with its \
+         content-keyed LRU program cache. Cache accounting is a pure \
+         function of the workload (gated); throughput and latency are \
+         wall-clock for the current machine (not gated). Reproduce with \
+         the lesgs-load binary — see EXPERIMENTS.md.",
+    );
     report.add_table(TIMING_TABLE, &timing_table(jobs, &outcome.stats));
 
     SuiteReport {
@@ -238,6 +273,130 @@ fn strategies_table(strategies: &[(String, ShuffleStats, ShuffleStats)]) -> Tabl
         total_permi.greedy_temps.to_string(),
         total_permi.perm_ops.to_string(),
         total_permi.perm_moves.to_string(),
+    ]);
+    t
+}
+
+/// The batch service replayed over a fixed seeded workload: the
+/// deterministic cache accounting plus the wall-clock throughput and
+/// latency of the replay.
+struct ServiceMeasurement {
+    workload: WorkloadConfig,
+    cache_capacity: usize,
+    workers: usize,
+    compile_requests: u64,
+    run_requests: u64,
+    totals: BatchStats,
+    latency: Histogram,
+    wall_ns: f64,
+}
+
+/// The service workload per report scale. Small keeps test-time replay
+/// fast; standard matches the published EXPERIMENTS.md numbers. The
+/// worker count is fixed (independent of the report's `--jobs`): the
+/// cache counters are worker-invariant anyway, and a fixed pool keeps
+/// the throughput values comparable across report runs.
+fn service_workload(scale: Scale) -> (WorkloadConfig, usize) {
+    match scale {
+        Scale::Small => (
+            WorkloadConfig {
+                programs: 16,
+                requests: 600,
+                ..WorkloadConfig::default()
+            },
+            12,
+        ),
+        Scale::Standard => (
+            WorkloadConfig {
+                programs: 96,
+                requests: 20_000,
+                ..WorkloadConfig::default()
+            },
+            64,
+        ),
+    }
+}
+
+/// Replays the scale's seeded workload through a fresh service in
+/// batches of 256 and collects both sides of the measurement. The
+/// request stream, and therefore every cache counter, is a pure
+/// function of `scale`.
+fn measure_service(scale: Scale) -> ServiceMeasurement {
+    let (workload, cache_capacity) = service_workload(scale);
+    let workers = 4;
+    let pool = lesgs_svc::loadgen::programs(&workload);
+    let stream = lesgs_svc::loadgen::requests(&workload, &pool);
+    let mut service = Service::new(ServiceConfig {
+        workers,
+        cache_capacity,
+        ..ServiceConfig::default()
+    });
+    let mut reg = Registry::new();
+    let mut totals = BatchStats::default();
+    let start = Instant::now();
+    for batch in stream.chunks(256) {
+        let (_, stats) = service.process_batch(batch, &mut reg);
+        totals.merge(&stats);
+    }
+    let wall_ns = start.elapsed().as_nanos() as f64;
+    assert_eq!(totals.errors, 0, "service workload programs must all run");
+    let compile_requests = stream
+        .iter()
+        .filter(|r| matches!(r, Request::Compile { .. }))
+        .count() as u64;
+    ServiceMeasurement {
+        workload,
+        cache_capacity,
+        workers,
+        compile_requests,
+        run_requests: stream.len() as u64 - compile_requests,
+        totals,
+        latency: reg
+            .histogram("svc.request_latency_ns")
+            .copied()
+            .unwrap_or_default(),
+        wall_ns,
+    }
+}
+
+/// The deterministic service-cache accounting table. Every value is a
+/// pure function of the seeded workload and the cache capacity, so the
+/// perf-regression gate covers it: a hit-rate or eviction drift means
+/// the cache policy, the content keys, or the workload changed.
+fn service_cache_table(m: &ServiceMeasurement) -> Table {
+    let mut t = Table::new(vec!["metric".into(), "value".into()]);
+    t.row(vec!["requests".into(), m.totals.requests.to_string()]);
+    t.row(vec!["programs".into(), m.workload.programs.to_string()]);
+    t.row(vec![
+        "compile requests".into(),
+        m.compile_requests.to_string(),
+    ]);
+    t.row(vec!["run requests".into(), m.run_requests.to_string()]);
+    t.row(vec!["cache capacity".into(), m.cache_capacity.to_string()]);
+    t.row(vec!["cache hits".into(), m.totals.hits.to_string()]);
+    t.row(vec!["cache misses".into(), m.totals.misses.to_string()]);
+    t.row(vec!["evictions".into(), m.totals.evictions.to_string()]);
+    t.row(vec!["hit rate".into(), pct(100.0 * m.totals.hit_rate())]);
+    t.row(vec!["errors".into(), m.totals.errors.to_string()]);
+    t
+}
+
+/// Service throughput and latency for the same replay — wall-clock
+/// values, excluded from the perf-regression gate. Shape is fixed;
+/// only the values vary run to run.
+fn service_throughput_table(m: &ServiceMeasurement) -> Table {
+    let per_sec = ratio(m.totals.requests as f64 * 1e9, m.wall_ns, 0.0);
+    let mut t = Table::new(vec!["metric".into(), "value".into()]);
+    t.row(vec!["workers".into(), m.workers.to_string()]);
+    t.row(vec!["wall (ms)".into(), format!("{:.1}", m.wall_ns / 1e6)]);
+    t.row(vec!["throughput (req/s)".into(), format!("{per_sec:.0}")]);
+    t.row(vec![
+        "latency mean (us)".into(),
+        format!("{:.1}", m.latency.mean() / 1e3),
+    ]);
+    t.row(vec![
+        "latency max (us)".into(),
+        format!("{:.1}", m.latency.max / 1e3),
     ]);
     t
 }
@@ -506,6 +665,51 @@ mod tests {
             let last = rows[2].as_array().unwrap();
             assert_eq!(last[0].as_str(), Some("Total"));
         }
+    }
+
+    #[test]
+    fn service_cache_table_is_deterministic_and_sums() {
+        let a = measure_service(Scale::Small);
+        let b = measure_service(Scale::Small);
+        // The accounting side is a pure function of the scale's seeded
+        // workload — only the wall-clock side may differ between runs.
+        assert_eq!(
+            format!("{}", service_cache_table(&a)),
+            format!("{}", service_cache_table(&b))
+        );
+        assert_eq!(a.totals.requests, a.compile_requests + a.run_requests);
+        assert_eq!(a.totals.hits + a.totals.misses, a.totals.requests);
+        assert!(a.totals.hits > 0, "skewed workload must hit the cache");
+        assert!(
+            a.totals.evictions > 0,
+            "pool larger than the cache must evict"
+        );
+    }
+
+    #[test]
+    fn service_throughput_table_shape_is_fixed() {
+        let zero = ServiceMeasurement {
+            workload: WorkloadConfig::default(),
+            cache_capacity: 0,
+            workers: 1,
+            compile_requests: 0,
+            run_requests: 0,
+            totals: BatchStats::default(),
+            latency: Histogram::default(),
+            wall_ns: 0.0,
+        };
+        let live = measure_service(Scale::Small);
+        let (a, b) = (
+            service_throughput_table(&zero),
+            service_throughput_table(&live),
+        );
+        assert_eq!(a.headers(), b.headers());
+        assert_eq!(a.rows().len(), b.rows().len());
+        for (ra, rb) in a.rows().iter().zip(b.rows()) {
+            assert_eq!(ra[0], rb[0], "metric labels must not vary");
+        }
+        // The zero-wall degenerate case must not leak NaN/inf.
+        assert_eq!(a.rows()[2][1], "0");
     }
 
     #[test]

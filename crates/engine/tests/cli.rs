@@ -195,3 +195,87 @@ fn trace_logs_pass_boundaries_and_calls() {
     assert!(stderr.contains("trace: call"), "{stderr}");
     assert!(stderr.contains("trace: return"), "{stderr}");
 }
+
+fn temp_lbc(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("lesgsc-{}-{name}.lbc", std::process::id()))
+}
+
+#[test]
+fn compile_writes_bytecode_that_run_executes_identically() {
+    let path = temp_lbc("roundtrip");
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let src = "(define (f n) (if (zero? n) 0 (+ 2 (f (- n 1))))) (display (f 21)) (newline)";
+    let (_, stderr, ok) = lesgsc(&["compile", "-o", path_s, "-e", src]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("wrote"), "{stderr}");
+
+    let (direct, _, ok) = lesgsc(&["run", "-e", src]);
+    assert!(ok);
+    let (loaded, stderr, ok) = lesgsc(&["run", path_s]);
+    assert!(ok, "{stderr}");
+    assert_eq!(loaded, direct);
+
+    // `stats` and `dis` accept the blob too.
+    let (_, stderr, ok) = lesgsc(&["stats", path_s]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("instructions:"), "{stderr}");
+    let (listing, _, ok) = lesgsc(&["dis", path_s]);
+    assert!(ok);
+    assert!(listing.contains("halt"), "{listing}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bytecode_input_is_recognized_by_magic_not_extension() {
+    let path = std::env::temp_dir().join(format!("lesgsc-{}-magic.bin", std::process::id()));
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let (_, stderr, ok) = lesgsc(&["compile", "-o", path_s, "-e", "(* 6 7)"]);
+    assert!(ok, "{stderr}");
+    let (stdout, stderr, ok) = lesgsc(&["run", path_s]);
+    assert!(ok, "{stderr}");
+    assert_eq!(stdout.trim(), "42");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn source_only_commands_reject_bytecode() {
+    let path = temp_lbc("reject");
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let (_, stderr, ok) = lesgsc(&["compile", "-o", path_s, "-e", "(+ 1 2)"]);
+    assert!(ok, "{stderr}");
+    for cmd in ["ir", "interp", "check", "compile"] {
+        let args: Vec<&str> = if cmd == "compile" {
+            vec![cmd, "-o", "/dev/null", path_s]
+        } else {
+            vec![cmd, path_s]
+        };
+        let (_, stderr, ok) = lesgsc(&args);
+        assert!(!ok, "`{cmd}` accepted bytecode input");
+        assert!(stderr.contains("serialized bytecode"), "{stderr}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_bytecode_fails_with_checksum_error() {
+    let path = temp_lbc("corrupt");
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let (_, stderr, ok) = lesgsc(&["compile", "-o", path_s, "-e", "(+ 1 2)"]);
+    assert!(ok, "{stderr}");
+    let mut bytes = std::fs::read(&path).expect("blob written");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).expect("rewrite");
+    let (_, stderr, ok) = lesgsc(&["run", path_s]);
+    assert!(!ok);
+    assert!(stderr.contains("checksum"), "{stderr}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn compile_requires_an_output_path() {
+    let (_, stderr, ok) = lesgsc(&["compile", "-e", "(+ 1 2)"]);
+    assert!(!ok);
+    assert!(stderr.contains("-o"), "{stderr}");
+}

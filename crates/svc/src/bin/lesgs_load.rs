@@ -1,0 +1,227 @@
+//! `lesgs-load` — deterministic load generator for the batch
+//! compile-and-run service.
+//!
+//! ```text
+//! lesgs-load [options]
+//!
+//! options:
+//!   --requests <n>    total requests to replay        (default 1000)
+//!   --programs <n>    distinct programs in the pool   (default 24)
+//!   --seed <n>        workload seed                   (default 0x5e71ce00)
+//!   --jobs <n>        service worker threads          (default 4)
+//!   --batch <n>       requests per service batch      (default 256)
+//!   --cache-cap <n>   program-cache capacity, 0=off   (default 64)
+//!   --check           verify every run response is byte-identical to
+//!                     direct (uncached) execution and that the cache
+//!                     actually hit; exit 1 on any violation
+//!   --json            print the summary as JSON on stdout
+//! ```
+//!
+//! The workload (program pool and request sequence) is a pure
+//! function of `--requests/--programs/--seed`, so any two runs replay
+//! the same stream; `--jobs` changes only wall-clock time. Repro
+//! commands for the published numbers live in EXPERIMENTS.md; metric
+//! names in OBSERVABILITY.md.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use lesgs_engine::Engine;
+use lesgs_metrics::{Json, Registry};
+use lesgs_svc::loadgen::{programs, requests, WorkloadConfig};
+use lesgs_svc::{BatchStats, Request, Response, Service, ServiceConfig};
+
+struct Options {
+    workload: WorkloadConfig,
+    jobs: usize,
+    batch: usize,
+    cache_cap: usize,
+    check: bool,
+    json: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        workload: WorkloadConfig::default(),
+        jobs: 4,
+        batch: 256,
+        cache_cap: 64,
+        check: false,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |what: &str| -> Result<usize, String> {
+            args.next()
+                .ok_or_else(|| format!("{what} requires a value"))?
+                .parse()
+                .map_err(|_| format!("{what} requires a number"))
+        };
+        match a.as_str() {
+            "--requests" => opts.workload.requests = value("--requests")?,
+            "--programs" => opts.workload.programs = value("--programs")?.max(1),
+            "--seed" => opts.workload.seed = value("--seed")? as u64,
+            "--jobs" => opts.jobs = value("--jobs")?.max(1),
+            "--batch" => opts.batch = value("--batch")?.max(1),
+            "--cache-cap" => opts.cache_cap = value("--cache-cap")?,
+            "--check" => opts.check = true,
+            "--json" => opts.json = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: lesgs-load [--requests <n>] [--programs <n>] [--seed <n>]\n\
+                     \x20                 [--jobs <n>] [--batch <n>] [--cache-cap <n>]\n\
+                     \x20                 [--check] [--json]"
+                );
+                std::process::exit(2);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Verifies every run response against direct (engine-only, uncached)
+/// execution of the same source. Returns the number of mismatches.
+fn check_responses(
+    engine: &Engine,
+    stream: &[Request],
+    responses: &[Response],
+    pool: &[String],
+) -> usize {
+    // One direct execution per distinct program, not per request.
+    let direct: Vec<_> = pool.iter().map(|src| engine.run(src)).collect();
+    let index_of = |source: &str| {
+        pool.iter()
+            .position(|p| p == source)
+            .expect("pooled source")
+    };
+    let mut mismatches = 0;
+    for (req, resp) in stream.iter().zip(responses) {
+        let expect = &direct[index_of(req.source())];
+        let ok = match (req, resp, expect) {
+            (Request::Compile { .. }, Response::Compiled { .. }, Ok(_)) => true,
+            (Request::Run { .. }, Response::Ran { outcome, .. }, Ok(want)) => {
+                outcome.as_ref() == want
+            }
+            (_, Response::Failed { message, .. }, Err(want)) => *message == want.to_string(),
+            _ => false,
+        };
+        if !ok {
+            mismatches += 1;
+            if mismatches <= 5 {
+                eprintln!("lesgs-load: mismatch\n  request:  {req:?}\n  response: {resp:?}");
+            }
+        }
+    }
+    mismatches
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("lesgs-load: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let pool = programs(&opts.workload);
+    let stream = requests(&opts.workload, &pool);
+    let mut service = Service::new(ServiceConfig {
+        workers: opts.jobs,
+        cache_capacity: opts.cache_cap,
+        ..ServiceConfig::default()
+    });
+
+    let mut reg = Registry::new();
+    let mut totals = BatchStats::default();
+    let mut responses: Vec<Response> = Vec::with_capacity(stream.len());
+    let t0 = Instant::now();
+    for batch in stream.chunks(opts.batch) {
+        let (rs, stats) = service.process_batch(batch, &mut reg);
+        responses.extend(rs);
+        totals.merge(&stats);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let latency = reg
+        .histogram("svc.request_latency_ns")
+        .copied()
+        .unwrap_or_default();
+    let throughput = if wall_s > 0.0 {
+        totals.requests as f64 / wall_s
+    } else {
+        0.0
+    };
+
+    if opts.json {
+        let doc = Json::object([
+            ("schema_version", Json::UInt(1)),
+            ("tool", Json::from("lesgs-load")),
+            ("requests", Json::UInt(totals.requests)),
+            ("programs", Json::UInt(opts.workload.programs as u64)),
+            ("seed", Json::UInt(opts.workload.seed)),
+            ("jobs", Json::UInt(opts.jobs as u64)),
+            ("batch", Json::UInt(opts.batch as u64)),
+            ("cache_capacity", Json::UInt(opts.cache_cap as u64)),
+            ("hits", Json::UInt(totals.hits)),
+            ("misses", Json::UInt(totals.misses)),
+            ("evictions", Json::UInt(totals.evictions)),
+            ("errors", Json::UInt(totals.errors)),
+            ("hit_rate", Json::Num(totals.hit_rate())),
+            ("wall_s", Json::Num(wall_s)),
+            ("requests_per_s", Json::Num(throughput)),
+            ("latency_mean_ns", Json::Num(latency.mean())),
+            ("latency_max_ns", Json::Num(latency.max)),
+        ]);
+        println!("{}", doc.pretty());
+    } else {
+        println!(
+            "{} requests ({} programs, seed {:#x}) in {:.2}s on {} workers",
+            totals.requests, opts.workload.programs, opts.workload.seed, wall_s, opts.jobs
+        );
+        println!(
+            "  throughput: {throughput:.0} req/s   latency mean {:.1}µs max {:.1}µs",
+            latency.mean() / 1e3,
+            latency.max / 1e3
+        );
+        println!(
+            "  cache: {} hits / {} misses ({:.1}% hit rate), {} evictions, capacity {}",
+            totals.hits,
+            totals.misses,
+            100.0 * totals.hit_rate(),
+            totals.evictions,
+            opts.cache_cap
+        );
+        if totals.errors > 0 {
+            println!("  errors: {}", totals.errors);
+        }
+    }
+
+    if opts.check {
+        let mismatches = check_responses(service.engine(), &stream, &responses, &pool);
+        if mismatches > 0 {
+            eprintln!(
+                "lesgs-load: check FAILED: {mismatches} responses differ from direct execution"
+            );
+            return ExitCode::FAILURE;
+        }
+        if totals.errors > 0 {
+            eprintln!(
+                "lesgs-load: check FAILED: {} requests errored",
+                totals.errors
+            );
+            return ExitCode::FAILURE;
+        }
+        if opts.cache_cap > 0 && totals.hits == 0 {
+            eprintln!("lesgs-load: check FAILED: cache never hit");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "lesgs-load: check ok — {} responses byte-identical to direct execution, hit rate {:.1}%",
+            responses.len(),
+            100.0 * totals.hit_rate()
+        );
+    }
+    ExitCode::SUCCESS
+}

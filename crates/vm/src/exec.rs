@@ -77,7 +77,7 @@ impl fmt::Display for VmError {
 impl std::error::Error for VmError {}
 
 /// The result of a successful run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VmOutcome {
     /// Final value (in `rv`), rendered in `write` style.
     pub value: String,

@@ -20,12 +20,30 @@
 //! | [`codegen`] | `lesgs-codegen` | IR → VM code |
 //! | [`vm`] | `lesgs-vm` | instrumented virtual machine |
 //! | [`compiler`] | `lesgs-compiler` | end-to-end driver |
+//! | [`engine`] | `lesgs-engine` | embeddable facade: compile, execute, versioned `.lbc` serialization |
+//! | [`svc`] | `lesgs-svc` | batch compile-and-run service with a content-keyed program cache |
 //! | [`metrics`] | `lesgs-metrics` | metrics registry, span timing, JSON reports |
 //! | [`suite`] | `lesgs-suite` | benchmarks and experiment machinery |
 //! | [`exec`] | `lesgs-exec` | deterministic worker pool behind every `--jobs` flag |
 //! | [`fuzz`] | `lesgs-fuzz` | generative differential fuzzing: generator, oracle, shrinker |
 //!
 //! # Quick start
+//!
+//! The [`engine`] facade is the front door: compile once, execute
+//! many times, and serialize compiled programs to the versioned
+//! `.lbc` format (specified in `BYTECODE.md`):
+//!
+//! ```
+//! use lesgs::engine::Engine;
+//!
+//! let engine = Engine::new();
+//! let program = engine.compile("(+ 40 2)").unwrap();
+//! let blob = program.to_bytes();                  // versioned .lbc bytes
+//! let loaded = engine.load_program(&blob).unwrap(); // verified on load
+//! assert_eq!(engine.execute(&loaded).unwrap().value, "42");
+//! ```
+//!
+//! The lower-level pipeline remains available:
 //!
 //! ```
 //! use lesgs::compiler::{run_source, CompilerConfig};
@@ -60,6 +78,7 @@
 pub use lesgs_codegen as codegen;
 pub use lesgs_compiler as compiler;
 pub use lesgs_core as allocator;
+pub use lesgs_engine as engine;
 pub use lesgs_exec as exec;
 pub use lesgs_frontend as frontend;
 pub use lesgs_fuzz as fuzz;
@@ -68,4 +87,5 @@ pub use lesgs_ir as ir;
 pub use lesgs_metrics as metrics;
 pub use lesgs_sexpr as sexpr;
 pub use lesgs_suite as suite;
+pub use lesgs_svc as svc;
 pub use lesgs_vm as vm;

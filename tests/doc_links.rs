@@ -63,6 +63,10 @@ fn relative_markdown_links_resolve() {
         files.iter().any(|f| f.ends_with("OBSERVABILITY.md")),
         "doc scan must cover the repo root"
     );
+    assert!(
+        files.iter().any(|f| f.ends_with("BYTECODE.md")),
+        "doc scan must cover the bytecode format spec"
+    );
     let mut dead = Vec::new();
     for file in &files {
         let text = std::fs::read_to_string(file).expect("readable markdown");
