@@ -25,11 +25,11 @@ use lesgs_exec::{map_ordered, PoolConfig, PoolStats};
 use lesgs_metrics::{ratio, Histogram, Registry};
 use lesgs_suite::measure::Measurement;
 use lesgs_suite::programs::Benchmark;
-use lesgs_suite::tables::{pct, Table};
+use lesgs_suite::tables::{frac_pct, pct, Table};
 use lesgs_suite::Scale;
 use lesgs_svc::loadgen::WorkloadConfig;
 use lesgs_svc::{BatchStats, Request, Service, ServiceConfig};
-use lesgs_vm::{ClassicMachine, CostModel, DecodeStats, Machine};
+use lesgs_vm::{ClassicMachine, CostModel, DecodeStats, DispatchRunStats, Machine, FUSION_TABLE};
 
 use crate::report::{run_record, Report};
 use crate::{mean, run_benchmark};
@@ -47,6 +47,13 @@ pub const DISPATCH_TABLE: &str = "dispatch";
 /// Name of the classic-vs-decoded throughput table — the other
 /// wall-clock table a determinism comparison must ignore.
 pub const DISPATCH_THROUGHPUT_TABLE: &str = "dispatch_throughput";
+
+/// Name of the deterministic runtime fusion/inline-cache table: per
+/// benchmark, how often each enabled superinstruction actually fired
+/// on the decoded engine and how stable every closure-call site's
+/// callee was (inline-cache hits/misses/hit rate). Pure counts from a
+/// deterministic run, so the perf-regression gate covers it.
+pub const DISPATCH_FUSION_TABLE: &str = "dispatch_fusion";
 
 /// Name of the deterministic three-way shuffle-strategy table:
 /// paper-greedy vs. the exhaustive optimum vs. optimal shuffle code
@@ -181,6 +188,7 @@ pub fn build_suite_report(
          argument moves they subsume.",
     );
     report.add_table(DISPATCH_TABLE, &dispatch_table(&dispatches));
+    report.add_table(DISPATCH_FUSION_TABLE, &dispatch_fusion_table(&dispatches));
     report.add_table(
         DISPATCH_THROUGHPUT_TABLE,
         &dispatch_throughput_table(&dispatches),
@@ -190,6 +198,12 @@ pub fn build_suite_report(
          against the pre-decoded threaded dispatch loop on the paper-default \
          configuration; both engines observed identical counters and values \
          on every benchmark in this report.",
+    );
+    report.note(
+        "Dispatch fusion reports, per benchmark, how often each entry of the \
+         measured superinstruction table (crates/vm/src/fusion_table.rs, \
+         regenerated by lesgs-fusegen) fired on the decoded engine, and the \
+         monomorphic inline-cache accounting for closure-call sites.",
     );
     report.add_table(SERVICE_CACHE_TABLE, &service_cache_table(&service));
     report.add_table(
@@ -406,6 +420,9 @@ fn service_throughput_table(m: &ServiceMeasurement) -> Table {
 /// took to retire the same instruction stream.
 struct DispatchMeasurement {
     stats: DecodeStats,
+    /// Runtime fusion/IC accounting from the (deterministic) decoded
+    /// warm-up run.
+    dispatch: DispatchRunStats,
     instructions: u64,
     classic_ns: f64,
     decoded_ns: f64,
@@ -475,6 +492,7 @@ fn measure_dispatch(b: &Benchmark, scale: Scale) -> DispatchMeasurement {
     }
     DispatchMeasurement {
         stats: compiled.decoded.stats(),
+        dispatch: decoded.dispatch.clone(),
         instructions: decoded.stats.instructions,
         classic_ns,
         decoded_ns,
@@ -484,43 +502,78 @@ fn measure_dispatch(b: &Benchmark, scale: Scale) -> DispatchMeasurement {
 /// The deterministic decode/fusion statistics table (one row per
 /// benchmark plus a total row).
 fn dispatch_table(dispatches: &[(String, DispatchMeasurement)]) -> Table {
-    let mut t = Table::new(vec![
-        "benchmark".into(),
+    // The column set follows the generated fusion table, so a
+    // regenerated catalogue reshapes this table (and the perf gate
+    // sees it as the schema change it is).
+    let mut header = vec![
+        "benchmark".to_string(),
         "source instrs".into(),
         "decoded ops".into(),
         "fused pairs".into(),
-        "cmp+branch".into(),
-        "mov+mov".into(),
-        "imm+imm".into(),
-    ]);
+    ];
+    header.extend(FUSION_TABLE.iter().map(|e| e.kind.key().replace('_', "+")));
+    let mut t = Table::new(header);
     let mut total = DecodeStats::default();
+    let row = |name: &str, s: &DecodeStats| {
+        let mut cells = vec![
+            name.to_owned(),
+            s.source_instructions.to_string(),
+            s.decoded_ops.to_string(),
+            s.fused_pairs.to_string(),
+        ];
+        cells.extend(FUSION_TABLE.iter().map(|e| s.fused(e.kind).to_string()));
+        cells
+    };
     for (name, d) in dispatches {
         let s = d.stats;
         total.source_instructions += s.source_instructions;
         total.decoded_ops += s.decoded_ops;
         total.fused_pairs += s.fused_pairs;
-        total.cmp_branch += s.cmp_branch;
-        total.mov_mov += s.mov_mov;
-        total.imm_imm += s.imm_imm;
-        t.row(vec![
-            name.clone(),
-            s.source_instructions.to_string(),
-            s.decoded_ops.to_string(),
-            s.fused_pairs.to_string(),
-            s.cmp_branch.to_string(),
-            s.mov_mov.to_string(),
-            s.imm_imm.to_string(),
-        ]);
+        for (acc, n) in total.fused_by_kind.iter_mut().zip(s.fused_by_kind) {
+            *acc += n;
+        }
+        t.row(row(name, &s));
     }
-    t.row(vec![
-        "Total".into(),
-        total.source_instructions.to_string(),
-        total.decoded_ops.to_string(),
-        total.fused_pairs.to_string(),
-        total.cmp_branch.to_string(),
-        total.mov_mov.to_string(),
-        total.imm_imm.to_string(),
+    t.row(row("Total", &total));
+    t
+}
+
+/// The deterministic runtime fusion/inline-cache table: how often each
+/// enabled superinstruction fired on the decoded engine, and the
+/// closure-call inline-cache accounting, per benchmark.
+fn dispatch_fusion_table(dispatches: &[(String, DispatchMeasurement)]) -> Table {
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(
+        FUSION_TABLE
+            .iter()
+            .map(|e| format!("{} fired", e.kind.key().replace('_', "+"))),
+    );
+    header.extend([
+        "ic hits".to_string(),
+        "ic misses".into(),
+        "ic hit rate".into(),
     ]);
+    let mut t = Table::new(header);
+    let mut total = DispatchRunStats::default();
+    let row = |name: &str, s: &DispatchRunStats| {
+        let mut cells = vec![name.to_owned()];
+        cells.extend(FUSION_TABLE.iter().map(|e| s.fused(e.kind).to_string()));
+        cells.extend([
+            s.ic_hits.to_string(),
+            s.ic_misses.to_string(),
+            frac_pct(s.ic_hit_rate()),
+        ]);
+        cells
+    };
+    for (name, d) in dispatches {
+        total.ic_hits += d.dispatch.ic_hits;
+        total.ic_misses += d.dispatch.ic_misses;
+        for (acc, n) in total.fused_exec.iter_mut().zip(d.dispatch.fused_exec) {
+            *acc += n;
+        }
+        t.row(row(name, &d.dispatch));
+    }
+    t.row(row("Total", &total));
     t
 }
 
@@ -653,6 +706,7 @@ mod tests {
         let tables = json.get("tables").and_then(|t| t.as_array()).unwrap();
         for name in [
             DISPATCH_TABLE,
+            DISPATCH_FUSION_TABLE,
             DISPATCH_THROUGHPUT_TABLE,
             SHUFFLE_STRATEGIES_TABLE,
         ] {

@@ -5,6 +5,9 @@
 //! lesgsc compile  [options] -o <out.lbc> <file.scm|->  compile to serialized bytecode
 //! lesgsc stats    [options] <file.scm|file.lbc|->  execute and dump instrumentation
 //! lesgsc dis      [options] <file.scm|file.lbc|->  disassemble generated VM code
+//!                 (--decoded shows the pre-decoded dispatch stream:
+//!                 superinstructions from the measured fusion table and
+//!                 inline-cache site assignments)
 //! lesgsc ir       [options] <file.scm|->           dump the allocated IR
 //! lesgsc interp   <file.scm|->                     run the reference interpreter
 //! lesgsc check    [options] <file.scm|->           differential-check vs the interpreter
@@ -75,6 +78,7 @@ struct Options {
     profile: ProfileMode,
     profile_out: Option<String>,
     jobs: usize,
+    decoded: bool,
 }
 
 fn usage() -> ! {
@@ -83,7 +87,7 @@ fn usage() -> ! {
          options: --save lazy|early|late  --restore eager|lazy\n\
          \x20        --shuffle greedy|fixed|permi  --callee-save  --regs <0..6>\n\
          \x20        --branch-prediction  --lift  --verify-bytecode  -o <file>\n\
-         \x20        --profile[=json]  --profile-out <file>  --trace\n\
+         \x20        --profile[=json]  --profile-out <file>  --trace  --decoded\n\
          \x20        --fuel <n>  --jobs <n>  -e <expr>"
     );
     std::process::exit(2);
@@ -123,6 +127,7 @@ fn parse_args() -> Result<Options, String> {
     let mut profile_out: Option<String> = None;
     let mut trace = false;
     let mut jobs = 1usize;
+    let mut decoded = false;
     let mut input: Option<Input> = None;
     while let Some(a) = args.next() {
         let mut value = |what: &str| {
@@ -167,6 +172,7 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--trace" => trace = true,
+            "--decoded" => decoded = true,
             "--regs" => {
                 let n: usize = value("--regs")?
                     .parse()
@@ -216,6 +222,9 @@ fn parse_args() -> Result<Options, String> {
     if out.is_some() && command != "compile" {
         return Err("-o only applies to `compile`".to_owned());
     }
+    if decoded && command != "dis" {
+        return Err("--decoded only applies to `dis`".to_owned());
+    }
     if profile == ProfileMode::Json
         && profile_out.is_none()
         && !["run", "stats"].contains(&command.as_str())
@@ -237,7 +246,18 @@ fn parse_args() -> Result<Options, String> {
         profile,
         profile_out,
         jobs,
+        decoded,
     })
+}
+
+/// The `dis --decoded` listing: the decode summary (fusion accounting
+/// and inline-cache site count) as a leading comment, then the
+/// pre-decoded op stream with fused superinstructions and `;ic=` site
+/// annotations.
+fn decoded_listing(decoded: &lesgs_vm::DecodedProgram) -> String {
+    let header = decoded.describe();
+    let summary = header.lines().next().unwrap_or_default();
+    format!("; {summary}\n{}", decoded.disassemble())
 }
 
 /// Assembles the `--profile` JSON document (schema in OBSERVABILITY.md).
@@ -351,7 +371,11 @@ fn main_blob(opts: &Options, bytes: &[u8]) -> ExitCode {
     let mut reg = Registry::new();
     match opts.command.as_str() {
         "dis" => {
-            print!("{}", program.disassemble());
+            if opts.decoded {
+                print!("{}", decoded_listing(program.decoded()));
+            } else {
+                print!("{}", program.disassemble());
+            }
             let doc = profile_document("dis", None, None, &reg);
             if let Err(e) = emit_profile(opts, &doc, &reg) {
                 return fail(e);
@@ -362,6 +386,7 @@ fn main_blob(opts: &Options, bytes: &[u8]) -> ExitCode {
             Ok(out) => {
                 report_outcome(opts, cmd, &out, None);
                 out.stats.record(&mut reg);
+                out.dispatch.record(&mut reg);
                 let doc = profile_document(cmd, Some(&out.value), Some(&out.output), &reg);
                 if let Err(e) = emit_profile(opts, &doc, &reg) {
                     return fail(e);
@@ -465,7 +490,11 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 "dis" => {
-                    print!("{}", compiled.vm.disassemble());
+                    if opts.decoded {
+                        print!("{}", decoded_listing(&compiled.decoded));
+                    } else {
+                        print!("{}", compiled.vm.disassemble());
+                    }
                     let doc = profile_document(cmd, None, None, &reg);
                     if let Err(e) = emit_profile(&opts, &doc, &reg) {
                         return fail(e);
@@ -490,6 +519,7 @@ fn main() -> ExitCode {
                     Ok(out) => {
                         report_outcome(&opts, cmd, &out, Some(compiled.shuffle_stats()));
                         out.stats.record(&mut reg);
+                        out.dispatch.record(&mut reg);
                         let doc = profile_document(cmd, Some(&out.value), Some(&out.output), &reg);
                         if let Err(e) = emit_profile(&opts, &doc, &reg) {
                             return fail(e);

@@ -50,6 +50,38 @@ fn dis_produces_a_listing() {
 }
 
 #[test]
+fn dis_decoded_shows_the_dispatch_stream() {
+    // A closure call gives the decoded listing an inline-cache site to
+    // annotate, and the decode header reports the fusion accounting.
+    let src = "(define (call f) (f 2)) (call (lambda (x) (* x 21)))";
+    let (stdout, _, ok) = lesgsc(&["dis", "--decoded", "-e", src]);
+    assert!(ok);
+    assert!(stdout.contains("fused_pairs"), "{stdout}");
+    assert!(stdout.contains("ic_sites"), "{stdout}");
+    assert!(stdout.contains(";ic="), "{stdout}");
+    // The flag is dis-only.
+    let (_, stderr, ok) = lesgsc(&["run", "--decoded", "-e", "(+ 1 2)"]);
+    assert!(!ok);
+    assert!(stderr.contains("--decoded"), "{stderr}");
+}
+
+#[test]
+fn profile_includes_dispatch_and_ic_metrics() {
+    let src = "(define (call f) (f 2)) (+ (call (lambda (x) (* x 3))) (call (lambda (x) x)))";
+    let (_, stderr, ok) = lesgsc(&["run", "--profile", "-e", src]);
+    assert!(ok);
+    for key in [
+        "vm.dispatch.ic.hits",
+        "vm.dispatch.ic.misses",
+        "vm.dispatch.ic.hit_rate",
+        "vm.dispatch.fused.",
+        "vm.dispatch.fused_exec.",
+    ] {
+        assert!(stderr.contains(key), "missing {key} in {stderr}");
+    }
+}
+
+#[test]
 fn strategy_flags_are_honored() {
     // Early saves produce more save-slot stores than lazy on factorial.
     let saves = |flags: &[&str]| {

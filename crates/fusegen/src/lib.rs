@@ -1,0 +1,423 @@
+//! Fusion-table generator: mines dynamic opcode-pair frequencies.
+//!
+//! The VM's superinstruction decoder (`lesgs-vm`'s `decode` module)
+//! knows a fixed *catalogue* of pair templates it can fuse, but which
+//! templates are worth enabling is an empirical question: a fused
+//! handler only pays for itself when its pair shape is hot in real
+//! programs. This crate answers that question by measurement and
+//! emits the checked-in `crates/vm/src/fusion_table.rs` the decoder
+//! consults.
+//!
+//! The pipeline:
+//!
+//! 1. **Corpus** — every `scheme-examples/*.scm` program plus a
+//!    fixed-seed fuzz corpus ([`FUZZ_SEED`], [`FUZZ_CASES`]), so the
+//!    measurement covers both the curated benchmarks and a broad
+//!    mechanical sample of compiler output.
+//! 2. **Mine** — compile each program, decode it *unfused* (empty
+//!    table), and run it with per-pc execution profiling
+//!    (`Machine::run_profiled`). In an unfused decode, decoded op
+//!    `base + i` corresponds 1:1 to source instruction `i`, and every
+//!    template's first half is a fallthrough op, so the dynamic count
+//!    of a candidate pair at `i` is exactly `profile[base + i]`.
+//!    Pair attribution replays the decoder's greedy left-to-right
+//!    pairing so overlapping candidates are counted the way the real
+//!    decoder would fuse them.
+//! 3. **Select** — a template earns a table slot when it fires at
+//!    least once per [`ENABLE_DENOMINATOR`] executed ops across the
+//!    corpus; entries are ranked by descending dynamic count.
+//! 4. **Render** — the generated file carries the measured counts, an
+//!    FNV-1a checksum over the entries (a vm unit test recomputes it,
+//!    so hand edits trip immediately), and top raw pair/triple
+//!    frequency lists as comments for future catalogue work.
+//!
+//! Every input is fixed (seeds, configs, the deterministic VM), so
+//! regeneration is reproducible across machines; CI runs
+//! `lesgs-fusegen --check` and fails on any drift between the file
+//! and a fresh measurement.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use lesgs_compiler::CompilerConfig;
+use lesgs_fuzz::{case_seed, generate, GenConfig};
+use lesgs_testkit::Rng;
+use lesgs_vm::{
+    fusion_table_checksum, template_match, CostModel, DecodedProgram, FusionEntry, FusionKind,
+    Instr, Machine,
+};
+
+/// Base seed for the fuzz half of the corpus. Fixed forever: changing
+/// it changes the measurement and therefore the generated table.
+pub const FUZZ_SEED: u64 = 0xF05E_2026;
+
+/// Number of fuzz-generated corpus programs.
+pub const FUZZ_CASES: u64 = 24;
+
+/// Instruction budget per corpus run (matches the dispatch fixture
+/// tests' budget; every corpus program halts well within it).
+pub const MINE_FUEL: u64 = 60_000_000;
+
+/// A template earns a table slot when it fires at least once per this
+/// many executed source ops across the whole corpus.
+pub const ENABLE_DENOMINATOR: u64 = 1000;
+
+/// Everything the miner measured, before selection.
+#[derive(Debug, Clone, Default)]
+pub struct MiningReport {
+    /// Dynamic greedy-pair count per catalogue template.
+    pub per_kind: [u64; FusionKind::COUNT],
+    /// Total dynamic source ops executed across the corpus.
+    pub total_executed: u64,
+    /// Corpus programs that compiled and ran to completion.
+    pub programs_mined: usize,
+    /// Corpus programs skipped (compile or run failure).
+    pub programs_skipped: usize,
+    /// Raw adjacent-pair frequencies (mnemonic pair → dynamic count),
+    /// fallthrough firsts only. Informational.
+    pub raw_pairs: BTreeMap<String, u64>,
+    /// Raw adjacent-triple frequencies, fallthrough prefixes only.
+    pub raw_triples: BTreeMap<String, u64>,
+}
+
+impl MiningReport {
+    /// Dynamic count for one catalogue template.
+    pub fn count(&self, kind: FusionKind) -> u64 {
+        self.per_kind[kind as usize]
+    }
+
+    /// The `n` hottest raw pairs, by descending count.
+    pub fn top_pairs(&self, n: usize) -> Vec<(&str, u64)> {
+        top_n(&self.raw_pairs, n)
+    }
+
+    /// The `n` hottest raw triples, by descending count.
+    pub fn top_triples(&self, n: usize) -> Vec<(&str, u64)> {
+        top_n(&self.raw_triples, n)
+    }
+}
+
+fn top_n(map: &BTreeMap<String, u64>, n: usize) -> Vec<(&str, u64)> {
+    let mut v: Vec<(&str, u64)> = map.iter().map(|(k, c)| (k.as_str(), *c)).collect();
+    // Descending count; the BTreeMap's key order breaks ties.
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    v.truncate(n);
+    v
+}
+
+/// Directory holding the curated example programs.
+pub fn examples_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scheme-examples")
+}
+
+/// Path of the generated table inside the vm crate.
+pub fn table_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../vm/src/fusion_table.rs")
+}
+
+/// The full mining corpus as `(label, source)` pairs: every
+/// `scheme-examples/*.scm` in name order, then the fixed-seed fuzz
+/// programs.
+pub fn corpus() -> std::io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    let mut names: Vec<PathBuf> = std::fs::read_dir(examples_dir())?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "scm"))
+        .collect();
+    names.sort();
+    for path in names {
+        let label = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        out.push((label, std::fs::read_to_string(&path)?));
+    }
+    out.extend(fuzz_corpus(FUZZ_SEED, FUZZ_CASES));
+    Ok(out)
+}
+
+/// The fuzz half of the corpus, parameterized for tests.
+pub fn fuzz_corpus(base_seed: u64, cases: u64) -> Vec<(String, String)> {
+    (0..cases)
+        .map(|i| {
+            let seed = case_seed(base_seed, i);
+            let mut rng = Rng::new(seed);
+            let program = generate(&mut rng, &GenConfig::default());
+            (format!("fuzz-{i:02} (seed {seed:#018x})"), program.render())
+        })
+        .collect()
+}
+
+/// True when control always continues at `pc + 1` after this op — the
+/// property that makes `profile[first]` the pair's dynamic count.
+fn falls_through(i: &Instr) -> bool {
+    !matches!(
+        i,
+        Instr::Jump { .. }
+            | Instr::BranchFalse { .. }
+            | Instr::BranchTrue { .. }
+            | Instr::Call { .. }
+            | Instr::TailCall { .. }
+            | Instr::Return
+            | Instr::Halt
+    )
+}
+
+/// Short mnemonic for the raw-frequency comment lists.
+fn mnemonic(i: &Instr) -> &'static str {
+    match i {
+        Instr::LoadImm { .. } => "imm",
+        Instr::LoadConst { .. } => "const",
+        Instr::Mov { .. } => "mov",
+        Instr::StackLoad { .. } => "load",
+        Instr::StackStore { .. } => "store",
+        Instr::Prim { .. } => "prim",
+        Instr::Jump { .. } => "jump",
+        Instr::BranchFalse { .. } => "brf",
+        Instr::BranchTrue { .. } => "brt",
+        Instr::Call { .. } => "call",
+        Instr::TailCall { .. } => "tailcall",
+        Instr::Return => "return",
+        Instr::AllocClosure { .. } => "closure",
+        Instr::ClosureSlotSet { .. } => "closure-set",
+        Instr::LoadFree { .. } => "loadfree",
+        Instr::LoadGlobal { .. } => "loadglobal",
+        Instr::StoreGlobal { .. } => "storeglobal",
+        Instr::Swap { .. } => "swap",
+        Instr::Permi { .. } => "permi",
+        Instr::Halt => "halt",
+    }
+}
+
+/// Mines the given corpus: compiles, decodes unfused, runs profiled,
+/// and aggregates dynamic pair counts. Programs that fail to compile
+/// or run are skipped (and counted).
+pub fn mine(corpus: &[(String, String)]) -> MiningReport {
+    let config = CompilerConfig::default();
+    let mut report = MiningReport::default();
+    for (_label, source) in corpus {
+        let Ok(compiled) = lesgs_compiler::compile(source, &config) else {
+            report.programs_skipped += 1;
+            continue;
+        };
+        let unfused = DecodedProgram::decode_with_table(&compiled.vm, &[]);
+        let machine = Machine::from_decoded(&unfused, CostModel::alpha_like()).with_fuel(MINE_FUEL);
+        let Ok((_outcome, profile)) = machine.run_profiled() else {
+            report.programs_skipped += 1;
+            continue;
+        };
+        report.programs_mined += 1;
+        report.total_executed += profile.iter().sum::<u64>();
+        for (func, info) in compiled.vm.funcs.iter().zip(unfused.funcs()) {
+            let base = info.base as usize;
+            let code = &func.code;
+            // Replay the decoder's greedy left-to-right pairing so
+            // overlapping candidates are attributed exactly as the
+            // real decoder would fuse them.
+            let mut i = 0;
+            while i + 1 < code.len() {
+                if let Some(kind) = template_match(&code[i], &code[i + 1]) {
+                    report.per_kind[kind as usize] += profile[base + i];
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            // Raw frequency lists (informational): every adjacent
+            // pair/triple whose prefix falls through, template or not.
+            for (j, w) in code.windows(2).enumerate() {
+                if falls_through(&w[0]) {
+                    let key = format!("{} {}", mnemonic(&w[0]), mnemonic(&w[1]));
+                    *report.raw_pairs.entry(key).or_insert(0) += profile[base + j];
+                }
+            }
+            for (j, w) in code.windows(3).enumerate() {
+                if falls_through(&w[0]) && falls_through(&w[1]) {
+                    let key = format!(
+                        "{} {} {}",
+                        mnemonic(&w[0]),
+                        mnemonic(&w[1]),
+                        mnemonic(&w[2])
+                    );
+                    *report.raw_triples.entry(key).or_insert(0) += profile[base + j];
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Selects the enabled table from a mining report: templates firing at
+/// least once per [`ENABLE_DENOMINATOR`] executed ops, ranked by
+/// descending count (catalogue order breaks ties).
+pub fn build_table(report: &MiningReport) -> Vec<FusionEntry> {
+    let mut entries: Vec<FusionEntry> = FusionKind::ALL
+        .iter()
+        .map(|&kind| FusionEntry {
+            kind,
+            dynamic_count: report.count(kind),
+        })
+        .filter(|e| e.dynamic_count > 0)
+        .filter(|e| e.dynamic_count.saturating_mul(ENABLE_DENOMINATOR) >= report.total_executed)
+        .collect();
+    entries.sort_by(|a, b| {
+        b.dynamic_count
+            .cmp(&a.dynamic_count)
+            .then(a.kind.cmp(&b.kind))
+    });
+    entries
+}
+
+/// Renders the generated `fusion_table.rs` source.
+pub fn render(report: &MiningReport, table: &[FusionEntry]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    s.push_str("//! @generated by lesgs-fusegen — do not edit by hand.\n");
+    s.push_str("//!\n");
+    s.push_str("//! The enabled superinstruction table, mined from measured dynamic\n");
+    s.push_str("//! opcode-pair frequencies. Regenerate with\n");
+    s.push_str("//! `cargo run --release -p lesgs-fusegen`; CI runs\n");
+    s.push_str("//! `lesgs-fusegen --check` and rejects any drift between this file\n");
+    s.push_str("//! and a fresh measurement.\n");
+    s.push_str("//!\n");
+    s.push_str("//! Corpus: every `scheme-examples/*.scm` program plus a fixed-seed\n");
+    s.push_str("//! fuzz corpus (see `lesgs-fusegen`'s `FUZZ_SEED`/`FUZZ_CASES`).\n");
+    s.push_str("//!\n");
+    let _ = writeln!(
+        s,
+        "//! Measurement: {} corpus programs mined ({} skipped), {} dynamic ops.",
+        report.programs_mined, report.programs_skipped, report.total_executed
+    );
+    let _ = writeln!(
+        s,
+        "//! Selection: dynamic count ≥ total / {ENABLE_DENOMINATOR}."
+    );
+    s.push_str("//!\n");
+    s.push_str("//! Hottest fallthrough pairs (dynamic, template or not):\n");
+    for (key, count) in report.top_pairs(8) {
+        let _ = writeln!(s, "//!   {count:>12}  {key}");
+    }
+    s.push_str("//!\n");
+    s.push_str("//! Hottest fallthrough triples (future catalogue candidates):\n");
+    for (key, count) in report.top_triples(8) {
+        let _ = writeln!(s, "//!   {count:>12}  {key}");
+    }
+    s.push('\n');
+    s.push_str("use crate::decode::{FusionEntry, FusionKind};\n");
+    s.push('\n');
+    s.push_str("/// Enabled fusion templates, ranked by measured dynamic pair count.\n");
+    s.push_str("pub const FUSION_TABLE: &[FusionEntry] = &[\n");
+    for entry in table {
+        let _ = writeln!(
+            s,
+            "    FusionEntry {{\n        kind: FusionKind::{:?},\n        dynamic_count: {},\n    }},",
+            entry.kind, entry.dynamic_count
+        );
+    }
+    s.push_str("];\n");
+    s.push('\n');
+    s.push_str("/// FNV-1a integrity mark over the entries above (recomputed by a vm\n");
+    s.push_str("/// unit test and by `lesgs-fusegen --check`).\n");
+    let _ = writeln!(
+        s,
+        "pub const FUSION_TABLE_CHECKSUM: u64 = {:#018x};",
+        fusion_table_checksum(table)
+    );
+    s
+}
+
+/// The tail of the checked-in file that `render` does not produce (the
+/// in-crate unit tests). Preserved verbatim on regeneration.
+pub const TEST_MARKER: &str = "#[cfg(test)]";
+
+/// Regenerates the full file contents: rendered header + table, plus
+/// the existing `#[cfg(test)]` tail of `current` (if any) carried over
+/// unchanged.
+pub fn regenerate(current: &str, report: &MiningReport, table: &[FusionEntry]) -> String {
+    let mut out = render(report, table);
+    if let Some(pos) = current.find(TEST_MARKER) {
+        out.push('\n');
+        out.push_str(&current[pos..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(per_kind: [u64; FusionKind::COUNT], total: u64) -> MiningReport {
+        MiningReport {
+            per_kind,
+            total_executed: total,
+            programs_mined: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn selection_applies_threshold_and_ranking() {
+        // CmpBranch hot, MovMov hotter, ImmImm below 1/1000, rest zero.
+        let mut per_kind = [0u64; FusionKind::COUNT];
+        per_kind[FusionKind::CmpBranch as usize] = 5_000;
+        per_kind[FusionKind::MovMov as usize] = 9_000;
+        per_kind[FusionKind::ImmImm as usize] = 999;
+        let table = build_table(&report_with(per_kind, 1_000_000));
+        let kinds: Vec<FusionKind> = table.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![FusionKind::MovMov, FusionKind::CmpBranch]);
+    }
+
+    #[test]
+    fn ties_break_in_catalogue_order() {
+        let mut per_kind = [0u64; FusionKind::COUNT];
+        per_kind[FusionKind::MovMov as usize] = 500;
+        per_kind[FusionKind::CmpBranch as usize] = 500;
+        let table = build_table(&report_with(per_kind, 1_000));
+        let kinds: Vec<FusionKind> = table.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![FusionKind::CmpBranch, FusionKind::MovMov]);
+    }
+
+    #[test]
+    fn rendered_table_round_trips_its_checksum() {
+        let mut per_kind = [0u64; FusionKind::COUNT];
+        per_kind[FusionKind::CmpBranch as usize] = 10;
+        let report = report_with(per_kind, 10);
+        let table = build_table(&report);
+        let rendered = render(&report, &table);
+        let want = format!(
+            "pub const FUSION_TABLE_CHECKSUM: u64 = {:#018x};",
+            fusion_table_checksum(&table)
+        );
+        assert!(rendered.contains(&want));
+    }
+
+    #[test]
+    fn regenerate_preserves_test_tail() {
+        let current = "old header\n\n#[cfg(test)]\nmod tests { fn keep_me() {} }\n";
+        let report = report_with([0; FusionKind::COUNT], 0);
+        let out = regenerate(current, &report, &[]);
+        assert!(out.contains("keep_me"));
+        assert!(!out.contains("old header"));
+    }
+
+    /// End-to-end smoke on a tiny slice of the corpus: mining a real
+    /// program must attribute nonzero dynamic pair counts.
+    #[test]
+    fn mining_counter_example_finds_hot_pairs() {
+        let source = std::fs::read_to_string(examples_dir().join("counter.scm")).unwrap();
+        let report = mine(&[("counter.scm".into(), source)]);
+        assert_eq!(report.programs_mined, 1);
+        assert_eq!(report.programs_skipped, 0);
+        assert!(report.total_executed > 0);
+        assert!(
+            report.per_kind.iter().sum::<u64>() > 0,
+            "no fusible pairs mined from counter.scm: {report:?}"
+        );
+    }
+
+    /// The fuzz half of the corpus is a pure function of the seed.
+    #[test]
+    fn fuzz_corpus_is_deterministic() {
+        assert_eq!(fuzz_corpus(FUZZ_SEED, 3), fuzz_corpus(FUZZ_SEED, 3));
+    }
+}

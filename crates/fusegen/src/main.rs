@@ -1,0 +1,76 @@
+//! CLI for the fusion-table generator.
+//!
+//! * `lesgs-fusegen` — mine the corpus and rewrite
+//!   `crates/vm/src/fusion_table.rs` in place.
+//! * `lesgs-fusegen --check` — mine and compare against the checked-in
+//!   file; exit nonzero on any drift (the CI drift gate).
+
+use lesgs_fusegen::{build_table, corpus, mine, regenerate, table_path};
+
+fn main() {
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown option `{other}`\nusage: lesgs-fusegen [--check]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let corpus = match corpus() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fusegen: failed to read corpus: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = mine(&corpus);
+    let table = build_table(&report);
+
+    eprintln!(
+        "fusegen: mined {} programs ({} skipped), {} dynamic ops",
+        report.programs_mined, report.programs_skipped, report.total_executed
+    );
+    for entry in &table {
+        eprintln!(
+            "fusegen:   enabled {:<12} {:>12}",
+            entry.kind.key(),
+            entry.dynamic_count
+        );
+    }
+
+    let path = table_path();
+    let current = std::fs::read_to_string(&path).unwrap_or_default();
+    let fresh = regenerate(&current, &report, &table);
+
+    if check {
+        if current == fresh {
+            eprintln!("fusegen: {} is up to date", path.display());
+        } else {
+            eprintln!(
+                "fusegen: {} drifted from a fresh measurement;\n\
+                 fusegen: regenerate with `cargo run --release -p lesgs-fusegen`",
+                path.display()
+            );
+            for (i, (a, b)) in current.lines().zip(fresh.lines()).enumerate() {
+                if a != b {
+                    eprintln!("fusegen: first difference at line {}:", i + 1);
+                    eprintln!("fusegen:   checked in: {a}");
+                    eprintln!("fusegen:   fresh:      {b}");
+                    break;
+                }
+            }
+            std::process::exit(1);
+        }
+    } else if current == fresh {
+        eprintln!("fusegen: {} already up to date", path.display());
+    } else {
+        if let Err(e) = std::fs::write(&path, &fresh) {
+            eprintln!("fusegen: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("fusegen: wrote {}", path.display());
+    }
+}

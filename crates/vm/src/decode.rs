@@ -17,15 +17,22 @@
 //!   function-relative and engine-independent);
 //! * operand lists become the fixed-size, `Copy` [`PrimArgs`], so the
 //!   dispatch loop never allocates;
-//! * common pairs are **fused** ([`DecodedOp::CmpBranch`],
-//!   [`DecodedOp::MovMov`], [`DecodedOp::ImmImm`]). A fused op sits in
-//!   the *first* instruction's slot; the second instruction's slot
-//!   keeps its plain decoding as a jump-target fallback, so fusion
-//!   needs no control-flow analysis and cannot change where a branch
-//!   may land. Fused handlers are literal compositions of the two
-//!   plain handlers (fuel check and instruction/cycle accounting
-//!   between the halves included), which is why every `vm.*` counter
-//!   is decode-invariant — see DESIGN.md's "Dispatch pipeline".
+//! * adjacent pairs matching an *enabled* [`FusionKind`] template are
+//!   **fused** into superinstructions. Which templates are enabled is
+//!   not hard-coded: [`DecodedProgram::decode`] consults the generated
+//!   [`crate::fusion_table::FUSION_TABLE`], mined from measured
+//!   dynamic pair frequencies by the `lesgs-fusegen` binary (see
+//!   DESIGN.md's "Dispatch pipeline" for the miner → table → decode
+//!   flow). A fused op sits in the *first* instruction's slot; the
+//!   second instruction's slot keeps its plain decoding as a
+//!   jump-target fallback, so fusion needs no control-flow analysis
+//!   and cannot change where a branch may land. Fused handlers are
+//!   literal compositions of the two plain handlers (fuel check and
+//!   instruction/cycle accounting between the halves included), which
+//!   is why every `vm.*` counter is decode-invariant;
+//! * every through-`cp` call site is assigned a monomorphic
+//!   inline-cache index (`ic`) so the executor can track per-site
+//!   callee stability (`vm.dispatch.ic.*`).
 //!
 //! Decoding is total for verifier-clean programs. The only divergence
 //! for *unverifiable* code is that an out-of-function branch target is
@@ -152,6 +159,93 @@ pub struct FuncInfo {
     pub call_inevitable: bool,
 }
 
+/// The superinstruction *template catalogue*: every pair shape the
+/// decoder knows how to fuse and the executor has a composed handler
+/// for. Which templates actually fire is decided by the generated
+/// [`crate::fusion_table::FUSION_TABLE`] — the catalogue is the
+/// hand-written universe the miner selects from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FusionKind {
+    /// Register-only predicate followed by a conditional branch on its
+    /// result.
+    CmpBranch,
+    /// Back-to-back register moves (greedy-shuffle argument setup).
+    MovMov,
+    /// Back-to-back immediate loads.
+    ImmImm,
+    /// Immediate load followed by a register move.
+    ImmMov,
+    /// Register move followed by an immediate load.
+    MovImm,
+    /// Back-to-back stack loads (eager-restore runs after calls).
+    LoadLoad,
+    /// Back-to-back stack stores (lazy-save runs before calls).
+    StoreStore,
+}
+
+impl FusionKind {
+    /// Every template, in catalogue order (`fused_by_kind` index order).
+    pub const ALL: [FusionKind; 7] = [
+        FusionKind::CmpBranch,
+        FusionKind::MovMov,
+        FusionKind::ImmImm,
+        FusionKind::ImmMov,
+        FusionKind::MovImm,
+        FusionKind::LoadLoad,
+        FusionKind::StoreStore,
+    ];
+
+    /// Number of templates in the catalogue.
+    pub const COUNT: usize = FusionKind::ALL.len();
+
+    /// The stable snake_case key used in metric names
+    /// (`vm.dispatch.fused.<key>`), table columns, and the generated
+    /// fusion table.
+    pub fn key(self) -> &'static str {
+        match self {
+            FusionKind::CmpBranch => "cmp_branch",
+            FusionKind::MovMov => "mov_mov",
+            FusionKind::ImmImm => "imm_imm",
+            FusionKind::ImmMov => "imm_mov",
+            FusionKind::MovImm => "mov_imm",
+            FusionKind::LoadLoad => "load_load",
+            FusionKind::StoreStore => "store_store",
+        }
+    }
+}
+
+/// One row of the generated fusion table: an enabled template and the
+/// dynamic pair count the miner measured for it across the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionEntry {
+    /// The enabled template.
+    pub kind: FusionKind,
+    /// Measured dynamic executions of the pair across the fusegen
+    /// corpus (documentation + ranking; not consulted at decode time).
+    pub dynamic_count: u64,
+}
+
+/// FNV-1a over the table's `(key, dynamic_count)` sequence — the
+/// integrity mark `lesgs-fusegen` stamps into the generated file. A vm
+/// unit test recomputes it, so a hand-edited entry fails the build's
+/// tests even before CI's `lesgs-fusegen --check` regenerates the
+/// table from measurement.
+pub fn fusion_table_checksum(entries: &[FusionEntry]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for e in entries {
+        eat(e.kind.key().as_bytes());
+        eat(&e.dynamic_count.to_le_bytes());
+        eat(b";");
+    }
+    h
+}
+
 /// What decoding did to one program — the static side of the
 /// `vm.dispatch.*` metrics namespace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -163,28 +257,34 @@ pub struct DecodeStats {
     pub decoded_ops: u64,
     /// Fused pairs of any kind.
     pub fused_pairs: u64,
-    /// Predicate-then-branch fusions.
-    pub cmp_branch: u64,
-    /// Back-to-back register-move fusions (greedy-shuffle argument
-    /// moves are the main source).
-    pub mov_mov: u64,
-    /// Back-to-back immediate-load fusions.
-    pub imm_imm: u64,
+    /// Fused pairs by template, indexed by [`FusionKind`] discriminant
+    /// ([`FusionKind::ALL`] order).
+    pub fused_by_kind: [u64; FusionKind::COUNT],
 }
 
 impl DecodeStats {
+    /// Fused-pair count for one template.
+    pub fn fused(&self, kind: FusionKind) -> u64 {
+        self.fused_by_kind[kind as usize]
+    }
+
     /// Exports the counters under the stable `vm.dispatch.*` names
     /// documented in OBSERVABILITY.md. These are **load-time** facts
     /// about the program, recorded at compile time — run-time `vm.*`
     /// counters keep the exact key set they had before pre-decoding
-    /// existed.
+    /// existed. Every generated-table entry's counter is emitted, zero
+    /// included, so the key set (and with it profile JSON and bench
+    /// table shapes) is a fixed function of the committed table.
     pub fn record(&self, reg: &mut Registry) {
         reg.inc("vm.dispatch.source_instructions", self.source_instructions);
         reg.inc("vm.dispatch.decoded_ops", self.decoded_ops);
         reg.inc("vm.dispatch.fused_pairs", self.fused_pairs);
-        reg.inc("vm.dispatch.fused.cmp_branch", self.cmp_branch);
-        reg.inc("vm.dispatch.fused.mov_mov", self.mov_mov);
-        reg.inc("vm.dispatch.fused.imm_imm", self.imm_imm);
+        for entry in crate::fusion_table::FUSION_TABLE {
+            reg.inc(
+                &format!("vm.dispatch.fused.{}", entry.kind.key()),
+                self.fused(entry.kind),
+            );
+        }
     }
 }
 
@@ -268,6 +368,8 @@ pub enum DecodedOp {
     CallClosure {
         /// Caller frame size.
         frame_advance: u32,
+        /// Monomorphic inline-cache site index.
+        ic: u32,
     },
     /// Tail call of a known function.
     TailCallStatic {
@@ -275,7 +377,10 @@ pub enum DecodedOp {
         callee: FuncId,
     },
     /// Tail call through the closure in `cp`.
-    TailCallClosure,
+    TailCallClosure {
+        /// Monomorphic inline-cache site index.
+        ic: u32,
+    },
     /// Jump through the return address in `ret`, restoring `fp`.
     Return,
     /// Allocate a closure with `n_free` uninitialized slots.
@@ -374,6 +479,58 @@ pub enum DecodedOp {
         /// Second constant.
         imm2: Imm,
     },
+    /// Fused immediate load followed by a register move.
+    ImmMov {
+        /// Immediate destination.
+        dst1: Reg,
+        /// The constant.
+        imm1: Imm,
+        /// Move destination.
+        dst2: Reg,
+        /// Move source (read after the immediate lands).
+        src2: Reg,
+    },
+    /// Fused register move followed by an immediate load.
+    MovImm {
+        /// Move destination.
+        dst1: Reg,
+        /// Move source.
+        src1: Reg,
+        /// Immediate destination.
+        dst2: Reg,
+        /// The constant.
+        imm2: Imm,
+    },
+    /// Fused pair of stack loads (eager-restore runs after calls).
+    LoadLoad {
+        /// First destination.
+        dst1: Reg,
+        /// First frame offset.
+        slot1: u32,
+        /// First instrumentation class.
+        class1: SlotClass,
+        /// Second destination.
+        dst2: Reg,
+        /// Second frame offset.
+        slot2: u32,
+        /// Second instrumentation class.
+        class2: SlotClass,
+    },
+    /// Fused pair of stack stores (lazy-save runs before calls).
+    StoreStore {
+        /// First frame offset.
+        slot1: u32,
+        /// First source.
+        src1: Reg,
+        /// First instrumentation class.
+        class1: SlotClass,
+        /// Second frame offset.
+        slot2: u32,
+        /// Second source.
+        src2: Reg,
+        /// Second instrumentation class.
+        class2: SlotClass,
+    },
     /// End-of-function sentinel: executing it is the classic "program
     /// counter out of range" error.
     FuncEnd,
@@ -437,11 +594,11 @@ impl fmt::Display for DecodedOp {
                 callee,
                 frame_advance,
             } => write!(f, "call {callee} (+{frame_advance})"),
-            DecodedOp::CallClosure { frame_advance } => {
-                write!(f, "call cp (+{frame_advance})")
+            DecodedOp::CallClosure { frame_advance, ic } => {
+                write!(f, "call cp (+{frame_advance}) ;ic={ic}")
             }
             DecodedOp::TailCallStatic { callee } => write!(f, "tailcall {callee}"),
-            DecodedOp::TailCallClosure => write!(f, "tailcall cp"),
+            DecodedOp::TailCallClosure { ic } => write!(f, "tailcall cp ;ic={ic}"),
             DecodedOp::Return => write!(f, "return"),
             DecodedOp::AllocClosure { dst, func, n_free } => {
                 write!(f, "{dst} <- closure {func} [{n_free}]")
@@ -498,6 +655,40 @@ impl fmt::Display for DecodedOp {
                 dst2,
                 imm2,
             } => write!(f, "{dst1} <- {imm1:?} ; fused {dst2} <- {imm2:?}"),
+            DecodedOp::ImmMov {
+                dst1,
+                imm1,
+                dst2,
+                src2,
+            } => write!(f, "{dst1} <- {imm1:?} ; fused {dst2} <- {src2}"),
+            DecodedOp::MovImm {
+                dst1,
+                src1,
+                dst2,
+                imm2,
+            } => write!(f, "{dst1} <- {src1} ; fused {dst2} <- {imm2:?}"),
+            DecodedOp::LoadLoad {
+                dst1,
+                slot1,
+                class1,
+                dst2,
+                slot2,
+                class2,
+            } => write!(
+                f,
+                "{dst1} <- fp[{slot1}] ;{class1} ; fused {dst2} <- fp[{slot2}] ;{class2}"
+            ),
+            DecodedOp::StoreStore {
+                slot1,
+                src1,
+                class1,
+                slot2,
+                src2,
+                class2,
+            } => write!(
+                f,
+                "fp[{slot1}] <- {src1} ;{class1} ; fused fp[{slot2}] <- {src2} ;{class2}"
+            ),
             DecodedOp::FuncEnd => write!(f, "func-end"),
         }
     }
@@ -516,6 +707,7 @@ pub struct DecodedProgram {
     pub(crate) constants: Vec<Const>,
     pub(crate) n_globals: u32,
     pub(crate) stats: DecodeStats,
+    pub(crate) n_ic_sites: u32,
 }
 
 /// True for the register-only predicates the decoder may fuse with a
@@ -553,9 +745,16 @@ fn fusible_predicate(p: Prim) -> bool {
 
 /// Decodes one instruction (no fusion). `base` is the function's first
 /// absolute pc; `len` its source length — intra-function targets are
-/// rebased and clamped to the end sentinel.
-fn decode_one(instr: &Instr, base: u32, len: u32) -> DecodedOp {
+/// rebased and clamped to the end sentinel. `next_ic` hands out
+/// inline-cache site indices to through-`cp` call sites in decode
+/// order.
+fn decode_one(instr: &Instr, base: u32, len: u32, next_ic: &mut u32) -> DecodedOp {
     let abs = |t: u32| base + t.min(len);
+    let mut take_ic = || {
+        let ic = *next_ic;
+        *next_ic += 1;
+        ic
+    };
     match instr {
         Instr::LoadImm { dst, imm } => DecodedOp::Imm {
             dst: *dst,
@@ -617,11 +816,12 @@ fn decode_one(instr: &Instr, base: u32, len: u32) -> DecodedOp {
             },
             CallTarget::ClosureCp => DecodedOp::CallClosure {
                 frame_advance: *frame_advance,
+                ic: take_ic(),
             },
         },
         Instr::TailCall { target } => match target {
             CallTarget::Func(id) => DecodedOp::TailCallStatic { callee: *id },
-            CallTarget::ClosureCp => DecodedOp::TailCallClosure,
+            CallTarget::ClosureCp => DecodedOp::TailCallClosure { ic: take_ic() },
         },
         Instr::Return => DecodedOp::Return,
         Instr::AllocClosure { dst, func, n_free } => DecodedOp::AllocClosure {
@@ -654,92 +854,160 @@ fn decode_one(instr: &Instr, base: u32, len: u32) -> DecodedOp {
     }
 }
 
-/// Which fusion fired, for the decode counters.
-enum Fusion {
-    CmpBranch,
-    MovMov,
-    ImmImm,
+/// Matches the pair `(a, b)` against the template catalogue: which
+/// [`FusionKind`] *could* fuse it, independent of whether that kind is
+/// enabled in the generated table. Shared with `lesgs-fusegen`, whose
+/// miner attributes measured dynamic pair counts to exactly the
+/// templates this function recognizes.
+pub fn template_match(a: &Instr, b: &Instr) -> Option<FusionKind> {
+    match (a, b) {
+        (Instr::Prim { op, .. }, Instr::BranchFalse { .. } | Instr::BranchTrue { .. })
+            if fusible_predicate(*op) =>
+        {
+            Some(FusionKind::CmpBranch)
+        }
+        (Instr::Mov { .. }, Instr::Mov { .. }) => Some(FusionKind::MovMov),
+        (Instr::LoadImm { .. }, Instr::LoadImm { .. }) => Some(FusionKind::ImmImm),
+        (Instr::LoadImm { .. }, Instr::Mov { .. }) => Some(FusionKind::ImmMov),
+        (Instr::Mov { .. }, Instr::LoadImm { .. }) => Some(FusionKind::MovImm),
+        (Instr::StackLoad { .. }, Instr::StackLoad { .. }) => Some(FusionKind::LoadLoad),
+        (Instr::StackStore { .. }, Instr::StackStore { .. }) => Some(FusionKind::StoreStore),
+        _ => None,
+    }
 }
 
-/// Tries to fuse the pair `(a, b)`. The fused op replaces `a`'s slot
-/// only; `b`'s slot keeps its plain decoding.
-fn try_fuse(a: &Instr, b: &Instr, base: u32, len: u32) -> Option<(DecodedOp, Fusion)> {
+/// Builds the fused op for a pair [`template_match`] accepted. The
+/// fused op replaces `a`'s slot only; `b`'s slot keeps its plain
+/// decoding.
+fn build_fused(kind: FusionKind, a: &Instr, b: &Instr, base: u32, len: u32) -> DecodedOp {
     let abs = |t: u32| base + t.min(len);
-    match (a, b) {
+    match (kind, a, b) {
         (
+            FusionKind::CmpBranch,
             Instr::Prim { op, dst, args },
             Instr::BranchFalse {
                 src,
                 target,
                 likely,
             },
-        ) if fusible_predicate(*op) => Some((
-            DecodedOp::CmpBranch {
-                op: *op,
-                dst: *dst,
-                args: PrimArgs::from_slice(args),
-                src: *src,
-                target: abs(*target),
-                likely: *likely,
-                on_true: false,
-            },
-            Fusion::CmpBranch,
-        )),
+        ) => DecodedOp::CmpBranch {
+            op: *op,
+            dst: *dst,
+            args: PrimArgs::from_slice(args),
+            src: *src,
+            target: abs(*target),
+            likely: *likely,
+            on_true: false,
+        },
         (
+            FusionKind::CmpBranch,
             Instr::Prim { op, dst, args },
             Instr::BranchTrue {
                 src,
                 target,
                 likely,
             },
-        ) if fusible_predicate(*op) => Some((
-            DecodedOp::CmpBranch {
-                op: *op,
-                dst: *dst,
-                args: PrimArgs::from_slice(args),
-                src: *src,
-                target: abs(*target),
-                likely: *likely,
-                on_true: true,
-            },
-            Fusion::CmpBranch,
-        )),
+        ) => DecodedOp::CmpBranch {
+            op: *op,
+            dst: *dst,
+            args: PrimArgs::from_slice(args),
+            src: *src,
+            target: abs(*target),
+            likely: *likely,
+            on_true: true,
+        },
         (
+            FusionKind::MovMov,
             Instr::Mov { dst, src },
             Instr::Mov {
                 dst: dst2,
                 src: src2,
             },
-        ) => Some((
-            DecodedOp::MovMov {
-                dst1: *dst,
-                src1: *src,
-                dst2: *dst2,
-                src2: *src2,
-            },
-            Fusion::MovMov,
-        )),
+        ) => DecodedOp::MovMov {
+            dst1: *dst,
+            src1: *src,
+            dst2: *dst2,
+            src2: *src2,
+        },
         (
+            FusionKind::ImmImm,
             Instr::LoadImm { dst, imm },
             Instr::LoadImm {
                 dst: dst2,
                 imm: imm2,
             },
-        ) => Some((
-            DecodedOp::ImmImm {
-                dst1: *dst,
-                imm1: *imm,
-                dst2: *dst2,
-                imm2: *imm2,
+        ) => DecodedOp::ImmImm {
+            dst1: *dst,
+            imm1: *imm,
+            dst2: *dst2,
+            imm2: *imm2,
+        },
+        (
+            FusionKind::ImmMov,
+            Instr::LoadImm { dst, imm },
+            Instr::Mov {
+                dst: dst2,
+                src: src2,
             },
-            Fusion::ImmImm,
-        )),
-        _ => None,
+        ) => DecodedOp::ImmMov {
+            dst1: *dst,
+            imm1: *imm,
+            dst2: *dst2,
+            src2: *src2,
+        },
+        (
+            FusionKind::MovImm,
+            Instr::Mov { dst, src },
+            Instr::LoadImm {
+                dst: dst2,
+                imm: imm2,
+            },
+        ) => DecodedOp::MovImm {
+            dst1: *dst,
+            src1: *src,
+            dst2: *dst2,
+            imm2: *imm2,
+        },
+        (
+            FusionKind::LoadLoad,
+            Instr::StackLoad { dst, slot, class },
+            Instr::StackLoad {
+                dst: dst2,
+                slot: slot2,
+                class: class2,
+            },
+        ) => DecodedOp::LoadLoad {
+            dst1: *dst,
+            slot1: *slot,
+            class1: *class,
+            dst2: *dst2,
+            slot2: *slot2,
+            class2: *class2,
+        },
+        (
+            FusionKind::StoreStore,
+            Instr::StackStore { slot, src, class },
+            Instr::StackStore {
+                slot: slot2,
+                src: src2,
+                class: class2,
+            },
+        ) => DecodedOp::StoreStore {
+            slot1: *slot,
+            src1: *src,
+            class1: *class,
+            slot2: *slot2,
+            src2: *src2,
+            class2: *class2,
+        },
+        _ => unreachable!("build_fused called with a pair template_match rejected"),
     }
 }
 
 impl DecodedProgram {
-    /// Decodes a linked program (see the module docs for the layout).
+    /// Decodes a linked program under the committed generated fusion
+    /// table ([`crate::fusion_table::FUSION_TABLE`]) — see the module
+    /// docs for the layout.
     ///
     /// # Panics
     ///
@@ -747,9 +1015,24 @@ impl DecodedProgram {
     /// operands — codegen never emits one and `verify_bytecode`
     /// rejects such programs.
     pub fn decode(program: &VmProgram) -> DecodedProgram {
+        DecodedProgram::decode_with_table(program, crate::fusion_table::FUSION_TABLE)
+    }
+
+    /// Decodes with an explicit fusion table. An empty table disables
+    /// fusion entirely — that is how the `lesgs-fusegen` miner obtains
+    /// the one-op-per-slot decoding it profiles pair frequencies on.
+    pub fn decode_with_table(program: &VmProgram, table: &[FusionEntry]) -> DecodedProgram {
+        let enabled: [bool; FusionKind::COUNT] = {
+            let mut e = [false; FusionKind::COUNT];
+            for entry in table {
+                e[entry.kind as usize] = true;
+            }
+            e
+        };
         let mut ops = Vec::with_capacity(program.code_size() + program.funcs.len());
         let mut funcs = Vec::with_capacity(program.funcs.len());
         let mut stats = DecodeStats::default();
+        let mut next_ic = 0u32;
         for f in &program.funcs {
             let base = ops.len() as u32;
             let len = f.code.len() as u32;
@@ -759,23 +1042,20 @@ impl DecodedProgram {
                 let fused = f
                     .code
                     .get(i + 1)
-                    .and_then(|next| try_fuse(&f.code[i], next, base, len));
+                    .and_then(|next| template_match(&f.code[i], next))
+                    .filter(|kind| enabled[*kind as usize]);
                 match fused {
-                    Some((op, kind)) => {
+                    Some(kind) => {
                         stats.fused_pairs += 1;
-                        match kind {
-                            Fusion::CmpBranch => stats.cmp_branch += 1,
-                            Fusion::MovMov => stats.mov_mov += 1,
-                            Fusion::ImmImm => stats.imm_imm += 1,
-                        }
-                        ops.push(op);
+                        stats.fused_by_kind[kind as usize] += 1;
+                        ops.push(build_fused(kind, &f.code[i], &f.code[i + 1], base, len));
                         // The second slot keeps its plain decoding so a
                         // branch landing on it behaves exactly as before.
-                        ops.push(decode_one(&f.code[i + 1], base, len));
+                        ops.push(decode_one(&f.code[i + 1], base, len, &mut next_ic));
                         i += 2;
                     }
                     None => {
-                        ops.push(decode_one(&f.code[i], base, len));
+                        ops.push(decode_one(&f.code[i], base, len, &mut next_ic));
                         i += 1;
                     }
                 }
@@ -799,6 +1079,7 @@ impl DecodedProgram {
             constants: program.constants.clone(),
             n_globals: program.n_globals,
             stats,
+            n_ic_sites: next_ic,
         }
     }
 
@@ -827,6 +1108,12 @@ impl DecodedProgram {
         self.stats
     }
 
+    /// Number of through-`cp` call sites (the executor sizes its
+    /// inline-cache array from this).
+    pub fn n_ic_sites(&self) -> u32 {
+        self.n_ic_sites
+    }
+
     /// Renders the decoded layout — function table, per-op listing,
     /// and the absolute jump-target table. This is the golden-fixture
     /// format of `tests/decoded_fixtures.rs`: deterministic, and
@@ -835,11 +1122,15 @@ impl DecodedProgram {
         use std::fmt::Write;
         let mut out = String::new();
         let s = self.stats;
+        let by_kind = crate::fusion_table::FUSION_TABLE
+            .iter()
+            .map(|e| format!("{} {}", e.kind.key(), s.fused(e.kind)))
+            .collect::<Vec<_>>()
+            .join(", ");
         let _ = writeln!(
             out,
-            "source_instructions {} decoded_ops {} fused_pairs {} \
-             (cmp_branch {}, mov_mov {}, imm_imm {})",
-            s.source_instructions, s.decoded_ops, s.fused_pairs, s.cmp_branch, s.mov_mov, s.imm_imm
+            "source_instructions {} decoded_ops {} fused_pairs {} ({by_kind}) ic_sites {}",
+            s.source_instructions, s.decoded_ops, s.fused_pairs, self.n_ic_sites
         );
         for (i, f) in self.funcs.iter().enumerate() {
             let _ = writeln!(

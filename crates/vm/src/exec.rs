@@ -24,8 +24,11 @@ use lesgs_frontend::{FuncId, Prim};
 use lesgs_ir::machine::{CP, NUM_REGS, RET, RV};
 use lesgs_ir::Reg;
 
+use lesgs_metrics::{ratio, Registry};
+
 use crate::cost::CostModel;
-use crate::decode::{DecodedOp, DecodedProgram, PrimArgs};
+use crate::decode::{DecodedOp, DecodedProgram, FusionKind, PrimArgs};
+use crate::fusion_table::FUSION_TABLE;
 use crate::instr::{Imm, SlotClass};
 use crate::prim::{eval_prim, ArgVals};
 use crate::program::VmProgram;
@@ -76,8 +79,63 @@ impl fmt::Display for VmError {
 
 impl std::error::Error for VmError {}
 
+/// Run-time statistics of the *dispatch tier itself*: inline-cache
+/// hits/misses at through-`cp` call sites and per-template fused-pair
+/// executions. These are engine-internal — the classic engine has no
+/// caches and no fused ops, so they are deliberately **excluded from
+/// the classic-vs-decoded parity contract** (see [`VmOutcome`]'s
+/// `PartialEq`); the observable `vm.*` stream lives in [`RunStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DispatchRunStats {
+    /// Closure-call sites whose cached callee matched.
+    pub ic_hits: u64,
+    /// Closure-call sites that missed (cold or megamorphic).
+    pub ic_misses: u64,
+    /// Fused-pair executions by template, indexed by [`FusionKind`]
+    /// discriminant.
+    pub fused_exec: [u64; FusionKind::COUNT],
+}
+
+impl DispatchRunStats {
+    /// Fused executions of one template.
+    pub fn fused(&self, kind: FusionKind) -> u64 {
+        self.fused_exec[kind as usize]
+    }
+
+    /// Inline-cache hit rate in `[0, 1]` (0.0 when no closure calls).
+    pub fn ic_hit_rate(&self) -> f64 {
+        ratio(
+            self.ic_hits as f64,
+            (self.ic_hits + self.ic_misses) as f64,
+            0.0,
+        )
+    }
+
+    /// Exports the counters under `vm.dispatch.ic.*` and
+    /// `vm.dispatch.fused_exec.*`. Like the static decode counters,
+    /// every generated-table entry is emitted, zero included, so the
+    /// key set is a fixed function of the committed fusion table.
+    pub fn record(&self, reg: &mut Registry) {
+        reg.inc("vm.dispatch.ic.hits", self.ic_hits);
+        reg.inc("vm.dispatch.ic.misses", self.ic_misses);
+        reg.set_gauge("vm.dispatch.ic.hit_rate", self.ic_hit_rate());
+        for entry in FUSION_TABLE {
+            reg.inc(
+                &format!("vm.dispatch.fused_exec.{}", entry.kind.key()),
+                self.fused(entry.kind),
+            );
+        }
+    }
+}
+
 /// The result of a successful run.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality deliberately covers `value`, `output`, and `stats` only:
+/// that triple is the engine-independent observable contract the
+/// classic-vs-decoded differential suite pins. The `dispatch` field is
+/// decoded-engine-internal (the classic engine always reports an empty
+/// one) and comparing it would make the contract unsatisfiable.
+#[derive(Debug, Clone)]
 pub struct VmOutcome {
     /// Final value (in `rv`), rendered in `write` style.
     pub value: String,
@@ -85,6 +143,15 @@ pub struct VmOutcome {
     pub output: String,
     /// Collected statistics.
     pub stats: RunStats,
+    /// Dispatch-tier statistics (IC hits, fused executions); empty for
+    /// the classic engine. Excluded from `PartialEq`.
+    pub dispatch: DispatchRunStats,
+}
+
+impl PartialEq for VmOutcome {
+    fn eq(&self, other: &VmOutcome) -> bool {
+        self.value == other.value && self.output == other.output && self.stats == other.stats
+    }
 }
 
 /// One entry of the shadow activation stack (for Table 2
@@ -123,6 +190,11 @@ pub struct Machine<'a> {
     globals: Vec<Value>,
     output: String,
     stats: RunStats,
+    dispatch: DispatchRunStats,
+    /// Monomorphic inline caches, one slot per through-`cp` call site
+    /// (indexed by the op's `ic` field): the last callee observed
+    /// there. Per-run state — a fresh run starts cold.
+    ic_cache: Vec<Option<FuncId>>,
     shadow: Vec<Activation>,
     // Flat per-class tallies for the hot loop; folded into the
     // `RunStats` hash maps once, at exit. The decoded engine observes
@@ -158,6 +230,7 @@ impl<'a> Machine<'a> {
         let pc = prog.funcs[entry.index()].base;
         let constants = prog.constants.iter().map(const_to_value).collect();
         let n_globals = prog.n_globals as usize;
+        let n_ic_sites = prog.n_ic_sites as usize;
         Machine {
             code,
             cost,
@@ -177,6 +250,8 @@ impl<'a> Machine<'a> {
             globals: vec![Value::Void; n_globals],
             output: String::new(),
             stats: RunStats::default(),
+            dispatch: DispatchRunStats::default(),
+            ic_cache: vec![None; n_ic_sites],
             shadow: Vec::new(),
             stack_loads_by_class: [0; SlotClass::ALL.len()],
             stack_stores_by_class: [0; SlotClass::ALL.len()],
@@ -352,6 +427,23 @@ impl<'a> Machine<'a> {
                 pc,
                 format!("call of non-procedure `{}`", other.write_string()),
             )),
+        }
+    }
+
+    /// Consults and updates the monomorphic inline cache of a
+    /// through-`cp` call site. The simulated machine still resolves
+    /// the callee through `cp` (there is no dynamic lookup for a
+    /// simulator to short-circuit), so the cache changes no observable
+    /// behaviour — it measures per-site callee stability, i.e. exactly
+    /// the hit rate a native inline cache would achieve.
+    #[inline]
+    fn ic_probe(&mut self, ic: u32, callee: FuncId) {
+        match self.ic_cache[ic as usize] {
+            Some(f) if f == callee => self.dispatch.ic_hits += 1,
+            _ => {
+                self.dispatch.ic_misses += 1;
+                self.ic_cache[ic as usize] = Some(callee);
+            }
         }
     }
 
@@ -574,14 +666,43 @@ impl<'a> Machine<'a> {
         // by direct reference — no per-access enum match, and the op
         // array pointer stays hoisted across the whole loop.
         let code = std::mem::replace(&mut self.code, Code::Taken);
+        let mut no_profile = Vec::new();
         match &code {
-            Code::Owned(p) => self.run_on(p),
-            Code::Borrowed(p) => self.run_on(p),
+            Code::Owned(p) => self.run_on::<false>(p, &mut no_profile),
+            Code::Borrowed(p) => self.run_on::<false>(p, &mut no_profile),
             Code::Taken => unreachable!("machine run twice"),
         }
     }
 
-    fn run_on(&mut self, prog: &DecodedProgram) -> Result<VmOutcome> {
+    /// Runs the program while counting executions of every decoded
+    /// slot. Returns the outcome plus one counter per op-array slot
+    /// (`profile[pc]` = times the op at `pc` was dispatched). This is
+    /// the `lesgs-fusegen` miner's data source: profiling an *unfused*
+    /// decoding gives exact dynamic adjacent-pair frequencies, because
+    /// executing a fallthrough op at `pc` implies the op at `pc + 1`
+    /// dispatches next. The profiled loop is a separate `const`
+    /// monomorphization, so [`Machine::run`] pays nothing for it.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Machine::run`].
+    pub fn run_profiled(mut self) -> Result<(VmOutcome, Vec<u64>)> {
+        let code = std::mem::replace(&mut self.code, Code::Taken);
+        let prog: &DecodedProgram = match &code {
+            Code::Owned(p) => p,
+            Code::Borrowed(p) => p,
+            Code::Taken => unreachable!("machine run twice"),
+        };
+        let mut profile = vec![0u64; prog.ops.len()];
+        let out = self.run_on::<true>(prog, &mut profile)?;
+        Ok((out, profile))
+    }
+
+    fn run_on<const PROFILE: bool>(
+        &mut self,
+        prog: &DecodedProgram,
+        profile: &mut [u64],
+    ) -> Result<VmOutcome> {
         let ops: &[DecodedOp] = &prog.ops;
         // The pc lives in a local so the hottest state of the loop can
         // stay in a register; helpers that redirect control flow take
@@ -599,6 +720,9 @@ impl<'a> Machine<'a> {
             }
             self.stats.instructions += 1;
             self.stats.cycles += self.cost.instr_cost;
+            if PROFILE {
+                profile[pc as usize] += 1;
+            }
             // In range by construction: every function ends in a
             // FuncEnd sentinel and all targets are clamped into its
             // own span, so the pc cannot run off the array.
@@ -642,13 +766,15 @@ impl<'a> Machine<'a> {
                     callee,
                     frame_advance,
                 } => self.do_call(prog, &mut pc, callee, frame_advance),
-                DecodedOp::CallClosure { frame_advance } => {
+                DecodedOp::CallClosure { frame_advance, ic } => {
                     let callee = self.closure_callee(prog, pc)?;
+                    self.ic_probe(ic, callee);
                     self.do_call(prog, &mut pc, callee, frame_advance);
                 }
                 DecodedOp::TailCallStatic { callee } => self.do_tail_call(prog, &mut pc, callee),
-                DecodedOp::TailCallClosure => {
+                DecodedOp::TailCallClosure { ic } => {
                     let callee = self.closure_callee(prog, pc)?;
+                    self.ic_probe(ic, callee);
                     self.do_tail_call(prog, &mut pc, callee);
                 }
                 DecodedOp::Return => match self.read(RET) {
@@ -758,6 +884,7 @@ impl<'a> Machine<'a> {
                         value,
                         output: std::mem::take(&mut self.output),
                         stats: std::mem::take(&mut self.stats),
+                        dispatch: std::mem::take(&mut self.dispatch),
                     });
                 }
                 DecodedOp::CmpBranch {
@@ -769,6 +896,7 @@ impl<'a> Machine<'a> {
                     likely,
                     on_true,
                 } => {
+                    self.dispatch.fused_exec[FusionKind::CmpBranch as usize] += 1;
                     self.exec_prim(prog, pc, op, dst, &args)?;
                     self.fetch_second_half(prog, &mut pc)?;
                     self.exec_branch(&mut pc, src, target, likely, on_true);
@@ -779,6 +907,7 @@ impl<'a> Machine<'a> {
                     dst2,
                     src2,
                 } => {
+                    self.dispatch.fused_exec[FusionKind::MovMov as usize] += 1;
                     let v = self.read(src1);
                     self.write(dst1, v);
                     self.fetch_second_half(prog, &mut pc)?;
@@ -791,9 +920,72 @@ impl<'a> Machine<'a> {
                     dst2,
                     imm2,
                 } => {
+                    self.dispatch.fused_exec[FusionKind::ImmImm as usize] += 1;
                     self.write(dst1, Machine::imm_value(imm1));
                     self.fetch_second_half(prog, &mut pc)?;
                     self.write(dst2, Machine::imm_value(imm2));
+                }
+                DecodedOp::ImmMov {
+                    dst1,
+                    imm1,
+                    dst2,
+                    src2,
+                } => {
+                    self.dispatch.fused_exec[FusionKind::ImmMov as usize] += 1;
+                    self.write(dst1, Machine::imm_value(imm1));
+                    self.fetch_second_half(prog, &mut pc)?;
+                    let v = self.read(src2);
+                    self.write(dst2, v);
+                }
+                DecodedOp::MovImm {
+                    dst1,
+                    src1,
+                    dst2,
+                    imm2,
+                } => {
+                    self.dispatch.fused_exec[FusionKind::MovImm as usize] += 1;
+                    let v = self.read(src1);
+                    self.write(dst1, v);
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.write(dst2, Machine::imm_value(imm2));
+                }
+                DecodedOp::LoadLoad {
+                    dst1,
+                    slot1,
+                    class1,
+                    dst2,
+                    slot2,
+                    class2,
+                } => {
+                    self.dispatch.fused_exec[FusionKind::LoadLoad as usize] += 1;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    self.stack_loads_by_class[class1 as usize] += 1;
+                    let v = self.stack_load(prog, pc, slot1)?;
+                    self.write_loaded(dst1, v);
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    self.stack_loads_by_class[class2 as usize] += 1;
+                    let v = self.stack_load(prog, pc, slot2)?;
+                    self.write_loaded(dst2, v);
+                }
+                DecodedOp::StoreStore {
+                    slot1,
+                    src1,
+                    class1,
+                    slot2,
+                    src2,
+                    class2,
+                } => {
+                    self.dispatch.fused_exec[FusionKind::StoreStore as usize] += 1;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    self.stack_stores_by_class[class1 as usize] += 1;
+                    let v = self.read(src1);
+                    self.stack_store(slot1, v);
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    self.stack_stores_by_class[class2 as usize] += 1;
+                    let v = self.read(src2);
+                    self.stack_store(slot2, v);
                 }
                 DecodedOp::FuncEnd => {
                     // The classic engine reports the (unincremented)
@@ -1193,11 +1385,26 @@ mod tests {
     #[test]
     fn fused_pairs_execute_and_land_mid_pair() {
         let p = fusion_program();
-        let decoded = DecodedProgram::decode(&p);
+        // Decode with the full catalogue enabled (not the generated
+        // table): this test pins the decode/handler mechanics of each
+        // template, independent of which templates measurement enabled.
+        let full: Vec<crate::decode::FusionEntry> = FusionKind::ALL
+            .iter()
+            .map(|&kind| crate::decode::FusionEntry {
+                kind,
+                dynamic_count: 1,
+            })
+            .collect();
+        let decoded = DecodedProgram::decode_with_table(&p, &full);
         let stats = decoded.stats();
-        assert_eq!(stats.cmp_branch, 1, "{}", decoded.disassemble());
-        assert_eq!(stats.imm_imm, 1);
-        assert_eq!(stats.mov_mov, 2);
+        assert_eq!(
+            stats.fused(FusionKind::CmpBranch),
+            1,
+            "{}",
+            decoded.disassemble()
+        );
+        assert_eq!(stats.fused(FusionKind::ImmImm), 1);
+        assert_eq!(stats.fused(FusionKind::MovMov), 2);
         assert_eq!(stats.fused_pairs, 4);
         // Slot preservation: decoded slot count = source + sentinel.
         assert_eq!(stats.decoded_ops, stats.source_instructions + 1);
@@ -1358,5 +1565,160 @@ mod tests {
             .unwrap_err();
         assert_eq!(d, c);
         assert_eq!(d.at, Some(("entry".into(), 1)));
+    }
+
+    /// Hand-assembled closure-call program exercising one closure-call
+    /// site three times: twice with the same callee, once with a
+    /// different one (1 cold miss, 1 hit, 1 transition miss).
+    fn closure_call_program() -> VmProgram {
+        let s0 = scratch_reg(0);
+        let s1 = scratch_reg(1);
+        let leaf = |id: u32, value: i64| VmFunc {
+            id: FuncId(id),
+            name: format!("leaf{id}"),
+            code: vec![
+                Instr::LoadImm {
+                    dst: RV,
+                    imm: Imm::Fixnum(value),
+                },
+                Instr::Return,
+            ],
+            frame_size: 0,
+            n_incoming: 0,
+            syntactic_leaf: true,
+            call_inevitable: false,
+        };
+        // f2: the single closure-call site every iteration goes through.
+        let callit = VmFunc {
+            id: FuncId(2),
+            name: "callit".into(),
+            code: vec![
+                Instr::StackStore {
+                    slot: 0,
+                    src: RET,
+                    class: SlotClass::Save,
+                },
+                Instr::Call {
+                    target: CallTarget::ClosureCp,
+                    frame_advance: 1,
+                },
+                Instr::StackLoad {
+                    dst: RET,
+                    slot: 0,
+                    class: SlotClass::Save,
+                },
+                Instr::Return,
+            ],
+            frame_size: 1,
+            n_incoming: 0,
+            syntactic_leaf: false,
+            call_inevitable: true,
+        };
+        let entry = VmFunc {
+            id: FuncId(3),
+            name: "entry".into(),
+            code: vec![
+                Instr::AllocClosure {
+                    dst: s0,
+                    func: FuncId(0),
+                    n_free: 0,
+                },
+                Instr::AllocClosure {
+                    dst: s1,
+                    func: FuncId(1),
+                    n_free: 0,
+                },
+                Instr::Mov { dst: CP, src: s0 },
+                Instr::Call {
+                    target: CallTarget::Func(FuncId(2)),
+                    frame_advance: 0,
+                },
+                Instr::Mov { dst: CP, src: s0 },
+                Instr::Call {
+                    target: CallTarget::Func(FuncId(2)),
+                    frame_advance: 0,
+                },
+                Instr::Mov { dst: CP, src: s1 },
+                Instr::Call {
+                    target: CallTarget::Func(FuncId(2)),
+                    frame_advance: 0,
+                },
+                Instr::Halt,
+            ],
+            frame_size: 0,
+            n_incoming: 0,
+            syntactic_leaf: false,
+            call_inevitable: true,
+        };
+        VmProgram {
+            funcs: vec![leaf(0, 10), leaf(1, 20), callit, entry],
+            entry: FuncId(3),
+            constants: vec![],
+            n_globals: 0,
+        }
+    }
+
+    #[test]
+    fn inline_cache_counts_site_stability() {
+        let p = closure_call_program();
+        let d = Machine::new(&p, CostModel::alpha_like()).run().unwrap();
+        let c = ClassicMachine::new(&p, CostModel::alpha_like())
+            .run()
+            .unwrap();
+        // Dispatch bookkeeping is invisible to the parity contract.
+        assert_eq!(d.value, c.value);
+        assert_eq!(d.stats, c.stats);
+        // One site, three executions: cold miss, hit, transition miss.
+        assert_eq!(d.dispatch.ic_hits, 1);
+        assert_eq!(d.dispatch.ic_misses, 2);
+        assert!((d.dispatch.ic_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ic_site_count_matches_closure_call_sites() {
+        let p = closure_call_program();
+        let prog = DecodedProgram::decode(&p);
+        // Exactly one `call cp` site in `callit`; tail-call sites would
+        // count too, but this program has none.
+        assert_eq!(prog.n_ic_sites(), 1);
+    }
+
+    /// Satellite: the `vm.dispatch.*` key set is stable — every table
+    /// entry's counter is emitted (zero included) from both the static
+    /// decode stats and the per-run dispatch stats, alongside the IC
+    /// counters, no matter what the workload touched.
+    #[test]
+    fn dispatch_metric_key_sets_are_stable() {
+        use crate::fusion_table::FUSION_TABLE;
+        use lesgs_metrics::Registry;
+
+        // A program with no fusible pairs and no closure calls at all.
+        let p = tiny_program();
+        let prog = DecodedProgram::decode(&p);
+        let out = Machine::new(&p, CostModel::unit()).run().unwrap();
+
+        let mut reg = Registry::new();
+        prog.stats().record(&mut reg);
+        out.dispatch.record(&mut reg);
+
+        let counters: std::collections::BTreeMap<String, u64> = reg
+            .counters()
+            .map(|(name, v)| (name.to_string(), v))
+            .collect();
+        for entry in FUSION_TABLE {
+            let key = entry.kind.key();
+            assert!(
+                counters.contains_key(&format!("vm.dispatch.fused.{key}")),
+                "missing static fused counter for {key}"
+            );
+            assert!(
+                counters.contains_key(&format!("vm.dispatch.fused_exec.{key}")),
+                "missing runtime fused counter for {key}"
+            );
+        }
+        assert!(counters.contains_key("vm.dispatch.ic.hits"));
+        assert!(counters.contains_key("vm.dispatch.ic.misses"));
+        let gauges: Vec<&str> = reg.gauges().map(|(name, _)| name).collect();
+        assert!(gauges.contains(&"vm.dispatch.ic.hit_rate"));
     }
 }

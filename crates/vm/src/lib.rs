@@ -16,6 +16,7 @@ pub mod classic;
 pub mod cost;
 pub mod decode;
 pub mod exec;
+pub mod fusion_table;
 pub mod instr;
 mod prim;
 pub mod program;
@@ -25,8 +26,12 @@ pub mod verify;
 
 pub use classic::ClassicMachine;
 pub use cost::CostModel;
-pub use decode::{DecodeStats, DecodedOp, DecodedProgram, FuncInfo, PrimArgs};
-pub use exec::{Machine, VmError, VmOutcome};
+pub use decode::{
+    fusion_table_checksum, template_match, DecodeStats, DecodedOp, DecodedProgram, FuncInfo,
+    FusionEntry, FusionKind, PrimArgs,
+};
+pub use exec::{DispatchRunStats, Machine, VmError, VmOutcome};
+pub use fusion_table::{FUSION_TABLE, FUSION_TABLE_CHECKSUM};
 pub use instr::{CallTarget, Imm, Instr, SlotClass};
 pub use program::{VmFunc, VmProgram};
 pub use stats::{ActivationClass, RunStats};

@@ -1,0 +1,279 @@
+//! Whole-catalogue mutation test for the fusion jump-target invariant.
+//!
+//! For **every** template in the [`FusionKind`] catalogue (a superset
+//! of whatever the generated table enables), this builds a synthetic
+//! program whose fused pair's *second half* is a branch target, then
+//! checks the two halves of the contract:
+//!
+//! 1. the second instruction's slot keeps its **plain** decoding (it is
+//!    byte-identical to the fusion-disabled decode of the same slot),
+//!    so a branch landing mid-pair executes exactly the original
+//!    instruction; and
+//! 2. the decoded engine's outcome — value, output, and every counter —
+//!    matches the classic engine's, which never fuses at all.
+//!
+//! Run against both the full catalogue (pins every handler, including
+//! templates measurement currently disables) and the committed
+//! generated table (pins the shipping configuration). A regression that
+//! fused the second slot, or re-executed the first half after a
+//! mid-pair landing, breaks the stats equality even when the final
+//! value happens to agree.
+
+use lesgs_frontend::Prim;
+use lesgs_ir::machine::{arg_reg, scratch_reg, RV};
+use lesgs_vm::{
+    ClassicMachine, CostModel, DecodedProgram, FusionEntry, FusionKind, Imm, Instr, Machine,
+    SlotClass, VmFunc, VmProgram, FUSION_TABLE,
+};
+
+/// One per-template case: the setup that feeds the pair, the pair
+/// itself, and the tail that folds the pair's effects into `rv`.
+struct PairCase {
+    kind: FusionKind,
+    setup: Vec<Instr>,
+    pair: (Instr, Instr),
+    finish: Vec<Instr>,
+    expect: &'static str,
+}
+
+fn imm(dst: lesgs_ir::Reg, n: i64) -> Instr {
+    Instr::LoadImm {
+        dst,
+        imm: Imm::Fixnum(n),
+    }
+}
+
+fn add(dst: lesgs_ir::Reg, x: lesgs_ir::Reg, y: lesgs_ir::Reg) -> Instr {
+    Instr::Prim {
+        op: Prim::Add,
+        dst,
+        args: vec![x, y],
+    }
+}
+
+/// One case per catalogue template. Registers: `a`/`b` are inputs,
+/// `c`/`d` the pair's destinations; stack cases use frame slots 0/1.
+fn cases() -> Vec<PairCase> {
+    let (a, b, c, d) = (arg_reg(0), arg_reg(1), arg_reg(2), arg_reg(3));
+    let load = |dst, slot| Instr::StackLoad {
+        dst,
+        slot,
+        class: SlotClass::Temp,
+    };
+    let store = |slot, src| Instr::StackStore {
+        slot,
+        src,
+        class: SlotClass::Temp,
+    };
+    vec![
+        PairCase {
+            // `brfalse` on a true predicate falls through both times the
+            // branch executes (fused, then landed-on).
+            kind: FusionKind::CmpBranch,
+            setup: vec![imm(a, 3), imm(b, 5)],
+            pair: (
+                Instr::Prim {
+                    op: Prim::Lt,
+                    dst: c,
+                    args: vec![a, b],
+                },
+                Instr::BranchFalse {
+                    src: c,
+                    // Patched by `build_program` to the finish label.
+                    target: u32::MAX,
+                    likely: None,
+                },
+            ),
+            finish: vec![add(RV, a, b)],
+            expect: "8",
+        },
+        PairCase {
+            kind: FusionKind::MovMov,
+            setup: vec![imm(a, 3), imm(b, 5)],
+            pair: (Instr::Mov { dst: c, src: a }, Instr::Mov { dst: d, src: b }),
+            finish: vec![add(RV, c, d)],
+            expect: "8",
+        },
+        PairCase {
+            kind: FusionKind::ImmImm,
+            setup: vec![],
+            pair: (imm(c, 7), imm(d, 9)),
+            finish: vec![add(RV, c, d)],
+            expect: "16",
+        },
+        PairCase {
+            kind: FusionKind::ImmMov,
+            setup: vec![imm(a, 3)],
+            pair: (imm(c, 7), Instr::Mov { dst: d, src: a }),
+            finish: vec![add(RV, c, d)],
+            expect: "10",
+        },
+        PairCase {
+            kind: FusionKind::MovImm,
+            setup: vec![imm(a, 3)],
+            pair: (Instr::Mov { dst: c, src: a }, imm(d, 9)),
+            finish: vec![add(RV, c, d)],
+            expect: "12",
+        },
+        PairCase {
+            kind: FusionKind::LoadLoad,
+            setup: vec![imm(a, 3), imm(b, 5), store(0, a), store(1, b)],
+            pair: (load(c, 0), load(d, 1)),
+            finish: vec![add(RV, c, d)],
+            expect: "8",
+        },
+        PairCase {
+            kind: FusionKind::StoreStore,
+            setup: vec![imm(a, 3), imm(b, 5)],
+            pair: (store(0, a), store(1, b)),
+            finish: vec![load(c, 0), load(d, 1), add(RV, c, d)],
+            expect: "8",
+        },
+    ]
+}
+
+/// Builds the harness around one case and returns the program plus the
+/// source indices of the pair's two halves:
+///
+/// ```text
+/// setup…
+/// guard <- 0
+/// sep   <- guard + guard     ; Prim separator: no template has a
+///                            ; Prim second half, so greedy scanning
+///                            ; always aligns on the pair's first op
+/// first:  pair.0
+/// second: pair.1             ; the branch target under test
+/// t     <- zero?(guard)
+/// guard <- 1
+/// brtrue t -> second         ; lands mid-pair exactly once
+/// finish…
+/// halt
+/// ```
+fn build_program(case: &PairCase) -> (VmProgram, u32, u32) {
+    let guard = scratch_reg(0);
+    let t = scratch_reg(1);
+    let mut code = case.setup.clone();
+    code.push(imm(guard, 0));
+    code.push(add(scratch_reg(2), guard, guard));
+    let first = code.len() as u32;
+    let second = first + 1;
+    code.push(case.pair.0.clone());
+    code.push(case.pair.1.clone());
+    code.push(Instr::Prim {
+        op: Prim::IsZero,
+        dst: t,
+        args: vec![guard],
+    });
+    code.push(imm(guard, 1));
+    code.push(Instr::BranchTrue {
+        src: t,
+        target: second,
+        likely: None,
+    });
+    // Patch the CmpBranch case's forward branch to the finish label.
+    let finish_label = code.len() as u32;
+    if let Instr::BranchFalse { target, .. } = &mut code[second as usize] {
+        if *target == u32::MAX {
+            *target = finish_label;
+        }
+    }
+    code.extend(case.finish.iter().cloned());
+    code.push(Instr::Halt);
+    let program = VmProgram {
+        funcs: vec![VmFunc {
+            id: lesgs_frontend::FuncId(0),
+            name: "entry".into(),
+            code,
+            frame_size: 4,
+            n_incoming: 0,
+            syntactic_leaf: true,
+            call_inevitable: false,
+        }],
+        entry: lesgs_frontend::FuncId(0),
+        constants: vec![],
+        n_globals: 0,
+    };
+    (program, first, second)
+}
+
+/// Runs one case under one fusion table and applies the invariant
+/// checks. `must_fuse` asserts the pair actually fused (true when the
+/// table enables the case's template).
+fn check_case(case: &PairCase, table: &[FusionEntry], must_fuse: bool) {
+    let (program, first, second) = build_program(case);
+    let decoded = DecodedProgram::decode_with_table(&program, table);
+    let unfused = DecodedProgram::decode_with_table(&program, &[]);
+    let kind = case.kind;
+
+    // Slot preservation makes pcs comparable across tables.
+    assert_eq!(
+        decoded.ops().len(),
+        unfused.ops().len(),
+        "{kind:?}: fusion must not change slot count"
+    );
+    if must_fuse {
+        assert!(
+            decoded.stats().fused(kind) >= 1,
+            "{kind:?}: pair did not fuse\n{}",
+            decoded.disassemble()
+        );
+        assert_ne!(
+            decoded.ops()[first as usize],
+            unfused.ops()[first as usize],
+            "{kind:?}: first slot should hold the fused op"
+        );
+    }
+    // The invariant under test: the second half — a branch target —
+    // keeps its plain decoding under EVERY table.
+    assert_eq!(
+        decoded.ops()[second as usize],
+        unfused.ops()[second as usize],
+        "{kind:?}: jump-target second half must decode unfused\n{}",
+        decoded.disassemble()
+    );
+
+    // And the mid-pair landing is observably equivalent: value, output,
+    // and every counter match the never-fusing classic engine.
+    let out = Machine::from_decoded(&decoded, CostModel::alpha_like())
+        .run()
+        .unwrap_or_else(|e| panic!("{kind:?}: decoded run failed: {e}"));
+    let classic = ClassicMachine::new(&program, CostModel::alpha_like())
+        .run()
+        .unwrap_or_else(|e| panic!("{kind:?}: classic run failed: {e}"));
+    assert_eq!(out.value, case.expect, "{kind:?}");
+    assert_eq!(out.value, classic.value, "{kind:?}");
+    assert_eq!(out.output, classic.output, "{kind:?}");
+    assert_eq!(out.stats, classic.stats, "{kind:?}: counter divergence");
+}
+
+/// Every catalogue template, full table: the pair fuses, the landed-on
+/// second half stays plain, outcomes match classic exactly.
+#[test]
+fn every_template_keeps_its_jump_target_fallback() {
+    let full: Vec<FusionEntry> = FusionKind::ALL
+        .iter()
+        .map(|&kind| FusionEntry {
+            kind,
+            dynamic_count: 1,
+        })
+        .collect();
+    let cases = cases();
+    // The harness is itself under test: make sure it covers the whole
+    // catalogue, so a new template cannot ship without a case here.
+    let covered: Vec<FusionKind> = cases.iter().map(|c| c.kind).collect();
+    assert_eq!(covered, FusionKind::ALL.to_vec(), "catalogue coverage gap");
+    for case in &cases {
+        check_case(case, &full, true);
+    }
+}
+
+/// Same invariants under the committed generated table — the shipping
+/// configuration. Templates the measurement disabled simply don't
+/// fuse; enabled ones must, and the fallback holds either way.
+#[test]
+fn generated_table_keeps_its_jump_target_fallback() {
+    for case in &cases() {
+        let enabled = FUSION_TABLE.iter().any(|e| e.kind == case.kind);
+        check_case(case, FUSION_TABLE, enabled);
+    }
+}
