@@ -29,7 +29,9 @@ use lesgs_suite::tables::{frac_pct, pct, Table};
 use lesgs_suite::Scale;
 use lesgs_svc::loadgen::WorkloadConfig;
 use lesgs_svc::{BatchStats, Request, Service, ServiceConfig};
-use lesgs_vm::{ClassicMachine, CostModel, DecodeStats, DispatchRunStats, Machine, FUSION_TABLE};
+use lesgs_vm::{
+    ClassicMachine, CostModel, DecodeStats, DispatchRunStats, Machine, FUSION_TABLE, TRIPLE_TABLE,
+};
 
 use crate::report::{run_record, Report};
 use crate::{mean, run_benchmark};
@@ -54,6 +56,14 @@ pub const DISPATCH_THROUGHPUT_TABLE: &str = "dispatch_throughput";
 /// callee was (inline-cache hits/misses/hit rate). Pure counts from a
 /// deterministic run, so the perf-regression gate covers it.
 pub const DISPATCH_FUSION_TABLE: &str = "dispatch_fusion";
+
+/// Name of the deterministic speculative-dispatch accounting table:
+/// per benchmark, how often the decoded engine's speculative
+/// inline-cache fast path fired (`fast hits`), how often its closure
+/// guard failed, and how many sites were demoted to the observational
+/// slow path. Pure counts from a deterministic run, so the
+/// perf-regression gate covers it.
+pub const SPECULATION_TABLE: &str = "speculation";
 
 /// Name of the deterministic three-way shuffle-strategy table:
 /// paper-greedy vs. the exhaustive optimum vs. optimal shuffle code
@@ -189,6 +199,7 @@ pub fn build_suite_report(
     );
     report.add_table(DISPATCH_TABLE, &dispatch_table(&dispatches));
     report.add_table(DISPATCH_FUSION_TABLE, &dispatch_fusion_table(&dispatches));
+    report.add_table(SPECULATION_TABLE, &speculation_table(&dispatches));
     report.add_table(
         DISPATCH_THROUGHPUT_TABLE,
         &dispatch_throughput_table(&dispatches),
@@ -202,8 +213,17 @@ pub fn build_suite_report(
     report.note(
         "Dispatch fusion reports, per benchmark, how often each entry of the \
          measured superinstruction table (crates/vm/src/fusion_table.rs, \
-         regenerated by lesgs-fusegen) fired on the decoded engine, and the \
-         monomorphic inline-cache accounting for closure-call sites.",
+         regenerated by lesgs-fusegen) fired on the decoded engine — pair \
+         and triple entries alike — and the monomorphic inline-cache \
+         accounting for closure-call sites.",
+    );
+    report.note(
+        "Speculation reports the speculative inline-cache dispatch \
+         accounting: fast-path hits that jumped straight to the cached \
+         callee's decoded code, closure-guard failures, and sites demoted \
+         to the observational slow path. Observable vm.* counters are \
+         byte-identical with speculation off; only these bookkeeping \
+         counters move.",
     );
     report.add_table(SERVICE_CACHE_TABLE, &service_cache_table(&service));
     report.add_table(
@@ -510,8 +530,10 @@ fn dispatch_table(dispatches: &[(String, DispatchMeasurement)]) -> Table {
         "source instrs".into(),
         "decoded ops".into(),
         "fused pairs".into(),
+        "fused triples".into(),
     ];
     header.extend(FUSION_TABLE.iter().map(|e| e.kind.key().replace('_', "+")));
+    header.extend(TRIPLE_TABLE.iter().map(|e| e.kind.key().replace('_', "+")));
     let mut t = Table::new(header);
     let mut total = DecodeStats::default();
     let row = |name: &str, s: &DecodeStats| {
@@ -520,8 +542,10 @@ fn dispatch_table(dispatches: &[(String, DispatchMeasurement)]) -> Table {
             s.source_instructions.to_string(),
             s.decoded_ops.to_string(),
             s.fused_pairs.to_string(),
+            s.fused_triples.to_string(),
         ];
         cells.extend(FUSION_TABLE.iter().map(|e| s.fused(e.kind).to_string()));
+        cells.extend(TRIPLE_TABLE.iter().map(|e| s.fused3(e.kind).to_string()));
         cells
     };
     for (name, d) in dispatches {
@@ -529,7 +553,11 @@ fn dispatch_table(dispatches: &[(String, DispatchMeasurement)]) -> Table {
         total.source_instructions += s.source_instructions;
         total.decoded_ops += s.decoded_ops;
         total.fused_pairs += s.fused_pairs;
+        total.fused_triples += s.fused_triples;
         for (acc, n) in total.fused_by_kind.iter_mut().zip(s.fused_by_kind) {
+            *acc += n;
+        }
+        for (acc, n) in total.fused_by_triple.iter_mut().zip(s.fused_by_triple) {
             *acc += n;
         }
         t.row(row(name, &s));
@@ -548,6 +576,11 @@ fn dispatch_fusion_table(dispatches: &[(String, DispatchMeasurement)]) -> Table 
             .iter()
             .map(|e| format!("{} fired", e.kind.key().replace('_', "+"))),
     );
+    header.extend(
+        TRIPLE_TABLE
+            .iter()
+            .map(|e| format!("{} fired", e.kind.key().replace('_', "+"))),
+    );
     header.extend([
         "ic hits".to_string(),
         "ic misses".into(),
@@ -558,6 +591,7 @@ fn dispatch_fusion_table(dispatches: &[(String, DispatchMeasurement)]) -> Table 
     let row = |name: &str, s: &DispatchRunStats| {
         let mut cells = vec![name.to_owned()];
         cells.extend(FUSION_TABLE.iter().map(|e| s.fused(e.kind).to_string()));
+        cells.extend(TRIPLE_TABLE.iter().map(|e| s.fused3(e.kind).to_string()));
         cells.extend([
             s.ic_hits.to_string(),
             s.ic_misses.to_string(),
@@ -571,6 +605,41 @@ fn dispatch_fusion_table(dispatches: &[(String, DispatchMeasurement)]) -> Table 
         for (acc, n) in total.fused_exec.iter_mut().zip(d.dispatch.fused_exec) {
             *acc += n;
         }
+        for (acc, n) in total.fused_exec3.iter_mut().zip(d.dispatch.fused_exec3) {
+            *acc += n;
+        }
+        t.row(row(name, &d.dispatch));
+    }
+    t.row(row("Total", &total));
+    t
+}
+
+/// The deterministic speculative-dispatch accounting table (one row per
+/// benchmark plus a total row): fast-path hits, closure-guard failures,
+/// and demotions from the decoded engine's warm-up run. The warm-up
+/// runs with speculation on (the engine default), so closure-heavy
+/// benchmarks show nonzero fast hits here while every observable
+/// counter stays byte-identical to the classic engine.
+fn speculation_table(dispatches: &[(String, DispatchMeasurement)]) -> Table {
+    let mut t = Table::new(vec![
+        "benchmark".into(),
+        "spec fast hits".into(),
+        "guard fails".into(),
+        "demotions".into(),
+    ]);
+    let mut total = DispatchRunStats::default();
+    let row = |name: &str, s: &DispatchRunStats| {
+        vec![
+            name.to_owned(),
+            s.spec_fast_hits.to_string(),
+            s.spec_guard_fails.to_string(),
+            s.spec_demotions.to_string(),
+        ]
+    };
+    for (name, d) in dispatches {
+        total.spec_fast_hits += d.dispatch.spec_fast_hits;
+        total.spec_guard_fails += d.dispatch.spec_guard_fails;
+        total.spec_demotions += d.dispatch.spec_demotions;
         t.row(row(name, &d.dispatch));
     }
     t.row(row("Total", &total));
@@ -708,6 +777,7 @@ mod tests {
             DISPATCH_TABLE,
             DISPATCH_FUSION_TABLE,
             DISPATCH_THROUGHPUT_TABLE,
+            SPECULATION_TABLE,
             SHUFFLE_STRATEGIES_TABLE,
         ] {
             let table = tables

@@ -30,6 +30,10 @@
 //!                               program's own output moves to stderr)
 //!   --profile-out <file>        write the JSON profile to <file>
 //!   --trace                     log pass boundaries and VM call events
+//!   --no-speculation            disable speculative inline-cache dispatch
+//!                               (observable counters must not change; the
+//!                               CI speculation-differential gate diffs the
+//!                               two modes byte-for-byte)
 //!   --fuel <n>                  VM instruction budget
 //!   --jobs <n>                  worker threads for `check`'s 23-config
 //!                               matrix (default 1; verdicts identical)
@@ -47,7 +51,7 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use lesgs_compiler::{
-    compile_observed, config_matrix, differential_check_parallel, CompilerConfig,
+    compile_observed, config_matrix, differential_check_parallel_spec, CompilerConfig,
 };
 use lesgs_core::config::{Discipline, RestoreStrategy, SaveStrategy, ShuffleStrategy};
 use lesgs_core::AllocConfig;
@@ -88,7 +92,7 @@ fn usage() -> ! {
          \x20        --shuffle greedy|fixed|permi  --callee-save  --regs <0..6>\n\
          \x20        --branch-prediction  --lift  --verify-bytecode  -o <file>\n\
          \x20        --profile[=json]  --profile-out <file>  --trace  --decoded\n\
-         \x20        --fuel <n>  --jobs <n>  -e <expr>"
+         \x20        --no-speculation  --fuel <n>  --jobs <n>  -e <expr>"
     );
     std::process::exit(2);
 }
@@ -126,6 +130,7 @@ fn parse_args() -> Result<Options, String> {
     let mut profile = ProfileMode::Off;
     let mut profile_out: Option<String> = None;
     let mut trace = false;
+    let mut no_speculation = false;
     let mut jobs = 1usize;
     let mut decoded = false;
     let mut input: Option<Input> = None;
@@ -172,6 +177,7 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--trace" => trace = true,
+            "--no-speculation" => no_speculation = true,
             "--decoded" => decoded = true,
             "--regs" => {
                 let n: usize = value("--regs")?
@@ -239,6 +245,7 @@ fn parse_args() -> Result<Options, String> {
             fuel,
             lambda_lift,
             trace,
+            no_speculation,
             ..CompilerConfig::default()
         },
         verify_bytecode,
@@ -251,13 +258,28 @@ fn parse_args() -> Result<Options, String> {
 }
 
 /// The `dis --decoded` listing: the decode summary (fusion accounting
-/// and inline-cache site count) as a leading comment, then the
-/// pre-decoded op stream with fused superinstructions and `;ic=` site
-/// annotations.
+/// and inline-cache site count) as a leading comment, then an explicit
+/// per-site inline-cache table (every through-`cp` call site with its
+/// assigned IC index, including sites adjacent to fused slots), then
+/// the pre-decoded op stream with fused superinstructions and `;ic=`
+/// site annotations.
 fn decoded_listing(decoded: &lesgs_vm::DecodedProgram) -> String {
+    use std::fmt::Write;
     let header = decoded.describe();
     let summary = header.lines().next().unwrap_or_default();
-    format!("; {summary}\n{}", decoded.disassemble())
+    let mut s = format!("; {summary}\n");
+    let sites = decoded.ic_sites();
+    let _ = writeln!(s, "; ic sites: {}", sites.len());
+    for (pc, ic, is_tail) in sites {
+        let what = if is_tail {
+            "tailcall-closure"
+        } else {
+            "call-closure"
+        };
+        let _ = writeln!(s, ";   ic={ic} pc={pc:05} {what}");
+    }
+    s.push_str(&decoded.disassemble());
+    s
 }
 
 /// Assembles the `--profile` JSON document (schema in OBSERVABILITY.md).
@@ -439,7 +461,13 @@ fn main() -> ExitCode {
             } else {
                 opts.config.fuel
             };
-            match differential_check_parallel(&source, &config_matrix(), fuel, opts.jobs) {
+            match differential_check_parallel_spec(
+                &source,
+                &config_matrix(),
+                fuel,
+                opts.jobs,
+                opts.config.no_speculation,
+            ) {
                 Ok(()) => {
                     println!(
                         "ok: interpreter and all {} configurations agree",

@@ -57,12 +57,49 @@ fn dis_decoded_shows_the_dispatch_stream() {
     let (stdout, _, ok) = lesgsc(&["dis", "--decoded", "-e", src]);
     assert!(ok);
     assert!(stdout.contains("fused_pairs"), "{stdout}");
+    assert!(stdout.contains("fused_triples"), "{stdout}");
     assert!(stdout.contains("ic_sites"), "{stdout}");
     assert!(stdout.contains(";ic="), "{stdout}");
     // The flag is dis-only.
     let (_, stderr, ok) = lesgsc(&["run", "--decoded", "-e", "(+ 1 2)"]);
     assert!(!ok);
     assert!(stderr.contains("--decoded"), "{stderr}");
+}
+
+/// The decoded listing's explicit inline-cache site table must cover
+/// every through-`cp` call site — including sites whose neighboring
+/// slots were claimed by fusion — and agree with the header count.
+#[test]
+fn dis_decoded_ic_table_annotates_every_site() {
+    // Two distinct closure-call sites (a plain call and a call in the
+    // middle of fusible load/store traffic around it).
+    let src = "(define (twice f x) (f (f x)))\n\
+               (define (apply1 g y) (g y))\n\
+               (+ (twice (lambda (n) (+ n 1)) 5) (apply1 (lambda (n) (* n 2)) 10))";
+    let (stdout, _, ok) = lesgsc(&["dis", "--decoded", "-e", src]);
+    assert!(ok);
+    // Header count, e.g. "ic_sites 3".
+    let n: usize = stdout
+        .lines()
+        .next()
+        .and_then(|l| l.split("ic_sites ").nth(1))
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no ic_sites count in header: {stdout}"));
+    assert!(n >= 2, "expected at least two ic sites, got {n}");
+    // The site table declares the same count and lists every index.
+    assert!(stdout.contains(&format!("; ic sites: {n}")), "{stdout}");
+    for ic in 0..n {
+        assert!(
+            stdout.contains(&format!(";   ic={ic} pc=")),
+            "site table misses ic={ic}:\n{stdout}"
+        );
+        // And the op stream carries the matching per-op annotation.
+        assert!(
+            stdout.contains(&format!(";ic={ic}")),
+            "op stream misses ;ic={ic}:\n{stdout}"
+        );
+    }
 }
 
 #[test]
@@ -76,9 +113,46 @@ fn profile_includes_dispatch_and_ic_metrics() {
         "vm.dispatch.ic.hit_rate",
         "vm.dispatch.fused.",
         "vm.dispatch.fused_exec.",
+        "vm.dispatch.fused_triples",
+        "vm.dispatch.spec.fast_hits",
+        "vm.dispatch.spec.guard_fails",
+        "vm.dispatch.spec.demotions",
     ] {
         assert!(stderr.contains(key), "missing {key} in {stderr}");
     }
+}
+
+/// `--no-speculation` must not change the program result or any
+/// observable `vm.*` counter — only the `vm.dispatch.spec.*`
+/// bookkeeping may differ (it drops to zero). Inline-cache hit/miss
+/// streams and fusion execution counts are byte-identical by design.
+#[test]
+fn no_speculation_preserves_observable_counters() {
+    let src = "(define (call f) (f 2)) (+ (call (lambda (x) (* x 3))) (call (lambda (x) x)))";
+    let observable = |flags: &[&str]| -> (String, Vec<String>) {
+        let mut args = vec!["stats", "--profile=json"];
+        args.extend_from_slice(flags);
+        args.extend_from_slice(&["-e", src]);
+        let (stdout, stderr, ok) = lesgsc(&args);
+        assert!(ok, "{stderr}");
+        let doc = lesgs_metrics::parse_json(&stdout).expect("profile JSON");
+        let value = format!("{:?}", doc.get("value"));
+        let counters = doc
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .expect("counters object");
+        let kept: Vec<String> = counters
+            .as_object()
+            .expect("counters is an object")
+            .iter()
+            .filter(|(k, _)| k.starts_with("vm.") && !k.starts_with("vm.dispatch.spec."))
+            .map(|(k, v)| format!("{k}={v:?}"))
+            .collect();
+        (value, kept)
+    };
+    let spec_on = observable(&[]);
+    let spec_off = observable(&["--no-speculation"]);
+    assert_eq!(spec_on, spec_off, "observable vm.* counters diverged");
 }
 
 #[test]

@@ -1,9 +1,10 @@
-//! Fusion-table generator: mines dynamic opcode-pair frequencies.
+//! Fusion-table generator: mines dynamic opcode-pair and -triple
+//! frequencies.
 //!
 //! The VM's superinstruction decoder (`lesgs-vm`'s `decode` module)
-//! knows a fixed *catalogue* of pair templates it can fuse, but which
-//! templates are worth enabling is an empirical question: a fused
-//! handler only pays for itself when its pair shape is hot in real
+//! knows fixed *catalogues* of pair and triple templates it can fuse,
+//! but which templates are worth enabling is an empirical question: a
+//! fused handler only pays for itself when its shape is hot in real
 //! programs. This crate answers that question by measurement and
 //! emits the checked-in `crates/vm/src/fusion_table.rs` the decoder
 //! consults.
@@ -22,7 +23,9 @@
 //!    of a candidate pair at `i` is exactly `profile[base + i]`.
 //!    Pair attribution replays the decoder's greedy left-to-right
 //!    pairing so overlapping candidates are counted the way the real
-//!    decoder would fuse them.
+//!    decoder would fuse them; triple attribution runs a separate
+//!    greedy triple-only replay so the pair measurement is
+//!    independent of the triple catalogue.
 //! 3. **Select** — a template earns a table slot when it fires at
 //!    least once per [`ENABLE_DENOMINATOR`] executed ops across the
 //!    corpus; entries are ranked by descending dynamic count.
@@ -43,8 +46,8 @@ use lesgs_compiler::CompilerConfig;
 use lesgs_fuzz::{case_seed, generate, GenConfig};
 use lesgs_testkit::Rng;
 use lesgs_vm::{
-    fusion_table_checksum, template_match, CostModel, DecodedProgram, FusionEntry, FusionKind,
-    Instr, Machine,
+    fusion_table_checksum, template_match, template_match3, triple_table_checksum, CostModel,
+    DecodedProgram, FusionEntry, FusionKind, Instr, Machine, TripleEntry, TripleKind,
 };
 
 /// Base seed for the fuzz half of the corpus. Fixed forever: changing
@@ -67,6 +70,10 @@ pub const ENABLE_DENOMINATOR: u64 = 1000;
 pub struct MiningReport {
     /// Dynamic greedy-pair count per catalogue template.
     pub per_kind: [u64; FusionKind::COUNT],
+    /// Dynamic greedy-triple count per triple-catalogue template,
+    /// from a separate triple-only attribution scan (so the pair
+    /// counts above stay independent of the triple catalogue).
+    pub per_triple: [u64; TripleKind::COUNT],
     /// Total dynamic source ops executed across the corpus.
     pub total_executed: u64,
     /// Corpus programs that compiled and ran to completion.
@@ -84,6 +91,11 @@ impl MiningReport {
     /// Dynamic count for one catalogue template.
     pub fn count(&self, kind: FusionKind) -> u64 {
         self.per_kind[kind as usize]
+    }
+
+    /// Dynamic count for one triple-catalogue template.
+    pub fn count3(&self, kind: TripleKind) -> u64 {
+        self.per_triple[kind as usize]
     }
 
     /// The `n` hottest raw pairs, by descending count.
@@ -200,7 +212,7 @@ pub fn mine(corpus: &[(String, String)]) -> MiningReport {
             report.programs_skipped += 1;
             continue;
         };
-        let unfused = DecodedProgram::decode_with_table(&compiled.vm, &[]);
+        let unfused = DecodedProgram::decode_with_table(&compiled.vm, &[], &[]);
         let machine = Machine::from_decoded(&unfused, CostModel::alpha_like()).with_fuel(MINE_FUEL);
         let Ok((_outcome, profile)) = machine.run_profiled() else {
             report.programs_skipped += 1;
@@ -219,6 +231,20 @@ pub fn mine(corpus: &[(String, String)]) -> MiningReport {
                 if let Some(kind) = template_match(&code[i], &code[i + 1]) {
                     report.per_kind[kind as usize] += profile[base + i];
                     i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            // Separate greedy triple-only replay. Triples are NOT
+            // attributed through the pair scan above (and vice versa),
+            // so the pair table stays byte-stable when the triple
+            // catalogue changes — each scan models a decoder running
+            // only that catalogue.
+            let mut i = 0;
+            while i + 2 < code.len() {
+                if let Some(kind) = template_match3(&code[i], &code[i + 1], &code[i + 2]) {
+                    report.per_triple[kind as usize] += profile[base + i];
+                    i += 3;
                 } else {
                     i += 1;
                 }
@@ -268,15 +294,35 @@ pub fn build_table(report: &MiningReport) -> Vec<FusionEntry> {
     entries
 }
 
+/// Selects the enabled triple table from a mining report, under the
+/// same threshold and ranking discipline as [`build_table`].
+pub fn build_triple_table(report: &MiningReport) -> Vec<TripleEntry> {
+    let mut entries: Vec<TripleEntry> = TripleKind::ALL
+        .iter()
+        .map(|&kind| TripleEntry {
+            kind,
+            dynamic_count: report.count3(kind),
+        })
+        .filter(|e| e.dynamic_count > 0)
+        .filter(|e| e.dynamic_count.saturating_mul(ENABLE_DENOMINATOR) >= report.total_executed)
+        .collect();
+    entries.sort_by(|a, b| {
+        b.dynamic_count
+            .cmp(&a.dynamic_count)
+            .then(a.kind.cmp(&b.kind))
+    });
+    entries
+}
+
 /// Renders the generated `fusion_table.rs` source.
-pub fn render(report: &MiningReport, table: &[FusionEntry]) -> String {
+pub fn render(report: &MiningReport, table: &[FusionEntry], triples: &[TripleEntry]) -> String {
     use std::fmt::Write;
     let mut s = String::new();
     s.push_str("//! @generated by lesgs-fusegen — do not edit by hand.\n");
     s.push_str("//!\n");
-    s.push_str("//! The enabled superinstruction table, mined from measured dynamic\n");
-    s.push_str("//! opcode-pair frequencies. Regenerate with\n");
-    s.push_str("//! `cargo run --release -p lesgs-fusegen`; CI runs\n");
+    s.push_str("//! The enabled superinstruction tables (pairs and triples), mined\n");
+    s.push_str("//! from measured dynamic opcode-sequence frequencies. Regenerate\n");
+    s.push_str("//! with `cargo run --release -p lesgs-fusegen`; CI runs\n");
     s.push_str("//! `lesgs-fusegen --check` and rejects any drift between this file\n");
     s.push_str("//! and a fresh measurement.\n");
     s.push_str("//!\n");
@@ -298,12 +344,16 @@ pub fn render(report: &MiningReport, table: &[FusionEntry]) -> String {
         let _ = writeln!(s, "//!   {count:>12}  {key}");
     }
     s.push_str("//!\n");
-    s.push_str("//! Hottest fallthrough triples (future catalogue candidates):\n");
+    s.push_str("//! Hottest fallthrough triples (dynamic, template or not):\n");
     for (key, count) in report.top_triples(8) {
         let _ = writeln!(s, "//!   {count:>12}  {key}");
     }
     s.push('\n');
-    s.push_str("use crate::decode::{FusionEntry, FusionKind};\n");
+    if triples.is_empty() {
+        s.push_str("use crate::decode::{FusionEntry, FusionKind, TripleEntry};\n");
+    } else {
+        s.push_str("use crate::decode::{FusionEntry, FusionKind, TripleEntry, TripleKind};\n");
+    }
     s.push('\n');
     s.push_str("/// Enabled fusion templates, ranked by measured dynamic pair count.\n");
     s.push_str("pub const FUSION_TABLE: &[FusionEntry] = &[\n");
@@ -323,6 +373,26 @@ pub fn render(report: &MiningReport, table: &[FusionEntry]) -> String {
         "pub const FUSION_TABLE_CHECKSUM: u64 = {:#018x};",
         fusion_table_checksum(table)
     );
+    s.push('\n');
+    s.push_str("/// Enabled triple-fusion templates, ranked by measured dynamic\n");
+    s.push_str("/// triple count.\n");
+    s.push_str("pub const TRIPLE_TABLE: &[TripleEntry] = &[\n");
+    for entry in triples {
+        let _ = writeln!(
+            s,
+            "    TripleEntry {{\n        kind: TripleKind::{:?},\n        dynamic_count: {},\n    }},",
+            entry.kind, entry.dynamic_count
+        );
+    }
+    s.push_str("];\n");
+    s.push('\n');
+    s.push_str("/// FNV-1a integrity mark over the triple entries above (recomputed\n");
+    s.push_str("/// by a vm unit test and by `lesgs-fusegen --check`).\n");
+    let _ = writeln!(
+        s,
+        "pub const TRIPLE_TABLE_CHECKSUM: u64 = {:#018x};",
+        triple_table_checksum(triples)
+    );
     s
 }
 
@@ -333,8 +403,13 @@ pub const TEST_MARKER: &str = "#[cfg(test)]";
 /// Regenerates the full file contents: rendered header + table, plus
 /// the existing `#[cfg(test)]` tail of `current` (if any) carried over
 /// unchanged.
-pub fn regenerate(current: &str, report: &MiningReport, table: &[FusionEntry]) -> String {
-    let mut out = render(report, table);
+pub fn regenerate(
+    current: &str,
+    report: &MiningReport,
+    table: &[FusionEntry],
+    triples: &[TripleEntry],
+) -> String {
+    let mut out = render(report, table, triples);
     if let Some(pos) = current.find(TEST_MARKER) {
         out.push('\n');
         out.push_str(&current[pos..]);
@@ -378,30 +453,52 @@ mod tests {
     }
 
     #[test]
+    fn triple_selection_applies_threshold_and_ranking() {
+        let mut report = report_with([0; FusionKind::COUNT], 1_000_000);
+        report.per_triple[TripleKind::PrimStoreMov as usize] = 5_000;
+        report.per_triple[TripleKind::ImmPrimMov as usize] = 9_000;
+        report.per_triple[TripleKind::LoadLoadLoad as usize] = 999;
+        let table = build_triple_table(&report);
+        let kinds: Vec<TripleKind> = table.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![TripleKind::ImmPrimMov, TripleKind::PrimStoreMov]
+        );
+    }
+
+    #[test]
     fn rendered_table_round_trips_its_checksum() {
         let mut per_kind = [0u64; FusionKind::COUNT];
         per_kind[FusionKind::CmpBranch as usize] = 10;
-        let report = report_with(per_kind, 10);
+        let mut report = report_with(per_kind, 10);
+        report.per_triple[TripleKind::ImmPrimMov as usize] = 10;
         let table = build_table(&report);
-        let rendered = render(&report, &table);
+        let triples = build_triple_table(&report);
+        let rendered = render(&report, &table, &triples);
         let want = format!(
             "pub const FUSION_TABLE_CHECKSUM: u64 = {:#018x};",
             fusion_table_checksum(&table)
         );
         assert!(rendered.contains(&want));
+        let want3 = format!(
+            "pub const TRIPLE_TABLE_CHECKSUM: u64 = {:#018x};",
+            triple_table_checksum(&triples)
+        );
+        assert!(rendered.contains(&want3));
+        assert!(rendered.contains("TripleKind::ImmPrimMov"));
     }
 
     #[test]
     fn regenerate_preserves_test_tail() {
         let current = "old header\n\n#[cfg(test)]\nmod tests { fn keep_me() {} }\n";
         let report = report_with([0; FusionKind::COUNT], 0);
-        let out = regenerate(current, &report, &[]);
+        let out = regenerate(current, &report, &[], &[]);
         assert!(out.contains("keep_me"));
         assert!(!out.contains("old header"));
     }
 
     /// End-to-end smoke on a tiny slice of the corpus: mining a real
-    /// program must attribute nonzero dynamic pair counts.
+    /// program must attribute nonzero dynamic pair AND triple counts.
     #[test]
     fn mining_counter_example_finds_hot_pairs() {
         let source = std::fs::read_to_string(examples_dir().join("counter.scm")).unwrap();
@@ -412,6 +509,10 @@ mod tests {
         assert!(
             report.per_kind.iter().sum::<u64>() > 0,
             "no fusible pairs mined from counter.scm: {report:?}"
+        );
+        assert!(
+            report.per_triple.iter().sum::<u64>() > 0,
+            "no fusible triples mined from counter.scm: {report:?}"
         );
     }
 

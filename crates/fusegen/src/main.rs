@@ -4,8 +4,12 @@
 //!   `crates/vm/src/fusion_table.rs` in place.
 //! * `lesgs-fusegen --check` — mine and compare against the checked-in
 //!   file; exit nonzero on any drift (the CI drift gate).
+//!
+//! Both modes print the enabled pair/triple tables and the top-10 raw
+//! mined pairs and triples, so the CI job log shows what the
+//! measurement saw.
 
-use lesgs_fusegen::{build_table, corpus, mine, regenerate, table_path};
+use lesgs_fusegen::{build_table, build_triple_table, corpus, mine, regenerate, table_path};
 
 fn main() {
     let mut check = false;
@@ -28,6 +32,7 @@ fn main() {
     };
     let report = mine(&corpus);
     let table = build_table(&report);
+    let triples = build_triple_table(&report);
 
     eprintln!(
         "fusegen: mined {} programs ({} skipped), {} dynamic ops",
@@ -35,15 +40,30 @@ fn main() {
     );
     for entry in &table {
         eprintln!(
-            "fusegen:   enabled {:<12} {:>12}",
+            "fusegen:   enabled pair   {:<16} {:>12}",
             entry.kind.key(),
             entry.dynamic_count
         );
     }
+    for entry in &triples {
+        eprintln!(
+            "fusegen:   enabled triple {:<16} {:>12}",
+            entry.kind.key(),
+            entry.dynamic_count
+        );
+    }
+    eprintln!("fusegen: top mined pairs (template or not):");
+    for (key, count) in report.top_pairs(10) {
+        eprintln!("fusegen:   {count:>12}  {key}");
+    }
+    eprintln!("fusegen: top mined triples (template or not):");
+    for (key, count) in report.top_triples(10) {
+        eprintln!("fusegen:   {count:>12}  {key}");
+    }
 
     let path = table_path();
     let current = std::fs::read_to_string(&path).unwrap_or_default();
-    let fresh = regenerate(&current, &report, &table);
+    let fresh = regenerate(&current, &report, &table, &triples);
 
     if check {
         if current == fresh {

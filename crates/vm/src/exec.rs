@@ -27,8 +27,8 @@ use lesgs_ir::Reg;
 use lesgs_metrics::{ratio, Registry};
 
 use crate::cost::CostModel;
-use crate::decode::{DecodedOp, DecodedProgram, FusionKind, PrimArgs};
-use crate::fusion_table::FUSION_TABLE;
+use crate::decode::{DecodedOp, DecodedProgram, FusionKind, PrimArgs, TripleKind};
+use crate::fusion_table::{FUSION_TABLE, TRIPLE_TABLE};
 use crate::instr::{Imm, SlotClass};
 use crate::prim::{eval_prim, ArgVals};
 use crate::program::VmProgram;
@@ -79,11 +79,36 @@ impl fmt::Display for VmError {
 
 impl std::error::Error for VmError {}
 
+/// Guard failures after which a speculative call site is demoted to
+/// polymorphic: plain dispatch, no further guessing. Demotion is
+/// absorbing — a demoted site never re-enters the fast path, so a
+/// megamorphic site costs at most this many failed guards per run.
+pub const SPEC_DEMOTE_AFTER: u32 = 4;
+
+/// Per-site speculative inline-cache state (one per through-`cp` call
+/// site, indexed by the op's `ic` field; per-run — a fresh run starts
+/// cold). The monomorphic → guard-fail → re-cache → demoted state
+/// machine lives here; transition counts land in
+/// [`DispatchRunStats`]'s `spec_*` fields.
+#[derive(Clone, Copy, Default)]
+struct IcSite {
+    /// Last callee observed at this site (the speculative guess).
+    callee: Option<FuncId>,
+    /// Cached decoded base pc of `callee` — what the fast path jumps
+    /// to without re-resolving through the function table.
+    base: u32,
+    /// Cumulative guard failures at this site.
+    fails: u32,
+    /// Site has been demoted to polymorphic (absorbing).
+    demoted: bool,
+}
+
 /// Run-time statistics of the *dispatch tier itself*: inline-cache
-/// hits/misses at through-`cp` call sites and per-template fused-pair
-/// executions. These are engine-internal — the classic engine has no
-/// caches and no fused ops, so they are deliberately **excluded from
-/// the classic-vs-decoded parity contract** (see [`VmOutcome`]'s
+/// hits/misses at through-`cp` call sites, speculative-dispatch state
+/// transitions, and per-template fused pair/triple executions. These
+/// are engine-internal — the classic engine has no caches and no fused
+/// ops, so they are deliberately **excluded from the
+/// classic-vs-decoded parity contract** (see [`VmOutcome`]'s
 /// `PartialEq`); the observable `vm.*` stream lives in [`RunStats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DispatchRunStats {
@@ -91,15 +116,35 @@ pub struct DispatchRunStats {
     pub ic_hits: u64,
     /// Closure-call sites that missed (cold or megamorphic).
     pub ic_misses: u64,
+    /// Monomorphic sites dispatched through the speculative fast path:
+    /// the closure-identity guard matched the cached callee and the
+    /// dispatch jumped straight to its cached decoded base, skipping
+    /// target re-resolution.
+    pub spec_fast_hits: u64,
+    /// Speculative guard failures: the site had a cached guess and the
+    /// incoming closure did not match it (a cold first call is a plain
+    /// miss, not a guard failure).
+    pub spec_guard_fails: u64,
+    /// Sites demoted to polymorphic (plain dispatch, no further
+    /// guessing) after [`SPEC_DEMOTE_AFTER`] guard failures.
+    pub spec_demotions: u64,
     /// Fused-pair executions by template, indexed by [`FusionKind`]
     /// discriminant.
     pub fused_exec: [u64; FusionKind::COUNT],
+    /// Fused-triple executions by template, indexed by [`TripleKind`]
+    /// discriminant.
+    pub fused_exec3: [u64; TripleKind::COUNT],
 }
 
 impl DispatchRunStats {
-    /// Fused executions of one template.
+    /// Fused executions of one pair template.
     pub fn fused(&self, kind: FusionKind) -> u64 {
         self.fused_exec[kind as usize]
+    }
+
+    /// Fused executions of one triple template.
+    pub fn fused3(&self, kind: TripleKind) -> u64 {
+        self.fused_exec3[kind as usize]
     }
 
     /// Inline-cache hit rate in `[0, 1]` (0.0 when no closure calls).
@@ -111,18 +156,28 @@ impl DispatchRunStats {
         )
     }
 
-    /// Exports the counters under `vm.dispatch.ic.*` and
-    /// `vm.dispatch.fused_exec.*`. Like the static decode counters,
-    /// every generated-table entry is emitted, zero included, so the
-    /// key set is a fixed function of the committed fusion table.
+    /// Exports the counters under `vm.dispatch.ic.*`,
+    /// `vm.dispatch.spec.*`, and `vm.dispatch.fused_exec.*`. Like the
+    /// static decode counters, every generated-table entry is emitted,
+    /// zero included, so the key set is a fixed function of the
+    /// committed fusion tables.
     pub fn record(&self, reg: &mut Registry) {
         reg.inc("vm.dispatch.ic.hits", self.ic_hits);
         reg.inc("vm.dispatch.ic.misses", self.ic_misses);
         reg.set_gauge("vm.dispatch.ic.hit_rate", self.ic_hit_rate());
+        reg.inc("vm.dispatch.spec.fast_hits", self.spec_fast_hits);
+        reg.inc("vm.dispatch.spec.guard_fails", self.spec_guard_fails);
+        reg.inc("vm.dispatch.spec.demotions", self.spec_demotions);
         for entry in FUSION_TABLE {
             reg.inc(
                 &format!("vm.dispatch.fused_exec.{}", entry.kind.key()),
                 self.fused(entry.kind),
+            );
+        }
+        for entry in TRIPLE_TABLE {
+            reg.inc(
+                &format!("vm.dispatch.fused_exec.{}", entry.kind.key()),
+                self.fused3(entry.kind),
             );
         }
     }
@@ -192,9 +247,12 @@ pub struct Machine<'a> {
     stats: RunStats,
     dispatch: DispatchRunStats,
     /// Monomorphic inline caches, one slot per through-`cp` call site
-    /// (indexed by the op's `ic` field): the last callee observed
-    /// there. Per-run state — a fresh run starts cold.
-    ic_cache: Vec<Option<FuncId>>,
+    /// (indexed by the op's `ic` field). Carries the speculative state
+    /// machine when `speculate` is on; purely observational otherwise.
+    ic_sites: Vec<IcSite>,
+    /// Speculative IC dispatch: act on monomorphic caches (guarded
+    /// fast path to the cached callee) instead of only measuring them.
+    speculate: bool,
     shadow: Vec<Activation>,
     // Flat per-class tallies for the hot loop; folded into the
     // `RunStats` hash maps once, at exit. The decoded engine observes
@@ -251,7 +309,8 @@ impl<'a> Machine<'a> {
             output: String::new(),
             stats: RunStats::default(),
             dispatch: DispatchRunStats::default(),
-            ic_cache: vec![None; n_ic_sites],
+            ic_sites: vec![IcSite::default(); n_ic_sites],
+            speculate: true,
             shadow: Vec::new(),
             stack_loads_by_class: [0; SlotClass::ALL.len()],
             stack_stores_by_class: [0; SlotClass::ALL.len()],
@@ -279,6 +338,18 @@ impl<'a> Machine<'a> {
     #[must_use]
     pub fn with_trace(mut self, trace: bool) -> Machine<'a> {
         self.trace = trace;
+        self
+    }
+
+    /// Toggles speculative IC dispatch (on by default). Off reverts
+    /// through-`cp` call sites to PR-era purely observational caches:
+    /// same `vm.dispatch.ic.*` stream, all `vm.dispatch.spec.*`
+    /// counters zero. The observable [`RunStats`] stream is identical
+    /// either way — speculation only skips the dispatch tier's own
+    /// target re-resolution, never a simulated event.
+    #[must_use]
+    pub fn with_speculation(mut self, speculate: bool) -> Machine<'a> {
+        self.speculate = speculate;
         self
     }
 
@@ -431,20 +502,91 @@ impl<'a> Machine<'a> {
     }
 
     /// Consults and updates the monomorphic inline cache of a
-    /// through-`cp` call site. The simulated machine still resolves
-    /// the callee through `cp` (there is no dynamic lookup for a
-    /// simulator to short-circuit), so the cache changes no observable
-    /// behaviour — it measures per-site callee stability, i.e. exactly
-    /// the hit rate a native inline cache would achieve.
+    /// through-`cp` call site (the observational tier). The simulated
+    /// machine still resolves the callee through `cp`, so the cache
+    /// changes no observable behaviour — it measures per-site callee
+    /// stability, i.e. exactly the hit rate a native inline cache
+    /// would achieve.
     #[inline]
-    fn ic_probe(&mut self, ic: u32, callee: FuncId) {
-        match self.ic_cache[ic as usize] {
+    fn ic_probe(&mut self, prog: &DecodedProgram, ic: u32, callee: FuncId) {
+        let site = &mut self.ic_sites[ic as usize];
+        match site.callee {
             Some(f) if f == callee => self.dispatch.ic_hits += 1,
             _ => {
                 self.dispatch.ic_misses += 1;
-                self.ic_cache[ic as usize] = Some(callee);
+                site.callee = Some(callee);
+                site.base = Machine::base(prog, callee);
             }
         }
+    }
+
+    /// Resolves a through-`cp` call site to `(callee, decoded base pc)`
+    /// with full inline-cache accounting — the speculative tier.
+    ///
+    /// With speculation on and the site not demoted, a monomorphic hit
+    /// takes the fast path: a closure-identity guard against the cached
+    /// callee (after the same `cp` stall the slow path pays), and on a
+    /// match the dispatch jumps straight to the cached decoded base,
+    /// skipping [`Machine::closure_callee`]'s re-resolution and the
+    /// function-table lookup. A guard failure falls back to the slow
+    /// path, re-caches, and after [`SPEC_DEMOTE_AFTER`] failures
+    /// demotes the site to polymorphic for the rest of the run.
+    ///
+    /// The `vm.dispatch.ic.{hits,misses}` stream is byte-identical in
+    /// every mode — fast-path guard hit ≡ observational hit, guard
+    /// failure ≡ re-caching miss, cold first call ≡ cold miss — so
+    /// toggling speculation moves work, never measurement.
+    #[inline]
+    fn closure_call_target(
+        &mut self,
+        prog: &DecodedProgram,
+        pc: u32,
+        ic: u32,
+    ) -> Result<(FuncId, u32)> {
+        if self.speculate {
+            let site = self.ic_sites[ic as usize];
+            if let (Some(expected), false) = (site.callee, site.demoted) {
+                // The guard: stall on `cp` exactly as the slow path
+                // would, then compare closure identity in place.
+                self.stall_on(CP);
+                if matches!(&self.regs[CP.index()], Value::Closure(c) if c.func == expected) {
+                    self.dispatch.ic_hits += 1;
+                    self.dispatch.spec_fast_hits += 1;
+                    return Ok((expected, site.base));
+                }
+                // Guard failure: slow path (which owns the
+                // non-procedure error), re-cache, maybe demote.
+                let callee = self.closure_callee(prog, pc)?;
+                self.dispatch.ic_misses += 1;
+                self.dispatch.spec_guard_fails += 1;
+                let base = Machine::base(prog, callee);
+                let site = &mut self.ic_sites[ic as usize];
+                site.callee = Some(callee);
+                site.base = base;
+                site.fails += 1;
+                if site.fails >= SPEC_DEMOTE_AFTER {
+                    site.demoted = true;
+                    self.dispatch.spec_demotions += 1;
+                }
+                return Ok((callee, base));
+            }
+            if !site.demoted {
+                // Cold site: install the first guess. A plain miss —
+                // there was no guess to fail.
+                let callee = self.closure_callee(prog, pc)?;
+                self.dispatch.ic_misses += 1;
+                let base = Machine::base(prog, callee);
+                let site = &mut self.ic_sites[ic as usize];
+                site.callee = Some(callee);
+                site.base = base;
+                return Ok((callee, base));
+            }
+        }
+        // Demoted or speculation off: plain dispatch, observational
+        // probe only.
+        let callee = self.closure_callee(prog, pc)?;
+        self.ic_probe(prog, ic, callee);
+        Ok((callee, Machine::base(prog, callee)))
     }
 
     fn poison(&mut self, prog: &DecodedProgram, func: FuncId) {
@@ -609,6 +751,22 @@ impl<'a> Machine<'a> {
 
     #[inline]
     fn do_call(&mut self, prog: &DecodedProgram, pc: &mut u32, callee: FuncId, frame_advance: u32) {
+        let base = Machine::base(prog, callee);
+        self.do_call_at(prog, pc, callee, base, frame_advance);
+    }
+
+    /// [`Machine::do_call`] with the callee's decoded base already in
+    /// hand — the speculative fast path supplies its cached base here
+    /// instead of re-resolving through the function table.
+    #[inline]
+    fn do_call_at(
+        &mut self,
+        prog: &DecodedProgram,
+        pc: &mut u32,
+        callee: FuncId,
+        base: u32,
+        frame_advance: u32,
+    ) {
         // Return addresses stay function-relative so the value is
         // engine-independent (differential tests compare rendered
         // values, and save slots hold these).
@@ -620,13 +778,21 @@ impl<'a> Machine<'a> {
         self.write(RET, Value::RetAddr(ra));
         self.fp += frame_advance;
         self.func = callee;
-        *pc = Machine::base(prog, callee);
+        *pc = base;
         self.enter_activation(prog, callee);
         self.poison(prog, callee);
     }
 
     #[inline]
     fn do_tail_call(&mut self, prog: &DecodedProgram, pc: &mut u32, callee: FuncId) {
+        let base = Machine::base(prog, callee);
+        self.do_tail_call_at(prog, pc, callee, base);
+    }
+
+    /// [`Machine::do_tail_call`] with the callee's decoded base
+    /// already in hand (the speculative fast path).
+    #[inline]
+    fn do_tail_call_at(&mut self, prog: &DecodedProgram, pc: &mut u32, callee: FuncId, base: u32) {
         self.stats.tail_calls += 1;
         if self.trace {
             eprintln!(
@@ -636,7 +802,7 @@ impl<'a> Machine<'a> {
             );
         }
         self.func = callee;
-        *pc = Machine::base(prog, callee);
+        *pc = base;
         // A tail call is a jump: same activation, same fp.
     }
 
@@ -767,15 +933,13 @@ impl<'a> Machine<'a> {
                     frame_advance,
                 } => self.do_call(prog, &mut pc, callee, frame_advance),
                 DecodedOp::CallClosure { frame_advance, ic } => {
-                    let callee = self.closure_callee(prog, pc)?;
-                    self.ic_probe(ic, callee);
-                    self.do_call(prog, &mut pc, callee, frame_advance);
+                    let (callee, base) = self.closure_call_target(prog, pc, ic)?;
+                    self.do_call_at(prog, &mut pc, callee, base, frame_advance);
                 }
                 DecodedOp::TailCallStatic { callee } => self.do_tail_call(prog, &mut pc, callee),
                 DecodedOp::TailCallClosure { ic } => {
-                    let callee = self.closure_callee(prog, pc)?;
-                    self.ic_probe(ic, callee);
-                    self.do_tail_call(prog, &mut pc, callee);
+                    let (callee, base) = self.closure_call_target(prog, pc, ic)?;
+                    self.do_tail_call_at(prog, &mut pc, callee, base);
                 }
                 DecodedOp::Return => match self.read(RET) {
                     Value::RetAddr(ra) => {
@@ -986,6 +1150,182 @@ impl<'a> Machine<'a> {
                     self.stack_stores_by_class[class2 as usize] += 1;
                     let v = self.read(src2);
                     self.stack_store(slot2, v);
+                }
+                DecodedOp::PrimStoreMov {
+                    op,
+                    dst1,
+                    args,
+                    slot2,
+                    src2,
+                    class2,
+                    dst3,
+                    src3,
+                } => {
+                    self.dispatch.fused_exec3[TripleKind::PrimStoreMov as usize] += 1;
+                    self.exec_prim(prog, pc, op, dst1, &args)?;
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    self.stack_stores_by_class[class2 as usize] += 1;
+                    let v = self.read(src2);
+                    self.stack_store(slot2, v);
+                    self.fetch_second_half(prog, &mut pc)?;
+                    let v = self.read(src3);
+                    self.write(dst3, v);
+                }
+                DecodedOp::StoreMovPrim {
+                    slot1,
+                    src1,
+                    class1,
+                    dst2,
+                    src2,
+                    op,
+                    dst3,
+                    args,
+                } => {
+                    self.dispatch.fused_exec3[TripleKind::StoreMovPrim as usize] += 1;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    self.stack_stores_by_class[class1 as usize] += 1;
+                    let v = self.read(src1);
+                    self.stack_store(slot1, v);
+                    self.fetch_second_half(prog, &mut pc)?;
+                    let v = self.read(src2);
+                    self.write(dst2, v);
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.exec_prim(prog, pc, op, dst3, &args)?;
+                }
+                DecodedOp::MovCmpBranch {
+                    dst1,
+                    src1,
+                    op,
+                    dst2,
+                    args,
+                    src3,
+                    target,
+                    likely,
+                    on_true,
+                } => {
+                    self.dispatch.fused_exec3[TripleKind::MovCmpBranch as usize] += 1;
+                    let v = self.read(src1);
+                    self.write(dst1, v);
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.exec_prim(prog, pc, op, dst2, &args)?;
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.exec_branch(&mut pc, src3, target, likely, on_true);
+                }
+                DecodedOp::MovImmPrim {
+                    dst1,
+                    src1,
+                    dst2,
+                    imm2,
+                    op,
+                    dst3,
+                    args,
+                } => {
+                    self.dispatch.fused_exec3[TripleKind::MovImmPrim as usize] += 1;
+                    let v = self.read(src1);
+                    self.write(dst1, v);
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.write(dst2, Machine::imm_value(imm2));
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.exec_prim(prog, pc, op, dst3, &args)?;
+                }
+                DecodedOp::LoadLoadLoad {
+                    dst1,
+                    slot1,
+                    class1,
+                    dst2,
+                    slot2,
+                    class2,
+                    dst3,
+                    slot3,
+                    class3,
+                } => {
+                    self.dispatch.fused_exec3[TripleKind::LoadLoadLoad as usize] += 1;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    self.stack_loads_by_class[class1 as usize] += 1;
+                    let v = self.stack_load(prog, pc, slot1)?;
+                    self.write_loaded(dst1, v);
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    self.stack_loads_by_class[class2 as usize] += 1;
+                    let v = self.stack_load(prog, pc, slot2)?;
+                    self.write_loaded(dst2, v);
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    self.stack_loads_by_class[class3 as usize] += 1;
+                    let v = self.stack_load(prog, pc, slot3)?;
+                    self.write_loaded(dst3, v);
+                }
+                DecodedOp::StoreStoreStore {
+                    slot1,
+                    src1,
+                    class1,
+                    slot2,
+                    src2,
+                    class2,
+                    slot3,
+                    src3,
+                    class3,
+                } => {
+                    self.dispatch.fused_exec3[TripleKind::StoreStoreStore as usize] += 1;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    self.stack_stores_by_class[class1 as usize] += 1;
+                    let v = self.read(src1);
+                    self.stack_store(slot1, v);
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    self.stack_stores_by_class[class2 as usize] += 1;
+                    let v = self.read(src2);
+                    self.stack_store(slot2, v);
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    self.stack_stores_by_class[class3 as usize] += 1;
+                    let v = self.read(src3);
+                    self.stack_store(slot3, v);
+                }
+                DecodedOp::LoadLoadStore {
+                    dst1,
+                    slot1,
+                    class1,
+                    dst2,
+                    slot2,
+                    class2,
+                    slot3,
+                    src3,
+                    class3,
+                } => {
+                    self.dispatch.fused_exec3[TripleKind::LoadLoadStore as usize] += 1;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    self.stack_loads_by_class[class1 as usize] += 1;
+                    let v = self.stack_load(prog, pc, slot1)?;
+                    self.write_loaded(dst1, v);
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    self.stack_loads_by_class[class2 as usize] += 1;
+                    let v = self.stack_load(prog, pc, slot2)?;
+                    self.write_loaded(dst2, v);
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.stats.cycles += self.cost.mem_cost - self.cost.instr_cost;
+                    self.stack_stores_by_class[class3 as usize] += 1;
+                    let v = self.read(src3);
+                    self.stack_store(slot3, v);
+                }
+                DecodedOp::ImmPrimMov {
+                    dst1,
+                    imm1,
+                    op,
+                    dst2,
+                    args,
+                    dst3,
+                    src3,
+                } => {
+                    self.dispatch.fused_exec3[TripleKind::ImmPrimMov as usize] += 1;
+                    self.write(dst1, Machine::imm_value(imm1));
+                    self.fetch_second_half(prog, &mut pc)?;
+                    self.exec_prim(prog, pc, op, dst2, &args)?;
+                    self.fetch_second_half(prog, &mut pc)?;
+                    let v = self.read(src3);
+                    self.write(dst3, v);
                 }
                 DecodedOp::FuncEnd => {
                     // The classic engine reports the (unincremented)
@@ -1395,7 +1735,7 @@ mod tests {
                 dynamic_count: 1,
             })
             .collect();
-        let decoded = DecodedProgram::decode_with_table(&p, &full);
+        let decoded = DecodedProgram::decode_with_table(&p, &full, &[]);
         let stats = decoded.stats();
         assert_eq!(
             stats.fused(FusionKind::CmpBranch),
@@ -1567,10 +1907,12 @@ mod tests {
         assert_eq!(d.at, Some(("entry".into(), 1)));
     }
 
-    /// Hand-assembled closure-call program exercising one closure-call
-    /// site three times: twice with the same callee, once with a
-    /// different one (1 cold miss, 1 hit, 1 transition miss).
-    fn closure_call_program() -> VmProgram {
+    /// Hand-assembled closure-call harness: one closure-call site (in
+    /// `callit`) executed once per `pattern` element, with the closure
+    /// in `cp` selecting `leaf0` (0) or `leaf1` (1). The per-call
+    /// callee sequence is exactly `pattern`, so IC/speculation state
+    /// transitions are fully scripted.
+    fn poly_call_program(pattern: &[usize]) -> VmProgram {
         let s0 = scratch_reg(0);
         let s1 = scratch_reg(1);
         let leaf = |id: u32, value: i64| VmFunc {
@@ -1614,37 +1956,33 @@ mod tests {
             syntactic_leaf: false,
             call_inevitable: true,
         };
+        let mut code = vec![
+            Instr::AllocClosure {
+                dst: s0,
+                func: FuncId(0),
+                n_free: 0,
+            },
+            Instr::AllocClosure {
+                dst: s1,
+                func: FuncId(1),
+                n_free: 0,
+            },
+        ];
+        for &which in pattern {
+            code.push(Instr::Mov {
+                dst: CP,
+                src: if which == 0 { s0 } else { s1 },
+            });
+            code.push(Instr::Call {
+                target: CallTarget::Func(FuncId(2)),
+                frame_advance: 0,
+            });
+        }
+        code.push(Instr::Halt);
         let entry = VmFunc {
             id: FuncId(3),
             name: "entry".into(),
-            code: vec![
-                Instr::AllocClosure {
-                    dst: s0,
-                    func: FuncId(0),
-                    n_free: 0,
-                },
-                Instr::AllocClosure {
-                    dst: s1,
-                    func: FuncId(1),
-                    n_free: 0,
-                },
-                Instr::Mov { dst: CP, src: s0 },
-                Instr::Call {
-                    target: CallTarget::Func(FuncId(2)),
-                    frame_advance: 0,
-                },
-                Instr::Mov { dst: CP, src: s0 },
-                Instr::Call {
-                    target: CallTarget::Func(FuncId(2)),
-                    frame_advance: 0,
-                },
-                Instr::Mov { dst: CP, src: s1 },
-                Instr::Call {
-                    target: CallTarget::Func(FuncId(2)),
-                    frame_advance: 0,
-                },
-                Instr::Halt,
-            ],
+            code,
             frame_size: 0,
             n_incoming: 0,
             syntactic_leaf: false,
@@ -1656,6 +1994,12 @@ mod tests {
             constants: vec![],
             n_globals: 0,
         }
+    }
+
+    /// The original three-call shape: twice the same callee, once a
+    /// different one (1 cold miss, 1 hit, 1 transition miss).
+    fn closure_call_program() -> VmProgram {
+        poly_call_program(&[0, 0, 1])
     }
 
     #[test]
@@ -1672,6 +2016,109 @@ mod tests {
         assert_eq!(d.dispatch.ic_hits, 1);
         assert_eq!(d.dispatch.ic_misses, 2);
         assert!((d.dispatch.ic_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        // With speculation on (the default) the hit was a guarded fast
+        // hit and the transition was a guard failure — but the ic.*
+        // stream above is byte-identical to the observational mode.
+        assert_eq!(d.dispatch.spec_fast_hits, 1);
+        assert_eq!(d.dispatch.spec_guard_fails, 1);
+        assert_eq!(d.dispatch.spec_demotions, 0);
+    }
+
+    /// Satellite: speculation off must reproduce the exact same ic.*
+    /// stream and `RunStats` with every `spec.*` counter at zero.
+    #[test]
+    fn speculation_off_matches_observational_counters() {
+        let p = closure_call_program();
+        let on = Machine::new(&p, CostModel::alpha_like()).run().unwrap();
+        let off = Machine::new(&p, CostModel::alpha_like())
+            .with_speculation(false)
+            .run()
+            .unwrap();
+        let c = ClassicMachine::new(&p, CostModel::alpha_like())
+            .run()
+            .unwrap();
+        assert_eq!(off.value, c.value);
+        assert_eq!(off.stats, c.stats);
+        assert_eq!(off.stats, on.stats);
+        assert_eq!(off.dispatch.ic_hits, on.dispatch.ic_hits);
+        assert_eq!(off.dispatch.ic_misses, on.dispatch.ic_misses);
+        assert_eq!(off.dispatch.spec_fast_hits, 0);
+        assert_eq!(off.dispatch.spec_guard_fails, 0);
+        assert_eq!(off.dispatch.spec_demotions, 0);
+    }
+
+    /// Satellite: monomorphic → guard-fail → re-cache. After the guard
+    /// fails once the site re-caches the new callee, so an immediate
+    /// repeat of that callee is a fast hit again.
+    #[test]
+    fn guard_fail_recaches_and_fast_path_resumes() {
+        // A, A (fast hit), B (guard fail -> re-cache B), B (fast hit).
+        let p = poly_call_program(&[0, 0, 1, 1]);
+        let d = Machine::new(&p, CostModel::alpha_like()).run().unwrap();
+        let c = ClassicMachine::new(&p, CostModel::alpha_like())
+            .run()
+            .unwrap();
+        assert_eq!(d.value, c.value);
+        assert_eq!(d.stats, c.stats);
+        assert_eq!(d.dispatch.ic_hits, 2);
+        assert_eq!(d.dispatch.ic_misses, 2);
+        assert_eq!(d.dispatch.spec_fast_hits, 2);
+        assert_eq!(d.dispatch.spec_guard_fails, 1);
+        assert_eq!(d.dispatch.spec_demotions, 0);
+    }
+
+    /// Satellite: `SPEC_DEMOTE_AFTER` cumulative guard failures demote
+    /// the site to polymorphic (plain observational dispatch).
+    #[test]
+    fn k_guard_failures_demote_site() {
+        // Alternating callees: cold miss, then every call flips the
+        // cached identity. Guard failures 1..=4 land on calls 2..=5;
+        // the fourth failure (call 5) demotes the site.
+        let p = poly_call_program(&[0, 1, 0, 1, 0]);
+        let d = Machine::new(&p, CostModel::alpha_like()).run().unwrap();
+        let c = ClassicMachine::new(&p, CostModel::alpha_like())
+            .run()
+            .unwrap();
+        assert_eq!(d.value, c.value);
+        assert_eq!(d.stats, c.stats);
+        assert_eq!(d.dispatch.spec_fast_hits, 0);
+        assert_eq!(d.dispatch.spec_guard_fails, u64::from(SPEC_DEMOTE_AFTER));
+        assert_eq!(d.dispatch.spec_demotions, 1);
+        // The ic.* stream is what the observational mode would report
+        // for the same alternation: one cold miss + four transitions.
+        assert_eq!(d.dispatch.ic_hits, 0);
+        assert_eq!(d.dispatch.ic_misses, 5);
+    }
+
+    /// Satellite: a megamorphic site never re-enters the fast path.
+    /// After demotion, even a long monomorphic tail only grows the
+    /// observational hit count — `spec_fast_hits` stays frozen.
+    #[test]
+    fn megamorphic_site_never_reenters_fast_path() {
+        // 5 alternating calls demote the site, then 4 calls of the
+        // same callee would all be fast hits if the site re-armed.
+        let p = poly_call_program(&[0, 1, 0, 1, 0, 0, 0, 0, 0]);
+        let d = Machine::new(&p, CostModel::alpha_like()).run().unwrap();
+        let c = ClassicMachine::new(&p, CostModel::alpha_like())
+            .run()
+            .unwrap();
+        assert_eq!(d.value, c.value);
+        assert_eq!(d.stats, c.stats);
+        assert_eq!(d.dispatch.spec_fast_hits, 0, "demoted site speculated");
+        assert_eq!(d.dispatch.spec_guard_fails, u64::from(SPEC_DEMOTE_AFTER));
+        assert_eq!(d.dispatch.spec_demotions, 1);
+        // Demoted dispatch still maintains the observational cache:
+        // the monomorphic tail is 4 plain hits.
+        assert_eq!(d.dispatch.ic_hits, 4);
+        assert_eq!(d.dispatch.ic_misses, 5);
+        // And the ic.* stream is identical with speculation disabled.
+        let off = Machine::new(&p, CostModel::alpha_like())
+            .with_speculation(false)
+            .run()
+            .unwrap();
+        assert_eq!(off.dispatch.ic_hits, d.dispatch.ic_hits);
+        assert_eq!(off.dispatch.ic_misses, d.dispatch.ic_misses);
+        assert_eq!(off.stats, d.stats);
     }
 
     #[test]
@@ -1689,7 +2136,7 @@ mod tests {
     /// counters, no matter what the workload touched.
     #[test]
     fn dispatch_metric_key_sets_are_stable() {
-        use crate::fusion_table::FUSION_TABLE;
+        use crate::fusion_table::{FUSION_TABLE, TRIPLE_TABLE};
         use lesgs_metrics::Registry;
 
         // A program with no fusible pairs and no closure calls at all.
@@ -1716,9 +2163,115 @@ mod tests {
                 "missing runtime fused counter for {key}"
             );
         }
+        for entry in TRIPLE_TABLE {
+            let key = entry.kind.key();
+            assert!(
+                counters.contains_key(&format!("vm.dispatch.fused.{key}")),
+                "missing static fused-triple counter for {key}"
+            );
+            assert!(
+                counters.contains_key(&format!("vm.dispatch.fused_exec.{key}")),
+                "missing runtime fused-triple counter for {key}"
+            );
+        }
         assert!(counters.contains_key("vm.dispatch.ic.hits"));
         assert!(counters.contains_key("vm.dispatch.ic.misses"));
+        assert!(counters.contains_key("vm.dispatch.spec.fast_hits"));
+        assert!(counters.contains_key("vm.dispatch.spec.guard_fails"));
+        assert!(counters.contains_key("vm.dispatch.spec.demotions"));
         let gauges: Vec<&str> = reg.gauges().map(|(name, _)| name).collect();
         assert!(gauges.contains(&"vm.dispatch.ic.hit_rate"));
+    }
+
+    /// Triple templates fuse on decode, execute as one op, and leave
+    /// mid-triple jump landings on the preserved plain slots.
+    #[test]
+    fn fused_triples_execute_and_land_mid_triple() {
+        let a0 = arg_reg(0);
+        let s0 = scratch_reg(0);
+        let s1 = scratch_reg(1);
+        let f = VmFunc {
+            id: FuncId(0),
+            name: "entry".into(),
+            code: vec![
+                // 0/1/2: ImmPrimMov triple, executed in full.
+                Instr::LoadImm {
+                    dst: a0,
+                    imm: Imm::Fixnum(7),
+                },
+                Instr::Prim {
+                    op: Prim::Add,
+                    dst: RV,
+                    args: vec![a0, a0],
+                },
+                Instr::Mov { dst: s0, src: RV },
+                // 3: land on the *third* slot of the next triple.
+                Instr::Jump { target: 6 },
+                // 4/5/6: ImmPrimMov triple entered mid-triple — only
+                // `s1 <- rv` runs; the head and middle never execute.
+                Instr::LoadImm {
+                    dst: a0,
+                    imm: Imm::Fixnum(100),
+                },
+                Instr::Prim {
+                    op: Prim::Mul,
+                    dst: RV,
+                    args: vec![a0, a0],
+                },
+                Instr::Mov { dst: s1, src: RV },
+                // 7: rv = s0 + a0 = 14 + 7 = 21.
+                Instr::Prim {
+                    op: Prim::Add,
+                    dst: RV,
+                    args: vec![s0, a0],
+                },
+                Instr::Halt,
+            ],
+            frame_size: 0,
+            n_incoming: 0,
+            syntactic_leaf: true,
+            call_inevitable: false,
+        };
+        let p = VmProgram {
+            funcs: vec![f],
+            entry: FuncId(0),
+            constants: vec![],
+            n_globals: 0,
+        };
+        let full3: Vec<crate::decode::TripleEntry> = crate::decode::TripleKind::ALL
+            .iter()
+            .map(|&kind| crate::decode::TripleEntry {
+                kind,
+                dynamic_count: 1,
+            })
+            .collect();
+        // Empty pair table: the scan must still find both triples.
+        let decoded = DecodedProgram::decode_with_table(&p, &[], &full3);
+        let stats = decoded.stats();
+        assert_eq!(
+            stats.fused3(crate::decode::TripleKind::ImmPrimMov),
+            2,
+            "{}",
+            decoded.disassemble()
+        );
+        assert_eq!(stats.fused_triples, 2);
+        // Slot preservation: decoded slot count = source + sentinel.
+        assert_eq!(stats.decoded_ops, stats.source_instructions + 1);
+        let out = Machine::from_decoded(&decoded, CostModel::alpha_like())
+            .run()
+            .unwrap();
+        let classic = ClassicMachine::new(&p, CostModel::alpha_like())
+            .run()
+            .unwrap();
+        assert_eq!(out.value, "21");
+        assert_eq!(out.value, classic.value);
+        assert_eq!(out.stats, classic.stats);
+        assert_eq!(out.output, classic.output);
+        // Only the first triple ran fused; the second was entered
+        // mid-triple on a plain slot.
+        assert_eq!(
+            out.dispatch.fused3(crate::decode::TripleKind::ImmPrimMov),
+            1
+        );
     }
 }

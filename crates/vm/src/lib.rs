@@ -27,11 +27,12 @@ pub mod verify;
 pub use classic::ClassicMachine;
 pub use cost::CostModel;
 pub use decode::{
-    fusion_table_checksum, template_match, DecodeStats, DecodedOp, DecodedProgram, FuncInfo,
-    FusionEntry, FusionKind, PrimArgs,
+    fusion_table_checksum, template_match, template_match3, triple_table_checksum, DecodeStats,
+    DecodedOp, DecodedProgram, FuncInfo, FusionEntry, FusionKind, PrimArgs, TripleEntry,
+    TripleKind,
 };
-pub use exec::{DispatchRunStats, Machine, VmError, VmOutcome};
-pub use fusion_table::{FUSION_TABLE, FUSION_TABLE_CHECKSUM};
+pub use exec::{DispatchRunStats, Machine, VmError, VmOutcome, SPEC_DEMOTE_AFTER};
+pub use fusion_table::{FUSION_TABLE, FUSION_TABLE_CHECKSUM, TRIPLE_TABLE, TRIPLE_TABLE_CHECKSUM};
 pub use instr::{CallTarget, Imm, Instr, SlotClass};
 pub use program::{VmFunc, VmProgram};
 pub use stats::{ActivationClass, RunStats};

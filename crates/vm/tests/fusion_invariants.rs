@@ -23,7 +23,7 @@ use lesgs_frontend::Prim;
 use lesgs_ir::machine::{arg_reg, scratch_reg, RV};
 use lesgs_vm::{
     ClassicMachine, CostModel, DecodedProgram, FusionEntry, FusionKind, Imm, Instr, Machine,
-    SlotClass, VmFunc, VmProgram, FUSION_TABLE,
+    SlotClass, TripleEntry, TripleKind, VmFunc, VmProgram, FUSION_TABLE, TRIPLE_TABLE,
 };
 
 /// One per-template case: the setup that feeds the pair, the pair
@@ -201,8 +201,8 @@ fn build_program(case: &PairCase) -> (VmProgram, u32, u32) {
 /// table enables the case's template).
 fn check_case(case: &PairCase, table: &[FusionEntry], must_fuse: bool) {
     let (program, first, second) = build_program(case);
-    let decoded = DecodedProgram::decode_with_table(&program, table);
-    let unfused = DecodedProgram::decode_with_table(&program, &[]);
+    let decoded = DecodedProgram::decode_with_table(&program, table, &[]);
+    let unfused = DecodedProgram::decode_with_table(&program, &[], &[]);
     let kind = case.kind;
 
     // Slot preservation makes pcs comparable across tables.
@@ -275,5 +275,293 @@ fn generated_table_keeps_its_jump_target_fallback() {
     for case in &cases() {
         let enabled = FUSION_TABLE.iter().any(|e| e.kind == case.kind);
         check_case(case, FUSION_TABLE, enabled);
+    }
+}
+
+/// One per-triple-template case, mirroring [`PairCase`]: the triple's
+/// second AND third slots each become a branch target once.
+struct TripleCase {
+    kind: TripleKind,
+    setup: Vec<Instr>,
+    triple: (Instr, Instr, Instr),
+    finish: Vec<Instr>,
+    expect: &'static str,
+}
+
+/// One case per triple-catalogue template. Each triple's later parts
+/// must be idempotent under re-execution, because the harness lands on
+/// the second slot once (running parts 2+3 again) and on the third
+/// slot once (running part 3 again).
+fn triple_cases() -> Vec<TripleCase> {
+    let (a, b, c, d) = (arg_reg(0), arg_reg(1), arg_reg(2), arg_reg(3));
+    let load = |dst, slot| Instr::StackLoad {
+        dst,
+        slot,
+        class: SlotClass::Temp,
+    };
+    let store = |slot, src| Instr::StackStore {
+        slot,
+        src,
+        class: SlotClass::Temp,
+    };
+    let mov = |dst, src| Instr::Mov { dst, src };
+    vec![
+        TripleCase {
+            kind: TripleKind::PrimStoreMov,
+            setup: vec![imm(a, 3), imm(b, 5)],
+            triple: (add(c, a, b), store(0, c), mov(d, a)),
+            finish: vec![load(c, 0), add(RV, c, d)],
+            expect: "11",
+        },
+        TripleCase {
+            kind: TripleKind::StoreMovPrim,
+            setup: vec![imm(a, 3), imm(b, 5)],
+            triple: (store(0, a), mov(c, b), add(d, c, b)),
+            finish: vec![load(c, 0), add(RV, c, d)],
+            expect: "13",
+        },
+        TripleCase {
+            // `brfalse` on a true predicate falls through every time
+            // the branch executes (fused, then landed-on twice).
+            kind: TripleKind::MovCmpBranch,
+            setup: vec![imm(a, 3), imm(b, 5)],
+            triple: (
+                mov(c, a),
+                Instr::Prim {
+                    op: Prim::Lt,
+                    dst: d,
+                    args: vec![c, b],
+                },
+                Instr::BranchFalse {
+                    src: d,
+                    // Patched by `build_program3` to the finish label.
+                    target: u32::MAX,
+                    likely: None,
+                },
+            ),
+            finish: vec![add(RV, a, b)],
+            expect: "8",
+        },
+        TripleCase {
+            kind: TripleKind::MovImmPrim,
+            setup: vec![imm(a, 3)],
+            triple: (mov(c, a), imm(d, 9), add(RV, c, d)),
+            finish: vec![],
+            expect: "12",
+        },
+        TripleCase {
+            kind: TripleKind::LoadLoadLoad,
+            setup: vec![
+                imm(a, 3),
+                store(0, a),
+                imm(b, 5),
+                store(1, b),
+                imm(a, 7),
+                store(2, a),
+            ],
+            triple: (load(c, 0), load(d, 1), load(b, 2)),
+            finish: vec![add(RV, c, d), add(RV, RV, b)],
+            expect: "15",
+        },
+        TripleCase {
+            kind: TripleKind::StoreStoreStore,
+            setup: vec![imm(a, 3), imm(b, 5)],
+            triple: (store(0, a), store(1, b), store(2, a)),
+            finish: vec![
+                load(c, 0),
+                load(d, 1),
+                add(RV, c, d),
+                load(c, 2),
+                add(RV, RV, c),
+            ],
+            expect: "11",
+        },
+        TripleCase {
+            kind: TripleKind::LoadLoadStore,
+            setup: vec![imm(a, 3), imm(b, 5), store(0, a), store(1, b)],
+            triple: (load(c, 0), load(d, 1), store(2, c)),
+            finish: vec![load(b, 2), add(RV, d, b)],
+            expect: "8",
+        },
+        TripleCase {
+            kind: TripleKind::ImmPrimMov,
+            setup: vec![],
+            triple: (imm(c, 7), add(d, c, c), mov(b, d)),
+            finish: vec![add(RV, d, b)],
+            expect: "28",
+        },
+    ]
+}
+
+/// Builds the harness around one triple case and returns the program
+/// plus the source indices of the triple's three parts:
+///
+/// ```text
+/// setup…
+/// g1 <- 0 ; g2 <- 0
+/// jump first                 ; separator: `jump` appears in no pair
+///                            ; or triple template, so greedy scanning
+///                            ; always aligns on the triple's first op
+/// first:  triple.0
+/// second: triple.1           ; branch target (pass 1)
+/// third:  triple.2           ; branch target (pass 2)
+/// t  <- zero?(g1)
+/// g1 <- 1
+/// brtrue t -> second         ; lands mid-triple on the second slot
+/// t  <- zero?(g2)
+/// g2 <- 1
+/// brtrue t -> third          ; lands mid-triple on the third slot
+/// finish…
+/// halt
+/// ```
+fn build_program3(case: &TripleCase) -> (VmProgram, u32, u32, u32) {
+    let g1 = scratch_reg(0);
+    let g2 = scratch_reg(1);
+    let t = scratch_reg(2);
+    let mut code = case.setup.clone();
+    code.push(imm(g1, 0));
+    code.push(imm(g2, 0));
+    let first = code.len() as u32 + 1;
+    code.push(Instr::Jump { target: first });
+    let second = first + 1;
+    let third = first + 2;
+    code.push(case.triple.0.clone());
+    code.push(case.triple.1.clone());
+    code.push(case.triple.2.clone());
+    for (guard, target) in [(g1, second), (g2, third)] {
+        code.push(Instr::Prim {
+            op: Prim::IsZero,
+            dst: t,
+            args: vec![guard],
+        });
+        code.push(imm(guard, 1));
+        code.push(Instr::BranchTrue {
+            src: t,
+            target,
+            likely: None,
+        });
+    }
+    // Patch the MovCmpBranch case's forward branch to the finish label.
+    let finish_label = code.len() as u32;
+    if let Instr::BranchFalse { target, .. } = &mut code[third as usize] {
+        if *target == u32::MAX {
+            *target = finish_label;
+        }
+    }
+    code.extend(case.finish.iter().cloned());
+    code.push(Instr::Halt);
+    let program = VmProgram {
+        funcs: vec![VmFunc {
+            id: lesgs_frontend::FuncId(0),
+            name: "entry".into(),
+            code,
+            frame_size: 4,
+            n_incoming: 0,
+            syntactic_leaf: true,
+            call_inevitable: false,
+        }],
+        entry: lesgs_frontend::FuncId(0),
+        constants: vec![],
+        n_globals: 0,
+    };
+    (program, first, second, third)
+}
+
+/// Runs one triple case under one (pair, triple) table combination.
+/// `check_slots` additionally pins the slot-preservation mechanics —
+/// meaningful with an empty pair table, where nothing else can occupy
+/// the triple's later slots.
+fn check_case3(
+    case: &TripleCase,
+    pairs: &[FusionEntry],
+    triples: &[TripleEntry],
+    must_fuse: bool,
+    check_slots: bool,
+) {
+    let (program, first, second, third) = build_program3(case);
+    let decoded = DecodedProgram::decode_with_table(&program, pairs, triples);
+    let unfused = DecodedProgram::decode_with_table(&program, &[], &[]);
+    let kind = case.kind;
+
+    // Slot preservation makes pcs comparable across tables.
+    assert_eq!(
+        decoded.ops().len(),
+        unfused.ops().len(),
+        "{kind:?}: fusion must not change slot count"
+    );
+    if must_fuse {
+        assert!(
+            decoded.stats().fused3(kind) >= 1,
+            "{kind:?}: triple did not fuse\n{}",
+            decoded.disassemble()
+        );
+    }
+    if check_slots {
+        if must_fuse {
+            assert_ne!(
+                decoded.ops()[first as usize],
+                unfused.ops()[first as usize],
+                "{kind:?}: first slot should hold the fused op"
+            );
+        }
+        // The invariant under test: both later slots — branch targets —
+        // keep their plain decodings.
+        for (label, slot) in [("second", second), ("third", third)] {
+            assert_eq!(
+                decoded.ops()[slot as usize],
+                unfused.ops()[slot as usize],
+                "{kind:?}: jump-target {label} slot must decode unfused\n{}",
+                decoded.disassemble()
+            );
+        }
+    }
+
+    // Mid-triple landings are observably equivalent: value, output,
+    // and every counter match the never-fusing classic engine.
+    let out = Machine::from_decoded(&decoded, CostModel::alpha_like())
+        .run()
+        .unwrap_or_else(|e| panic!("{kind:?}: decoded run failed: {e}"));
+    let classic = ClassicMachine::new(&program, CostModel::alpha_like())
+        .run()
+        .unwrap_or_else(|e| panic!("{kind:?}: classic run failed: {e}"));
+    assert_eq!(out.value, case.expect, "{kind:?}");
+    assert_eq!(out.value, classic.value, "{kind:?}");
+    assert_eq!(out.output, classic.output, "{kind:?}");
+    assert_eq!(out.stats, classic.stats, "{kind:?}: counter divergence");
+}
+
+/// Every triple template, full triple table and no pair fusion: the
+/// triple fuses, both landed-on later slots stay plain, outcomes match
+/// classic exactly.
+#[test]
+fn every_triple_template_keeps_its_jump_target_fallbacks() {
+    let full: Vec<TripleEntry> = TripleKind::ALL
+        .iter()
+        .map(|&kind| TripleEntry {
+            kind,
+            dynamic_count: 1,
+        })
+        .collect();
+    let cases = triple_cases();
+    // Coverage tripwire: a new triple template cannot ship without a
+    // mid-triple landing case here.
+    let covered: Vec<TripleKind> = cases.iter().map(|c| c.kind).collect();
+    assert_eq!(covered, TripleKind::ALL.to_vec(), "catalogue coverage gap");
+    for case in &cases {
+        check_case3(case, &[], &full, true, true);
+    }
+}
+
+/// Same programs under the committed generated tables — the shipping
+/// configuration, where pair templates may also claim slots near a
+/// disabled triple. Enabled triples must fuse; either way the decoded
+/// run must match classic on every counter. Slot-identity checks are
+/// skipped because a legitimately-fused *pair* may occupy a later slot
+/// when its triple is disabled.
+#[test]
+fn generated_triple_table_keeps_its_jump_target_fallbacks() {
+    for case in &triple_cases() {
+        let enabled = TRIPLE_TABLE.iter().any(|e| e.kind == case.kind);
+        check_case3(case, FUSION_TABLE, TRIPLE_TABLE, enabled, false);
     }
 }
